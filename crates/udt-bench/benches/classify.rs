@@ -1,0 +1,45 @@
+//! Classification-time benchmark (§3.2): cost of fractionally propagating
+//! an uncertain test tuple down a trained tree, compared with classifying
+//! its point (averaged) projection.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use udt_bench::baseline_workload;
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn bench_classify(c: &mut Criterion) {
+    let data = baseline_workload(50);
+    let tree = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs))
+        .build(&data)
+        .expect("build succeeds")
+        .tree;
+    let averaged = data.to_averaged();
+
+    let mut group = c.benchmark_group("classify");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("uncertain_tuples", |b| {
+        b.iter(|| {
+            data.tuples()
+                .iter()
+                .map(|t| tree.predict(t))
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("point_tuples", |b| {
+        b.iter(|| {
+            averaged
+                .tuples()
+                .iter()
+                .map(|t| tree.predict(t))
+                .sum::<usize>()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 8 benchmark: UDT-ES construction time as a function of the number
+//! of sample points per pdf (`s`). The paper reports roughly linear growth.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use udt_bench::{point_dataset, uncertain};
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn bench_effect_s(c: &mut Criterion) {
+    let point = point_dataset("Iris", 0.4);
+    let mut group = c.benchmark_group("fig8_effect_of_s");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for s in [25usize, 50, 100, 150] {
+        let data = uncertain(&point, 0.10, s);
+        group.throughput(Throughput::Elements(s as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(s), &data, |b, data| {
+            let builder = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs));
+            b.iter(|| builder.build(data).expect("build succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_s);
+criterion_main!(benches);

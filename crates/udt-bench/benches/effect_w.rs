@@ -1,0 +1,30 @@
+//! Fig. 9 benchmark: UDT-ES construction time as a function of the pdf
+//! width `w`. Wider pdfs overlap more, creating more heterogeneous
+//! intervals and therefore more work.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use udt_bench::{point_dataset, uncertain};
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn bench_effect_w(c: &mut Criterion) {
+    let point = point_dataset("Iris", 0.4);
+    let mut group = c.benchmark_group("fig9_effect_of_w");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for w in [0.025f64, 0.05, 0.10, 0.20, 0.30] {
+        let data = uncertain(&point, w, 50);
+        let label = format!("{:.1}%", w * 100.0);
+        group.bench_with_input(BenchmarkId::from_parameter(label), &data, |b, data| {
+            let builder = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs));
+            b.iter(|| builder.build(data).expect("build succeeds"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_effect_w);
+criterion_main!(benches);

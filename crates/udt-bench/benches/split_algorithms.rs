@@ -1,0 +1,35 @@
+//! Fig. 6 benchmark: tree-construction time of AVG, UDT, UDT-BP, UDT-LP,
+//! UDT-GP and UDT-ES on the baseline uncertain workload.
+//!
+//! The paper's claim is about the *ordering* (UDT slowest, each pruning
+//! stage faster, AVG fastest); absolute times depend on the machine and the
+//! synthetic substrate.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use udt_bench::baseline_workload;
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn bench_split_algorithms(c: &mut Criterion) {
+    let data = baseline_workload(40);
+    let mut group = c.benchmark_group("fig6_build_time");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    for algorithm in Algorithm::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(algorithm.name()),
+            &algorithm,
+            |b, &algorithm| {
+                let builder = TreeBuilder::new(UdtConfig::new(algorithm));
+                b.iter(|| builder.build(&data).expect("build succeeds"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_split_algorithms);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! # udt-bench — shared fixtures for the Criterion benchmarks
+//!
+//! The benchmarks regenerate the timing figures of the paper (Fig. 6,
+//! Fig. 8, Fig. 9, plus the §7.5 point-data claim) on scaled workloads.
+//! This library crate only hosts the fixture helpers; the benchmarks
+//! themselves live under `benches/`.
+
+#![warn(missing_docs)]
+
+use udt_data::repository::by_name;
+use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+use udt_data::Dataset;
+use udt_prob::ErrorModel;
+
+/// Generates the scaled point-valued stand-in for a Table 2 data set.
+///
+/// Panics on unknown names — benchmarks are compiled with known names only.
+pub fn point_dataset(name: &str, scale: f64) -> Dataset {
+    by_name(name)
+        .unwrap_or_else(|| panic!("unknown data set {name}"))
+        .generate(scale)
+        .expect("generation succeeds at benchmark scale")
+}
+
+/// Injects baseline Gaussian uncertainty (`w`, `s`) into a point data set.
+pub fn uncertain(data: &Dataset, w: f64, s: usize) -> Dataset {
+    inject_uncertainty(
+        data,
+        &UncertaintySpec {
+            w,
+            s,
+            model: ErrorModel::Gaussian,
+        },
+    )
+    .expect("injection succeeds")
+}
+
+/// The benchmark workload used by the Fig. 6 and Fig. 7 style comparisons:
+/// an "Iris"-shaped data set at 40 % scale with `w = 10 %`, `s` as given.
+pub fn baseline_workload(s: usize) -> Dataset {
+    uncertain(&point_dataset("Iris", 0.4), 0.10, s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_produce_uncertain_data() {
+        let ds = baseline_workload(20);
+        assert!(!ds.is_empty());
+        assert!(ds.total_samples() > ds.len() * ds.n_attributes());
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown data set")]
+    fn unknown_dataset_panics() {
+        let _ = point_dataset("NotARealDataset", 0.1);
+    }
+}

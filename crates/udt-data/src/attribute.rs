@@ -1,0 +1,171 @@
+//! Attribute declarations and schemas.
+//!
+//! The paper's data model (§3.1) has `k` feature attributes, each either
+//! numerical (real-valued, possibly uncertain — the paper's focus) or
+//! categorical (finite domain, §7.2). A [`Schema`] is an ordered list of
+//! [`Attribute`]s shared by every tuple of a [`crate::Dataset`].
+
+use serde::{Deserialize, Serialize};
+
+/// The kind of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// A real-valued attribute; values are pdfs over a bounded interval.
+    Numerical,
+    /// A categorical attribute with the given number of categories; values
+    /// are discrete distributions over `0..cardinality`.
+    Categorical {
+        /// Number of distinct categories in the attribute domain.
+        cardinality: usize,
+    },
+}
+
+impl AttributeKind {
+    /// Whether this is a numerical attribute.
+    pub fn is_numerical(&self) -> bool {
+        matches!(self, AttributeKind::Numerical)
+    }
+
+    /// Whether this is a categorical attribute.
+    pub fn is_categorical(&self) -> bool {
+        matches!(self, AttributeKind::Categorical { .. })
+    }
+}
+
+/// A named, typed feature attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Human-readable attribute name.
+    pub name: String,
+    /// Attribute kind.
+    pub kind: AttributeKind,
+}
+
+impl Attribute {
+    /// Creates a numerical attribute.
+    pub fn numerical(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Numerical,
+        }
+    }
+
+    /// Creates a categorical attribute with the given cardinality.
+    pub fn categorical(name: impl Into<String>, cardinality: usize) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Categorical { cardinality },
+        }
+    }
+}
+
+/// An ordered collection of attributes describing every tuple in a data
+/// set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema from a list of attributes.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        Schema { attributes }
+    }
+
+    /// Creates a schema of `k` numerical attributes named `A1..Ak`, the
+    /// shape used throughout the paper's experiments.
+    pub fn numerical(k: usize) -> Self {
+        Schema {
+            attributes: (1..=k)
+                .map(|i| Attribute::numerical(format!("A{i}")))
+                .collect(),
+        }
+    }
+
+    /// Number of attributes (`k` in the paper).
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Whether the schema has no attributes.
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// The attribute at index `j`, if any.
+    pub fn attribute(&self, j: usize) -> Option<&Attribute> {
+        self.attributes.get(j)
+    }
+
+    /// All attributes in order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Indices of all numerical attributes.
+    pub fn numerical_indices(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind.is_numerical())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all categorical attributes.
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.attributes
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.kind.is_categorical())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribute_constructors() {
+        let a = Attribute::numerical("radius");
+        assert_eq!(a.name, "radius");
+        assert!(a.kind.is_numerical());
+        assert!(!a.kind.is_categorical());
+
+        let c = Attribute::categorical("tld", 6);
+        assert!(c.kind.is_categorical());
+        assert_eq!(c.kind, AttributeKind::Categorical { cardinality: 6 });
+    }
+
+    #[test]
+    fn numerical_schema_names_attributes_like_the_paper() {
+        let s = Schema::numerical(3);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.attribute(0).unwrap().name, "A1");
+        assert_eq!(s.attribute(2).unwrap().name, "A3");
+        assert!(s.attribute(3).is_none());
+        assert_eq!(s.numerical_indices(), vec![0, 1, 2]);
+        assert!(s.categorical_indices().is_empty());
+    }
+
+    #[test]
+    fn mixed_schema_partitions_indices() {
+        let s = Schema::new(vec![
+            Attribute::numerical("temp"),
+            Attribute::categorical("colour", 3),
+            Attribute::numerical("speed"),
+        ]);
+        assert_eq!(s.numerical_indices(), vec![0, 2]);
+        assert_eq!(s.categorical_indices(), vec![1]);
+    }
+
+    #[test]
+    fn empty_schema() {
+        let s = Schema::new(vec![]);
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+    }
+}

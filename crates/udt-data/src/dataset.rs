@@ -1,0 +1,297 @@
+//! Labelled data sets.
+//!
+//! A [`Dataset`] is a schema, a class-name table and a bag of labelled
+//! tuples (§3.1: `d` training tuples over `k` attributes with labels from
+//! `C`). It validates tuples against the schema at insertion time and
+//! provides the derived quantities the experiments need: per-attribute
+//! ranges (`|A_j|`, used to scale the uncertainty width `w·|A_j|`), class
+//! frequencies, and Averaging projections.
+
+use serde::{Deserialize, Serialize};
+
+use crate::attribute::{AttributeKind, Schema};
+use crate::error::DataError;
+use crate::tuple::Tuple;
+use crate::value::UncertainValue;
+use crate::Result;
+
+/// A labelled, schema-validated collection of tuples.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    schema: Schema,
+    class_names: Vec<String>,
+    tuples: Vec<Tuple>,
+}
+
+impl Dataset {
+    /// Creates an empty data set with the given schema and class names.
+    pub fn new(schema: Schema, class_names: Vec<String>) -> Self {
+        Dataset {
+            schema,
+            class_names,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates an empty data set with `k` numerical attributes and
+    /// `classes` classes named `C0..`, the shape used by the synthetic
+    /// generators.
+    pub fn numerical(k: usize, classes: usize) -> Self {
+        Dataset::new(
+            Schema::numerical(k),
+            (0..classes).map(|c| format!("C{c}")).collect(),
+        )
+    }
+
+    /// The data set schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Class names, indexed by label.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Number of classes (`|C|`).
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Number of attributes (`k`).
+    pub fn n_attributes(&self) -> usize {
+        self.schema.len()
+    }
+
+    /// Number of tuples (`d` / `m`).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the data set has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// All tuples.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The tuple at `index`.
+    pub fn tuple(&self, index: usize) -> &Tuple {
+        &self.tuples[index]
+    }
+
+    /// Validates and appends a tuple.
+    pub fn push(&mut self, tuple: Tuple) -> Result<()> {
+        if tuple.arity() != self.schema.len() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.len(),
+                found: tuple.arity(),
+            });
+        }
+        if tuple.label() >= self.class_names.len() {
+            return Err(DataError::LabelOutOfRange {
+                label: tuple.label(),
+                classes: self.class_names.len(),
+            });
+        }
+        for (j, value) in tuple.values().iter().enumerate() {
+            let attr = self.schema.attribute(j).expect("arity checked above");
+            match (&attr.kind, value) {
+                (AttributeKind::Numerical, UncertainValue::Numeric(_)) => {}
+                (AttributeKind::Categorical { cardinality }, UncertainValue::Categorical(d)) => {
+                    if d.cardinality() != *cardinality {
+                        return Err(DataError::CategoryOutOfRange {
+                            attribute: j,
+                            cardinality: *cardinality,
+                        });
+                    }
+                }
+                _ => {
+                    return Err(DataError::KindMismatch {
+                        attribute: j,
+                        name: attr.name.clone(),
+                    });
+                }
+            }
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Builds a data set from parts, validating every tuple.
+    pub fn from_tuples(
+        schema: Schema,
+        class_names: Vec<String>,
+        tuples: Vec<Tuple>,
+    ) -> Result<Self> {
+        let mut ds = Dataset::new(schema, class_names);
+        for t in tuples {
+            ds.push(t)?;
+        }
+        Ok(ds)
+    }
+
+    /// Per-class tuple counts.
+    pub fn class_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.n_classes()];
+        for t in &self.tuples {
+            counts[t.label()] += 1;
+        }
+        counts
+    }
+
+    /// The range `(min, max)` of attribute `j`'s expected values over the
+    /// whole data set — the `|A_j|` quantity of §4.3 used to scale the
+    /// uncertainty width. Returns an error for empty data sets or
+    /// categorical attributes.
+    pub fn attribute_range(&self, j: usize) -> Result<(f64, f64)> {
+        if self.tuples.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        let attr = self.schema.attribute(j).ok_or(DataError::KindMismatch {
+            attribute: j,
+            name: format!("A{j}"),
+        })?;
+        if !attr.kind.is_numerical() {
+            return Err(DataError::KindMismatch {
+                attribute: j,
+                name: attr.name.clone(),
+            });
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for t in &self.tuples {
+            let v = t.value(j).expected();
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        Ok((lo, hi))
+    }
+
+    /// Width of attribute `j`'s range (`|A_j|`), zero for constant
+    /// attributes.
+    pub fn attribute_width(&self, j: usize) -> Result<f64> {
+        let (lo, hi) = self.attribute_range(j)?;
+        Ok(hi - lo)
+    }
+
+    /// The Averaging projection of the data set: every value replaced by
+    /// its summary statistic (§4.1). The schema and labels are unchanged.
+    pub fn to_averaged(&self) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            class_names: self.class_names.clone(),
+            tuples: self.tuples.iter().map(|t| t.to_averaged()).collect(),
+        }
+    }
+
+    /// A new data set with the same schema/classes containing only the
+    /// tuples at `indices` (cloned, in the given order).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        Dataset {
+            schema: self.schema.clone(),
+            class_names: self.class_names.clone(),
+            tuples: indices.iter().map(|&i| self.tuples[i].clone()).collect(),
+        }
+    }
+
+    /// Total number of pdf sample points across the whole data set — the
+    /// `m·s` information-explosion factor of §4.2.
+    pub fn total_samples(&self) -> usize {
+        self.tuples.iter().map(|t| t.total_samples()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::Attribute;
+    use udt_prob::{DiscreteDist, SampledPdf};
+
+    fn two_class_dataset() -> Dataset {
+        let mut ds = Dataset::numerical(2, 2);
+        ds.push(Tuple::from_points(&[0.0, 10.0], 0)).unwrap();
+        ds.push(Tuple::from_points(&[2.0, 30.0], 1)).unwrap();
+        ds.push(Tuple::from_points(&[4.0, 20.0], 0)).unwrap();
+        ds
+    }
+
+    #[test]
+    fn push_validates_arity_label_and_kind() {
+        let mut ds = Dataset::numerical(2, 2);
+        assert!(matches!(
+            ds.push(Tuple::from_points(&[1.0], 0)),
+            Err(DataError::ArityMismatch { expected: 2, found: 1 })
+        ));
+        assert!(matches!(
+            ds.push(Tuple::from_points(&[1.0, 2.0], 5)),
+            Err(DataError::LabelOutOfRange { label: 5, classes: 2 })
+        ));
+        let bad_kind = Tuple::new(
+            vec![UncertainValue::point(1.0), UncertainValue::category(0, 3)],
+            0,
+        );
+        assert!(matches!(
+            ds.push(bad_kind),
+            Err(DataError::KindMismatch { attribute: 1, .. })
+        ));
+        assert!(ds.push(Tuple::from_points(&[1.0, 2.0], 1)).is_ok());
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn categorical_cardinality_is_checked() {
+        let schema = Schema::new(vec![Attribute::categorical("colour", 3)]);
+        let mut ds = Dataset::new(schema, vec!["a".into(), "b".into()]);
+        let wrong = Tuple::new(vec![UncertainValue::category(0, 4)], 0);
+        assert!(matches!(
+            ds.push(wrong),
+            Err(DataError::CategoryOutOfRange { attribute: 0, cardinality: 3 })
+        ));
+        let ok = Tuple::new(
+            vec![UncertainValue::Categorical(
+                DiscreteDist::new(vec![0.2, 0.3, 0.5]).unwrap(),
+            )],
+            1,
+        );
+        assert!(ds.push(ok).is_ok());
+    }
+
+    #[test]
+    fn ranges_and_counts() {
+        let ds = two_class_dataset();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_attributes(), 2);
+        assert_eq!(ds.n_classes(), 2);
+        assert_eq!(ds.class_counts(), vec![2, 1]);
+        assert_eq!(ds.attribute_range(0).unwrap(), (0.0, 4.0));
+        assert_eq!(ds.attribute_width(1).unwrap(), 20.0);
+        assert!(ds.attribute_range(7).is_err());
+        assert!(Dataset::numerical(2, 2).attribute_range(0).is_err());
+    }
+
+    #[test]
+    fn subset_selects_by_index() {
+        let ds = two_class_dataset();
+        let sub = ds.subset(&[2, 0]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.tuple(0).value(0).expected(), 4.0);
+        assert_eq!(sub.tuple(1).value(0).expected(), 0.0);
+        assert_eq!(sub.schema(), ds.schema());
+    }
+
+    #[test]
+    fn averaging_projection_reduces_sample_counts() {
+        let mut ds = Dataset::numerical(1, 2);
+        let pdf = SampledPdf::new(vec![0.0, 1.0, 2.0], vec![1.0, 1.0, 2.0]).unwrap();
+        ds.push(Tuple::new(vec![UncertainValue::Numeric(pdf)], 0))
+            .unwrap();
+        assert_eq!(ds.total_samples(), 3);
+        let avg = ds.to_averaged();
+        assert_eq!(avg.total_samples(), 1);
+        assert!((avg.tuple(0).value(0).expected() - 1.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,216 @@
+//! Missing-value handling (§2 of the paper).
+//!
+//! The paper notes that its framework subsumes classical missing-value
+//! handling: "we can take the average of the pdf of the attribute in
+//! question over the tuples where the value is present. The result is a
+//! pdf, which can be used as a 'guess' distribution of the attribute's
+//! value in the missing tuples." This module implements that fill-in:
+//! missing numerical values become the mixture of the observed pdfs,
+//! missing categorical values become the observed category distribution.
+
+use udt_prob::{DiscreteDist, SampledPdf};
+
+use crate::attribute::AttributeKind;
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::tuple::Tuple;
+use crate::value::UncertainValue;
+use crate::Result;
+
+/// A data set in which some attribute values may be absent.
+///
+/// `values[i][j]` is `None` when tuple `i` is missing attribute `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IncompleteDataset {
+    schema: crate::attribute::Schema,
+    class_names: Vec<String>,
+    rows: Vec<(Vec<Option<UncertainValue>>, usize)>,
+}
+
+impl IncompleteDataset {
+    /// Creates an empty incomplete data set.
+    pub fn new(schema: crate::attribute::Schema, class_names: Vec<String>) -> Self {
+        IncompleteDataset {
+            schema,
+            class_names,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (no validation beyond arity).
+    pub fn push(&mut self, values: Vec<Option<UncertainValue>>, label: usize) -> Result<()> {
+        if values.len() != self.schema.len() {
+            return Err(DataError::ArityMismatch {
+                expected: self.schema.len(),
+                found: values.len(),
+            });
+        }
+        if label >= self.class_names.len() {
+            return Err(DataError::LabelOutOfRange {
+                label,
+                classes: self.class_names.len(),
+            });
+        }
+        self.rows.push((values, label));
+        Ok(())
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the data set has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of missing cells across the whole data set.
+    pub fn missing_cells(&self) -> usize {
+        self.rows
+            .iter()
+            .map(|(values, _)| values.iter().filter(|v| v.is_none()).count())
+            .sum()
+    }
+
+    /// Fills every missing value with the paper's "guess" distribution —
+    /// the average of the observed pdfs of that attribute — and returns a
+    /// complete [`Dataset`]. Fails if some attribute has no observed value
+    /// at all.
+    pub fn fill_in(&self) -> Result<Dataset> {
+        if self.rows.is_empty() {
+            return Err(DataError::EmptyDataset);
+        }
+        // Build one guess value per attribute.
+        let mut guesses: Vec<UncertainValue> = Vec::with_capacity(self.schema.len());
+        for j in 0..self.schema.len() {
+            let attr = self.schema.attribute(j).expect("index in range");
+            let observed: Vec<&UncertainValue> = self
+                .rows
+                .iter()
+                .filter_map(|(values, _)| values[j].as_ref())
+                .collect();
+            if observed.is_empty() {
+                return Err(DataError::InvalidParameter {
+                    name: "attribute with no observed values",
+                    value: j as f64,
+                });
+            }
+            let guess = match attr.kind {
+                AttributeKind::Numerical => {
+                    let parts: Vec<(f64, &SampledPdf)> = observed
+                        .iter()
+                        .filter_map(|v| v.as_numeric().map(|p| (1.0, p)))
+                        .collect();
+                    UncertainValue::Numeric(SampledPdf::mixture(&parts)?)
+                }
+                AttributeKind::Categorical { cardinality } => {
+                    let mut weights = vec![0.0; cardinality];
+                    for v in &observed {
+                        if let Some(d) = v.as_categorical() {
+                            for (c, w) in weights.iter_mut().enumerate() {
+                                *w += d.prob(c);
+                            }
+                        }
+                    }
+                    UncertainValue::Categorical(DiscreteDist::new(weights)?)
+                }
+            };
+            guesses.push(guess);
+        }
+
+        let mut out = Dataset::new(self.schema.clone(), self.class_names.clone());
+        for (values, label) in &self.rows {
+            let filled: Vec<UncertainValue> = values
+                .iter()
+                .enumerate()
+                .map(|(j, v)| v.clone().unwrap_or_else(|| guesses[j].clone()))
+                .collect();
+            out.push(Tuple::new(filled, *label))?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attribute::{Attribute, Schema};
+
+    fn incomplete() -> IncompleteDataset {
+        let schema = Schema::new(vec![
+            Attribute::numerical("x"),
+            Attribute::categorical("colour", 2),
+        ]);
+        let mut ds = IncompleteDataset::new(schema, vec!["a".into(), "b".into()]);
+        ds.push(
+            vec![Some(UncertainValue::point(1.0)), Some(UncertainValue::category(0, 2))],
+            0,
+        )
+        .unwrap();
+        ds.push(
+            vec![Some(UncertainValue::point(3.0)), None],
+            1,
+        )
+        .unwrap();
+        ds.push(
+            vec![None, Some(UncertainValue::category(1, 2))],
+            1,
+        )
+        .unwrap();
+        ds
+    }
+
+    #[test]
+    fn counting_and_validation() {
+        let ds = incomplete();
+        assert_eq!(ds.len(), 3);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.missing_cells(), 2);
+        let mut bad = incomplete();
+        assert!(bad.push(vec![None], 0).is_err());
+        assert!(bad
+            .push(vec![None, Some(UncertainValue::category(0, 2))], 9)
+            .is_err());
+    }
+
+    #[test]
+    fn fill_in_uses_the_average_observed_distribution() {
+        let filled = incomplete().fill_in().unwrap();
+        assert_eq!(filled.len(), 3);
+        // The missing numerical cell of row 3 becomes the mixture of the
+        // observed values 1.0 and 3.0 — mean 2.0, two sample points.
+        let guess = filled.tuple(2).value(0).as_numeric().unwrap();
+        assert_eq!(guess.len(), 2);
+        assert!((guess.mean() - 2.0).abs() < 1e-12);
+        // The missing categorical cell of row 2 becomes the observed 50/50
+        // category distribution.
+        let cat = filled.tuple(1).value(1).as_categorical().unwrap();
+        assert!((cat.prob(0) - 0.5).abs() < 1e-12);
+        assert!((cat.prob(1) - 0.5).abs() < 1e-12);
+        // Observed values are untouched.
+        assert_eq!(filled.tuple(0).value(0).expected(), 1.0);
+    }
+
+    #[test]
+    fn fill_in_requires_at_least_one_observation_per_attribute() {
+        let schema = Schema::new(vec![Attribute::numerical("x")]);
+        let mut ds = IncompleteDataset::new(schema, vec!["a".into()]);
+        ds.push(vec![None], 0).unwrap();
+        assert!(ds.fill_in().is_err());
+        let empty = IncompleteDataset::new(
+            Schema::new(vec![Attribute::numerical("x")]),
+            vec!["a".into()],
+        );
+        assert!(empty.fill_in().is_err());
+    }
+
+    #[test]
+    fn filled_dataset_is_trainable_downstream() {
+        // The filled data set passes the normal Dataset validation, so it
+        // can feed the tree builder directly.
+        let filled = incomplete().fill_in().unwrap();
+        assert_eq!(filled.n_attributes(), 2);
+        assert_eq!(filled.class_counts(), vec![1, 2]);
+    }
+}

@@ -1,0 +1,56 @@
+//! Gaussian sampling helper.
+//!
+//! The allowed dependency set includes `rand` but not `rand_distr`, so the
+//! standard-normal sampler needed by the noise-perturbation (§4.4) and the
+//! synthetic data generators is implemented here with the Box–Muller
+//! transform.
+
+use rand::Rng;
+
+/// Draws one standard-normal variate using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] to avoid ln(0).
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use udt_prob::stats::Summary;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let s = Summary::of(&samples);
+        assert!(s.mean.abs() < 0.03, "mean {}", s.mean);
+        assert!((s.std_dev() - 1.0).abs() < 0.03, "sd {}", s.std_dev());
+    }
+
+    #[test]
+    fn scaled_normal_moments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 10.0, 3.0)).collect();
+        let s = Summary::of(&samples);
+        assert!((s.mean - 10.0).abs() < 0.1);
+        assert!((s.std_dev() - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(3);
+        let mut b = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

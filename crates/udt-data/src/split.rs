@@ -1,0 +1,174 @@
+//! Train/test splits and k-fold cross validation.
+//!
+//! The paper's accuracy experiments (§4.3) use the data sets' provided
+//! train/test partition when one exists and 10-fold cross validation
+//! otherwise. Both are provided here with deterministic, seedable
+//! shuffling so that experiments are reproducible.
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+
+/// A train/test pair of datasets.
+#[derive(Debug, Clone)]
+pub struct TrainTest {
+    /// The training partition.
+    pub train: Dataset,
+    /// The testing partition.
+    pub test: Dataset,
+}
+
+/// Splits `data` into a training part containing `train_fraction` of the
+/// tuples and a test part containing the rest, after a seeded shuffle.
+///
+/// `train_fraction` must lie strictly between 0 and 1 and both partitions
+/// must be non-empty.
+pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> Result<TrainTest> {
+    if !(0.0 < train_fraction && train_fraction < 1.0) {
+        return Err(DataError::InvalidParameter {
+            name: "train_fraction",
+            value: train_fraction,
+        });
+    }
+    if data.len() < 2 {
+        return Err(DataError::EmptyDataset);
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+    let n_train = ((data.len() as f64 * train_fraction).round() as usize)
+        .clamp(1, data.len() - 1);
+    let (train_idx, test_idx) = indices.split_at(n_train);
+    Ok(TrainTest {
+        train: data.subset(train_idx),
+        test: data.subset(test_idx),
+    })
+}
+
+/// Produces `k` cross-validation folds: each fold is a (train, test) pair
+/// where the test part is one of `k` roughly equal shares of a seeded
+/// shuffle and the train part is everything else.
+///
+/// Requires `2 <= k <= data.len()`.
+pub fn k_folds(data: &Dataset, k: usize, seed: u64) -> Result<Vec<TrainTest>> {
+    if k < 2 {
+        return Err(DataError::InvalidParameter {
+            name: "k",
+            value: k as f64,
+        });
+    }
+    if data.len() < k {
+        return Err(DataError::InvalidParameter {
+            name: "k (exceeds tuple count)",
+            value: k as f64,
+        });
+    }
+    let mut indices: Vec<usize> = (0..data.len()).collect();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    indices.shuffle(&mut rng);
+
+    // Distribute the remainder one extra tuple per leading fold so fold
+    // sizes differ by at most one.
+    let base = data.len() / k;
+    let extra = data.len() % k;
+    let mut folds = Vec::with_capacity(k);
+    let mut start = 0;
+    for fold in 0..k {
+        let size = base + usize::from(fold < extra);
+        let test_idx: Vec<usize> = indices[start..start + size].to_vec();
+        let train_idx: Vec<usize> = indices[..start]
+            .iter()
+            .chain(indices[start + size..].iter())
+            .copied()
+            .collect();
+        folds.push(TrainTest {
+            train: data.subset(&train_idx),
+            test: data.subset(&test_idx),
+        });
+        start += size;
+    }
+    Ok(folds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::Tuple;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::numerical(1, 2);
+        for i in 0..n {
+            ds.push(Tuple::from_points(&[i as f64], i % 2)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn train_test_split_partitions_all_tuples() {
+        let ds = dataset(20);
+        let tt = train_test_split(&ds, 0.7, 42).unwrap();
+        assert_eq!(tt.train.len(), 14);
+        assert_eq!(tt.test.len(), 6);
+        // No tuple lost or duplicated: the multiset of attribute values is
+        // preserved.
+        let mut values: Vec<f64> = tt
+            .train
+            .tuples()
+            .iter()
+            .chain(tt.test.tuples())
+            .map(|t| t.value(0).expected())
+            .collect();
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        assert_eq!(values, expected);
+    }
+
+    #[test]
+    fn train_test_split_is_deterministic_per_seed() {
+        let ds = dataset(30);
+        let a = train_test_split(&ds, 0.5, 7).unwrap();
+        let b = train_test_split(&ds, 0.5, 7).unwrap();
+        assert_eq!(a.train, b.train);
+        let c = train_test_split(&ds, 0.5, 8).unwrap();
+        assert_ne!(a.train, c.train);
+    }
+
+    #[test]
+    fn train_test_split_rejects_bad_parameters() {
+        let ds = dataset(10);
+        assert!(train_test_split(&ds, 0.0, 1).is_err());
+        assert!(train_test_split(&ds, 1.0, 1).is_err());
+        assert!(train_test_split(&dataset(1), 0.5, 1).is_err());
+    }
+
+    #[test]
+    fn k_folds_cover_every_tuple_exactly_once_as_test() {
+        let ds = dataset(23);
+        let folds = k_folds(&ds, 10, 3).unwrap();
+        assert_eq!(folds.len(), 10);
+        let mut test_values: Vec<f64> = folds
+            .iter()
+            .flat_map(|f| f.test.tuples().iter().map(|t| t.value(0).expected()))
+            .collect();
+        test_values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let expected: Vec<f64> = (0..23).map(|i| i as f64).collect();
+        assert_eq!(test_values, expected);
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 23);
+            // Fold sizes differ by at most one.
+            assert!(f.test.len() == 2 || f.test.len() == 3);
+        }
+    }
+
+    #[test]
+    fn k_folds_rejects_bad_parameters() {
+        let ds = dataset(5);
+        assert!(k_folds(&ds, 1, 0).is_err());
+        assert!(k_folds(&ds, 6, 0).is_err());
+        assert!(k_folds(&ds, 5, 0).is_ok());
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates the §7.4 ablation: entropy vs Gini vs gain ratio, for AVG
+//! and UDT-GP, on every selected data set.
+
+use std::path::Path;
+
+use udt_eval::experiments::ablation;
+use udt_eval::experiments::settings::Settings;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!(
+        "running the dispersion-measure ablation at scale {}…",
+        settings.scale
+    );
+    let rows = ablation::run(&settings).expect("ablation experiment");
+    println!("{}", ablation::render(&rows));
+    match write_json(Path::new("results/ablation_measures.json"), &rows) {
+        Ok(_) => println!("(results written to results/ablation_measures.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates Fig. 4 (controlled noise / error-model experiment) on the
+//! "Segment"-shaped data set (override with `UDT_FIG4_DATASET`).
+
+use std::path::Path;
+
+use udt_eval::experiments::fig4;
+use udt_eval::experiments::settings::Settings;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    let dataset = std::env::var("UDT_FIG4_DATASET").unwrap_or_else(|_| "Segment".to_string());
+    eprintln!("running Fig. 4 on {dataset} at scale {}…", settings.scale);
+    let result = fig4::run(&settings, &dataset).expect("fig 4 experiment");
+    println!("{}", fig4::render(&result));
+    match write_json(Path::new("results/fig4_noise_model.json"), &result) {
+        Ok(_) => println!("(results written to results/fig4_noise_model.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

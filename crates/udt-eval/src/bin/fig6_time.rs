@@ -1,0 +1,22 @@
+//! Regenerates Fig. 6 (execution time of AVG, UDT, UDT-BP, UDT-LP, UDT-GP,
+//! UDT-ES on every data set at the baseline uncertainty setting).
+
+use std::path::Path;
+
+use udt_eval::experiments::efficiency;
+use udt_eval::experiments::settings::Settings;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!(
+        "running Fig. 6 at scale {} with s = {}…",
+        settings.scale, settings.s
+    );
+    let rows = efficiency::run(&settings, &[]).expect("fig 6 experiment");
+    println!("{}", efficiency::render_time(&rows));
+    match write_json(Path::new("results/fig6_time.json"), &rows) {
+        Ok(_) => println!("(results written to results/fig6_time.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 7 (pruning effectiveness: entropy-like calculations per
+//! algorithm, as a fraction of exhaustive UDT).
+
+use std::path::Path;
+
+use udt_eval::experiments::efficiency;
+use udt_eval::experiments::settings::Settings;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!(
+        "running Fig. 7 at scale {} with s = {}…",
+        settings.scale, settings.s
+    );
+    let rows = efficiency::run(&settings, &[]).expect("fig 7 experiment");
+    println!("{}", efficiency::render_pruning(&rows));
+    match write_json(Path::new("results/fig7_pruning.json"), &rows) {
+        Ok(_) => println!("(results written to results/fig7_pruning.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

@@ -1,0 +1,22 @@
+//! Regenerates Fig. 8 (effect of the number of sample points per pdf, `s`,
+//! on UDT-ES construction time).
+
+use std::path::Path;
+
+use udt_eval::experiments::settings::Settings;
+use udt_eval::experiments::sweeps;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!("running Fig. 8 at scale {}…", settings.scale);
+    let rows = sweeps::sweep_s(&settings, &[]).expect("fig 8 experiment");
+    println!(
+        "{}",
+        sweeps::render("Fig. 8: effect of s on UDT-ES", "s", &rows)
+    );
+    match write_json(Path::new("results/fig8_effect_s.json"), &rows) {
+        Ok(_) => println!("(results written to results/fig8_effect_s.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

@@ -1,0 +1,25 @@
+//! Regenerates Fig. 9 (effect of the pdf width `w` on UDT-ES construction
+//! time).
+
+use std::path::Path;
+
+use udt_eval::experiments::settings::Settings;
+use udt_eval::experiments::sweeps;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!(
+        "running Fig. 9 at scale {} with s = {}…",
+        settings.scale, settings.s
+    );
+    let rows = sweeps::sweep_w(&settings, &[]).expect("fig 9 experiment");
+    println!(
+        "{}",
+        sweeps::render("Fig. 9: effect of w on UDT-ES", "w", &rows)
+    );
+    match write_json(Path::new("results/fig9_effect_w.json"), &rows) {
+        Ok(_) => println!("(results written to results/fig9_effect_w.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

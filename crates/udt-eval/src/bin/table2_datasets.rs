@@ -1,0 +1,17 @@
+//! Regenerates Table 2 (the data-set inventory). See `EXPERIMENTS.md`.
+
+use std::path::Path;
+
+use udt_eval::experiments::settings::Settings;
+use udt_eval::experiments::table2;
+use udt_eval::report::write_json;
+
+fn main() {
+    let settings = Settings::from_env();
+    let rows = table2::run(&settings).expect("table 2 inventory");
+    println!("{}", table2::render(&rows));
+    match write_json(Path::new("results/table2_datasets.json"), &rows) {
+        Ok(_) => println!("(results written to results/table2_datasets.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

@@ -1,0 +1,46 @@
+//! Regenerates Table 3 (accuracy of AVG vs the distribution-based tree).
+//! Scale knobs come from `UDT_SCALE`, `UDT_S`, `UDT_FOLDS`, `UDT_DATASETS`;
+//! see `EXPERIMENTS.md`.
+
+use std::path::Path;
+
+use udt_eval::experiments::settings::Settings;
+use udt_eval::experiments::table3;
+use udt_eval::report::{pct, render_table, write_json};
+
+fn main() {
+    let settings = Settings::from_env();
+    eprintln!(
+        "running Table 3 at scale {} with s = {} ({} folds)…",
+        settings.scale, settings.s, settings.folds
+    );
+    let rows = table3::run(&settings).expect("table 3 experiment");
+    println!("{}", table3::render(&rows));
+
+    let summary = table3::summarise(&rows);
+    println!(
+        "{}",
+        render_table(
+            "Table 3 summary (baseline w = 10% Gaussian vs best over sweep)",
+            &["data set", "AVG", "UDT", "UDT (best)"],
+            &summary
+                .iter()
+                .map(|s| vec![
+                    s.dataset.clone(),
+                    pct(s.avg_accuracy),
+                    pct(s.udt_accuracy),
+                    pct(s.udt_best_accuracy),
+                ])
+                .collect::<Vec<_>>(),
+        )
+    );
+    let wins = rows.iter().filter(|r| r.udt_wins()).count();
+    println!(
+        "distribution-based tree wins on {wins}/{} (data set, model, w) configurations",
+        rows.len()
+    );
+    match write_json(Path::new("results/table3_accuracy.json"), &rows) {
+        Ok(_) => println!("(results written to results/table3_accuracy.json)"),
+        Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+}

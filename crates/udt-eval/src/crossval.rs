@@ -1,0 +1,161 @@
+//! Cross-validated accuracy.
+//!
+//! The paper (§4.3) uses the data sets' provided train/test split when one
+//! exists and 10-fold cross validation otherwise. [`cross_validate`] runs
+//! the folds (optionally in parallel with scoped threads) and aggregates
+//! accuracy, tree statistics and split-search counters.
+
+use serde::{Deserialize, Serialize};
+use udt_data::split::k_folds;
+use udt_data::Dataset;
+use udt_tree::{SearchStats, TreeBuilder, UdtConfig};
+
+use crate::accuracy::{evaluate, EvalResult};
+
+/// Aggregated result of a cross-validation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossValResult {
+    /// Number of folds run.
+    pub folds: usize,
+    /// Per-fold accuracies.
+    pub fold_accuracies: Vec<f64>,
+    /// Pooled evaluation over all folds.
+    pub pooled: EvalResult,
+    /// Summed split-search statistics over all folds.
+    pub stats: SearchStats,
+    /// Total wall-clock seconds spent building trees (excludes evaluation).
+    pub build_seconds: f64,
+    /// Mean tree size over the folds.
+    pub mean_tree_size: f64,
+}
+
+impl CrossValResult {
+    /// Mean of the per-fold accuracies.
+    pub fn mean_accuracy(&self) -> f64 {
+        if self.fold_accuracies.is_empty() {
+            return 0.0;
+        }
+        self.fold_accuracies.iter().sum::<f64>() / self.fold_accuracies.len() as f64
+    }
+}
+
+/// Runs `k`-fold cross validation of `config` on `data`.
+///
+/// `parallel` runs folds on scoped worker threads (one per fold, capped by
+/// the number of folds); results are identical to the sequential path
+/// because each fold is fully independent and seeded by the fold index.
+pub fn cross_validate(
+    data: &Dataset,
+    config: &UdtConfig,
+    k: usize,
+    seed: u64,
+    parallel: bool,
+) -> udt_data::Result<CrossValResult> {
+    let folds = k_folds(data, k, seed)?;
+    let n_classes = data.n_classes();
+    let run_fold = |fold: &udt_data::split::TrainTest| -> (EvalResult, SearchStats, f64, usize) {
+        let report = TreeBuilder::new(config.clone())
+            .build(&fold.train)
+            .expect("fold training sets are non-empty by construction");
+        let eval = evaluate(&report.tree, &fold.test);
+        (
+            eval,
+            report.stats,
+            report.elapsed.as_secs_f64(),
+            report.tree.size(),
+        )
+    };
+
+    let fold_outputs: Vec<(EvalResult, SearchStats, f64, usize)> = if parallel {
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = folds
+                .iter()
+                .map(|fold| scope.spawn(move |_| run_fold(fold)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fold worker does not panic"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    } else {
+        folds.iter().map(run_fold).collect()
+    };
+
+    let mut pooled = EvalResult {
+        n: 0,
+        correct: 0,
+        confusion: vec![vec![0; n_classes]; n_classes],
+    };
+    let mut stats = SearchStats::default();
+    let mut build_seconds = 0.0;
+    let mut fold_accuracies = Vec::with_capacity(fold_outputs.len());
+    let mut total_size = 0usize;
+    for (eval, fold_stats, seconds, size) in &fold_outputs {
+        fold_accuracies.push(eval.accuracy());
+        pooled.merge(eval);
+        stats.merge(fold_stats);
+        build_seconds += seconds;
+        total_size += size;
+    }
+    Ok(CrossValResult {
+        folds: fold_outputs.len(),
+        fold_accuracies,
+        pooled,
+        stats,
+        build_seconds,
+        mean_tree_size: total_size as f64 / fold_outputs.len().max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::Tuple;
+    use udt_tree::Algorithm;
+
+    fn dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::numerical(2, 2);
+        for i in 0..n {
+            let class = i % 2;
+            let x = class as f64 * 8.0 + (i % 5) as f64 * 0.2;
+            let y = (i % 7) as f64;
+            ds.push(Tuple::from_points(&[x, y], class)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn cross_validation_covers_every_tuple_once() {
+        let ds = dataset(50);
+        let cv = cross_validate(&ds, &UdtConfig::new(Algorithm::UdtEs), 5, 7, false).unwrap();
+        assert_eq!(cv.folds, 5);
+        assert_eq!(cv.pooled.n, 50);
+        assert_eq!(cv.fold_accuracies.len(), 5);
+        // Separable data: near-perfect held-out accuracy.
+        assert!(cv.mean_accuracy() > 0.9, "accuracy {}", cv.mean_accuracy());
+        assert!(cv.mean_tree_size >= 3.0);
+        assert!(cv.stats.nodes_searched >= 5);
+    }
+
+    #[test]
+    fn parallel_and_sequential_agree() {
+        let ds = dataset(40);
+        let config = UdtConfig::new(Algorithm::UdtGp);
+        let seq = cross_validate(&ds, &config, 4, 11, false).unwrap();
+        let par = cross_validate(&ds, &config, 4, 11, true).unwrap();
+        assert_eq!(seq.fold_accuracies, par.fold_accuracies);
+        assert_eq!(seq.pooled, par.pooled);
+        assert_eq!(
+            seq.stats.entropy_like_calculations(),
+            par.stats.entropy_like_calculations()
+        );
+    }
+
+    #[test]
+    fn invalid_fold_counts_are_rejected() {
+        let ds = dataset(10);
+        assert!(cross_validate(&ds, &UdtConfig::new(Algorithm::Avg), 1, 0, false).is_err());
+        assert!(cross_validate(&ds, &UdtConfig::new(Algorithm::Avg), 11, 0, false).is_err());
+    }
+}

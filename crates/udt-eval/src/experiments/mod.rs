@@ -1,0 +1,22 @@
+//! Experiment definitions, one module per paper table/figure.
+//!
+//! | Module | Reproduces |
+//! |---|---|
+//! | [`table2`] | Table 2 — data-set inventory |
+//! | [`table3`] | Table 3 — accuracy of AVG vs the distribution-based tree |
+//! | [`fig4`] | Fig. 4 — controlled-noise / error-model experiment |
+//! | [`efficiency`] | Fig. 6 (execution time) and Fig. 7 (pruning effectiveness) |
+//! | [`sweeps`] | Fig. 8 (effect of `s`) and Fig. 9 (effect of `w`) on UDT-ES |
+//! | [`ablation`] | §7.4 — dispersion-measure ablation (entropy / Gini / gain ratio) |
+//!
+//! Every experiment takes a [`settings::Settings`] value so that the same
+//! code path serves the fast configuration used by the test-suite and the
+//! larger configuration used by the binaries (see `EXPERIMENTS.md`).
+
+pub mod ablation;
+pub mod efficiency;
+pub mod fig4;
+pub mod settings;
+pub mod sweeps;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,145 @@
+//! Shared experiment settings.
+//!
+//! The paper's experiments run the ten UCI-shaped data sets at full size
+//! with `s = 100` sample points per pdf. That is reproducible here (set
+//! `scale = 1.0`), but the default settings are scaled down so that the
+//! whole suite — including the exhaustive UDT baseline — finishes in
+//! minutes on a laptop. The binaries read overrides from environment
+//! variables so no code change is needed to run at full size:
+//!
+//! * `UDT_SCALE`  — fraction of each data set's published tuple count (default 0.05)
+//! * `UDT_S`      — sample points per pdf (default 50)
+//! * `UDT_FOLDS`  — cross-validation folds (default 5)
+//! * `UDT_SEED`   — base RNG seed (default 42)
+//! * `UDT_DATASETS` — comma-separated data-set names (default: all ten)
+
+use serde::{Deserialize, Serialize};
+
+/// Scaling knobs shared by all experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Settings {
+    /// Fraction of each data set's published tuple count to generate.
+    pub scale: f64,
+    /// Sample points per pdf (`s`).
+    pub s: usize,
+    /// Cross-validation folds.
+    pub folds: usize,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Restrict the experiments to these data sets (empty = all).
+    pub datasets: Vec<String>,
+}
+
+impl Settings {
+    /// The default laptop-scale settings used by the binaries.
+    pub fn laptop() -> Self {
+        Settings {
+            scale: 0.05,
+            s: 50,
+            folds: 5,
+            seed: 42,
+            datasets: Vec::new(),
+        }
+    }
+
+    /// A very small configuration used by the integration tests (seconds,
+    /// not minutes).
+    pub fn smoke() -> Self {
+        Settings {
+            scale: 0.02,
+            s: 16,
+            folds: 3,
+            seed: 42,
+            datasets: vec!["Iris".to_string(), "Glass".to_string()],
+        }
+    }
+
+    /// Reads overrides from the environment on top of
+    /// [`laptop`](Self::laptop) defaults.
+    pub fn from_env() -> Self {
+        let mut s = Settings::laptop();
+        if let Some(v) = read_env_f64("UDT_SCALE") {
+            s.scale = v;
+        }
+        if let Some(v) = read_env_usize("UDT_S") {
+            s.s = v;
+        }
+        if let Some(v) = read_env_usize("UDT_FOLDS") {
+            s.folds = v;
+        }
+        if let Some(v) = read_env_u64("UDT_SEED") {
+            s.seed = v;
+        }
+        if let Ok(names) = std::env::var("UDT_DATASETS") {
+            s.datasets = names
+                .split(',')
+                .map(|n| n.trim().to_string())
+                .filter(|n| !n.is_empty())
+                .collect();
+        }
+        s
+    }
+
+    /// Whether a data set is selected by this configuration.
+    pub fn includes(&self, name: &str) -> bool {
+        self.datasets.is_empty()
+            || self
+                .datasets
+                .iter()
+                .any(|d| d.eq_ignore_ascii_case(name))
+    }
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Settings::laptop()
+    }
+}
+
+fn read_env_f64(name: &str) -> Option<f64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn read_env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+fn read_env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_laptop_scale() {
+        let s = Settings::default();
+        assert_eq!(s, Settings::laptop());
+        assert!(s.scale <= 0.1);
+        assert!(s.includes("Iris"));
+        assert!(s.includes("anything"));
+    }
+
+    #[test]
+    fn smoke_settings_restrict_datasets() {
+        let s = Settings::smoke();
+        assert!(s.includes("Iris"));
+        assert!(s.includes("iris"));
+        assert!(!s.includes("PenDigits"));
+        assert!(s.scale < Settings::laptop().scale + 1e-12);
+    }
+
+    #[test]
+    fn env_parsing_helpers_reject_garbage() {
+        assert_eq!(read_env_f64("UDT_NO_SUCH_VARIABLE_12345"), None);
+        std::env::set_var("UDT_EVAL_TEST_GARBAGE", "not-a-number");
+        assert_eq!(read_env_f64("UDT_EVAL_TEST_GARBAGE"), None);
+        assert_eq!(read_env_usize("UDT_EVAL_TEST_GARBAGE"), None);
+        std::env::set_var("UDT_EVAL_TEST_NUMBER", "7");
+        assert_eq!(read_env_usize("UDT_EVAL_TEST_NUMBER"), Some(7));
+        assert_eq!(read_env_u64("UDT_EVAL_TEST_NUMBER"), Some(7));
+        std::env::remove_var("UDT_EVAL_TEST_GARBAGE");
+        std::env::remove_var("UDT_EVAL_TEST_NUMBER");
+    }
+}

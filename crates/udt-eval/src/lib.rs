@@ -1,0 +1,26 @@
+//! # udt-eval — evaluation harness for the UDT reproduction
+//!
+//! This crate turns the building blocks of `udt-prob`, `udt-data` and
+//! `udt-tree` into the experiments reported in the paper:
+//!
+//! * [`accuracy`] — accuracy metrics and confusion matrices;
+//! * [`crossval`] — k-fold cross-validated accuracy of a configuration;
+//! * [`experiments`] — one module per paper table/figure, each producing a
+//!   serialisable result structure and a plain-text table;
+//! * [`report`] — text-table rendering shared by the experiment binaries.
+//!
+//! Every experiment is available both as a library function (used by the
+//! integration tests) and as a binary under `src/bin/` (used to regenerate
+//! the paper's tables and figures; see `EXPERIMENTS.md` at the workspace
+//! root).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod accuracy;
+pub mod crossval;
+pub mod experiments;
+pub mod report;
+
+pub use accuracy::{evaluate, EvalResult};
+pub use crossval::{cross_validate, CrossValResult};

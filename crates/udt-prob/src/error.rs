@@ -1,0 +1,81 @@
+//! Error types for the probability substrate.
+
+/// Errors produced while constructing or manipulating probability objects.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum ProbError {
+    /// A pdf was constructed with no sample points.
+    #[error("a pdf requires at least one sample point")]
+    EmptyPdf,
+
+    /// Sample points were not strictly increasing.
+    #[error("pdf sample points must be strictly increasing (index {index})")]
+    UnsortedPoints {
+        /// Index of the first offending point.
+        index: usize,
+    },
+
+    /// A probability mass was negative or not finite.
+    #[error("probability mass at index {index} is invalid: {value}")]
+    InvalidMass {
+        /// Index of the offending mass.
+        index: usize,
+        /// The offending value.
+        value: f64,
+    },
+
+    /// The total probability mass was zero or not finite, so the
+    /// distribution cannot be normalised.
+    #[error("total probability mass is not normalisable: {total}")]
+    ZeroMass {
+        /// The total mass encountered.
+        total: f64,
+    },
+
+    /// An interval `[lo, hi]` was supplied with `lo > hi` or non-finite
+    /// bounds.
+    #[error("invalid interval [{lo}, {hi}]")]
+    InvalidInterval {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+
+    /// A model parameter was out of range (e.g. non-positive width or
+    /// standard deviation).
+    #[error("invalid parameter {name}: {value}")]
+    InvalidParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+
+    /// A discrete distribution was built from an empty support.
+    #[error("a discrete distribution requires at least one category")]
+    EmptySupport,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = ProbError::UnsortedPoints { index: 3 };
+        assert!(e.to_string().contains("strictly increasing"));
+        let e = ProbError::InvalidMass {
+            index: 1,
+            value: -0.5,
+        };
+        assert!(e.to_string().contains("-0.5"));
+        let e = ProbError::InvalidInterval { lo: 2.0, hi: 1.0 };
+        assert!(e.to_string().contains("[2, 1]"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(ProbError::EmptyPdf, ProbError::EmptyPdf);
+        assert_ne!(ProbError::EmptyPdf, ProbError::EmptySupport);
+    }
+}

@@ -1,0 +1,161 @@
+//! Histogram-based pdf construction from raw repeated measurements.
+//!
+//! §7.1 of the paper recommends approximating an attribute's pdf by the
+//! histogram of its repeated measurements whenever raw measurements are
+//! available (this is how the "JapaneseVowel" data set is handled in
+//! §4.3). [`Histogram`] bins raw samples into a fixed number of equi-width
+//! bins and exposes the result as a [`SampledPdf`] whose sample points are
+//! the bin centres.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ProbError;
+use crate::pdf::SampledPdf;
+use crate::Result;
+
+/// An equi-width histogram over a set of raw measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<f64>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning the sample
+    /// range. Non-finite samples are ignored.
+    ///
+    /// When all samples are identical the histogram degenerates to a single
+    /// bin centred on that value.
+    pub fn from_samples(samples: &[f64], bins: usize) -> Result<Self> {
+        if bins == 0 {
+            return Err(ProbError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+            });
+        }
+        let finite: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+        if finite.is_empty() {
+            return Err(ProbError::EmptyPdf);
+        }
+        let lo = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo == hi {
+            return Ok(Histogram {
+                lo,
+                hi,
+                counts: vec![finite.len() as f64],
+            });
+        }
+        let mut counts = vec![0.0; bins];
+        let width = hi - lo;
+        for v in finite {
+            let mut idx = ((v - lo) / width * bins as f64) as usize;
+            if idx >= bins {
+                idx = bins - 1;
+            }
+            counts[idx] += 1.0;
+        }
+        Ok(Histogram { lo, hi, counts })
+    }
+
+    /// Lower bound of the histogram domain.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound of the histogram domain.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw (unnormalised) bin counts.
+    pub fn counts(&self) -> &[f64] {
+        &self.counts
+    }
+
+    /// Total number of observations recorded.
+    pub fn total(&self) -> f64 {
+        self.counts.iter().sum()
+    }
+
+    /// Converts the histogram into a [`SampledPdf`] whose sample points are
+    /// the bin centres and whose masses are the normalised bin counts.
+    /// Empty bins are dropped (they carry no probability mass and would
+    /// only slow down split-point search).
+    pub fn to_pdf(&self) -> Result<SampledPdf> {
+        if self.counts.len() == 1 {
+            return SampledPdf::point(self.lo);
+        }
+        let bin_width = (self.hi - self.lo) / self.counts.len() as f64;
+        let mut points = Vec::new();
+        let mut mass = Vec::new();
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c > 0.0 {
+                points.push(self.lo + (i as f64 + 0.5) * bin_width);
+                mass.push(c);
+            }
+        }
+        SampledPdf::new(points, mass)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_samples_into_ranges() {
+        let samples = [0.0, 0.1, 0.2, 0.9, 1.0, 1.9, 2.0];
+        let h = Histogram::from_samples(&samples, 4).unwrap();
+        assert_eq!(h.bins(), 4);
+        assert_eq!(h.total(), 7.0);
+        assert_eq!(h.lo(), 0.0);
+        assert_eq!(h.hi(), 2.0);
+        // Bin width 0.5: [0,0.5) has 3, [0.5,1.0) has 1, [1.0,1.5) has 1,
+        // [1.5,2.0] has 2 (the maximum is clamped into the last bin).
+        assert_eq!(h.counts(), &[3.0, 1.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn histogram_pdf_preserves_total_mass_and_drops_empty_bins() {
+        let samples = [0.0, 0.0, 0.0, 10.0];
+        let h = Histogram::from_samples(&samples, 5).unwrap();
+        let pdf = h.to_pdf().unwrap();
+        // Only the first and last bins are occupied.
+        assert_eq!(pdf.len(), 2);
+        assert!((pdf.mass()[0] - 0.75).abs() < 1e-12);
+        assert!((pdf.mass()[1] - 0.25).abs() < 1e-12);
+        assert!((pdf.mass().iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_samples_collapse_to_point() {
+        let h = Histogram::from_samples(&[4.2, 4.2, 4.2], 10).unwrap();
+        assert_eq!(h.bins(), 1);
+        let pdf = h.to_pdf().unwrap();
+        assert!(pdf.is_point());
+        assert_eq!(pdf.mean(), 4.2);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        assert!(Histogram::from_samples(&[], 4).is_err());
+        assert!(Histogram::from_samples(&[f64::NAN], 4).is_err());
+        assert!(Histogram::from_samples(&[1.0], 0).is_err());
+    }
+
+    #[test]
+    fn histogram_pdf_mean_approximates_sample_mean() {
+        let samples: Vec<f64> = (0..1000).map(|i| (i as f64) / 100.0).collect();
+        let h = Histogram::from_samples(&samples, 50).unwrap();
+        let pdf = h.to_pdf().unwrap();
+        let sample_mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((pdf.mean() - sample_mean).abs() < 0.1);
+    }
+}

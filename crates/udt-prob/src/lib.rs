@@ -1,0 +1,42 @@
+//! # udt-prob — probability substrate for uncertain-data decision trees
+//!
+//! This crate provides the numerical probability machinery required by the
+//! UDT family of algorithms from *"Decision Trees for Uncertain Data"*
+//! (Tsang, Kao, Yip, Ho, Lee — ICDE 2009 / TKDE 2011):
+//!
+//! * [`SampledPdf`] — the paper's numerical pdf representation: `s` sample
+//!   points over a bounded interval `[a, b]`, stored together with a
+//!   cumulative mass array so that interval probabilities reduce to two
+//!   binary searches and a subtraction (§4.2 of the paper).
+//! * [`ErrorModel`] — the Gaussian and uniform error models used to inject
+//!   controlled uncertainty into point-valued data sets (§4.3).
+//! * [`Histogram`] — pdf construction from raw repeated measurements, as
+//!   used for the "JapaneseVowel" data set (§4.3, §7.1).
+//! * [`DiscreteDist`] — discrete distributions for uncertain categorical
+//!   attributes (§7.2).
+//! * [`quantile`] — percentile pseudo-end-points for unbounded pdfs (§7.3).
+//! * [`stats`] — small numeric helpers (erf, mean/variance, confidence
+//!   intervals) shared across the workspace.
+//!
+//! All structures are deterministic and `Send + Sync`; randomness only
+//! enters through explicitly seeded [`rand`] RNGs in the callers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod discrete;
+pub mod error;
+pub mod histogram;
+pub mod model;
+pub mod pdf;
+pub mod quantile;
+pub mod stats;
+
+pub use discrete::DiscreteDist;
+pub use error::ProbError;
+pub use histogram::Histogram;
+pub use model::ErrorModel;
+pub use pdf::SampledPdf;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ProbError>;

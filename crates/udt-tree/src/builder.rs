@@ -1,0 +1,528 @@
+//! Recursive top-down tree construction.
+//!
+//! [`TreeBuilder`] implements the greedy framework shared by AVG and all
+//! the UDT variants (§4.1–4.2): starting from the whole training set, each
+//! node asks the configured [`SplitSearch`] strategy for the best
+//! `(attribute, split point)` pair (and, when categorical attributes are
+//! present, compares it with the best §7.2 multi-way split), partitions the
+//! (fractional) tuples, and recurses. Pre-pruning (depth, minimum node
+//! weight, minimum gain) and C4.5-style post-pruning are applied as
+//! configured.
+
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+use udt_data::{AttributeKind, Dataset};
+
+use crate::categorical;
+use crate::config::{Algorithm, UdtConfig};
+use crate::events::AttributeEvents;
+use crate::fractional::{class_counts, FractionalTuple};
+use crate::measure::Measure;
+use crate::node::{DecisionTree, Node};
+use crate::postprune;
+use crate::split::{SearchStats, SplitSearch};
+use crate::{Result, TreeError};
+
+/// The outcome of one tree construction.
+#[derive(Debug, Clone)]
+pub struct BuildReport {
+    /// The trained tree (post-pruned if configured).
+    pub tree: DecisionTree,
+    /// Aggregated split-search instrumentation (Fig. 6/7 quantities).
+    pub stats: SearchStats,
+    /// Wall-clock construction time.
+    pub elapsed: Duration,
+    /// The algorithm that was used.
+    pub algorithm: Algorithm,
+    /// Number of nodes removed by post-pruning (0 when disabled).
+    pub nodes_pruned: usize,
+}
+
+/// Summary of a build for serialisation into experiment reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildSummary {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Total tree nodes.
+    pub nodes: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Entropy-like calculations performed (Fig. 7).
+    pub entropy_like_calculations: u64,
+    /// Wall-clock construction time in seconds.
+    pub seconds: f64,
+}
+
+impl BuildReport {
+    /// Produces a serialisable summary of this build.
+    pub fn summary(&self) -> BuildSummary {
+        BuildSummary {
+            algorithm: self.algorithm.name().to_string(),
+            nodes: self.tree.size(),
+            depth: self.tree.depth(),
+            entropy_like_calculations: self.stats.entropy_like_calculations(),
+            seconds: self.elapsed.as_secs_f64(),
+        }
+    }
+}
+
+/// Builds decision trees according to a [`UdtConfig`].
+#[derive(Debug, Clone)]
+pub struct TreeBuilder {
+    config: UdtConfig,
+}
+
+impl TreeBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: UdtConfig) -> Self {
+        TreeBuilder { config }
+    }
+
+    /// The builder's configuration.
+    pub fn config(&self) -> &UdtConfig {
+        &self.config
+    }
+
+    /// Builds a decision tree from `data`.
+    ///
+    /// For [`Algorithm::Avg`] the data is first collapsed to its per-value
+    /// means (§4.1); every other algorithm uses the full pdfs.
+    pub fn build(&self, data: &Dataset) -> Result<BuildReport> {
+        self.config.validate()?;
+        if data.is_empty() {
+            return Err(TreeError::EmptyTrainingSet);
+        }
+        if data.n_classes() == 0 {
+            return Err(TreeError::NoClasses);
+        }
+        let averaged;
+        let training: &Dataset = if self.config.algorithm.uses_distributions() {
+            data
+        } else {
+            averaged = data.to_averaged();
+            &averaged
+        };
+
+        let start = Instant::now();
+        let tuples: Vec<FractionalTuple> = training
+            .tuples()
+            .iter()
+            .map(FractionalTuple::from_tuple)
+            .collect();
+        let search = self.config.split_search();
+        let mut stats = SearchStats::default();
+        let numerical: Vec<usize> = training.schema().numerical_indices();
+        let categorical: Vec<(usize, usize)> = training
+            .schema()
+            .categorical_indices()
+            .into_iter()
+            .map(|j| {
+                let cardinality = match training.schema().attribute(j).map(|a| a.kind) {
+                    Some(AttributeKind::Categorical { cardinality }) => cardinality,
+                    _ => 0,
+                };
+                (j, cardinality)
+            })
+            .collect();
+        let ctx = BuildContext {
+            n_classes: training.n_classes(),
+            measure: self.config.measure,
+            search: search.as_ref(),
+            numerical: &numerical,
+            categorical: &categorical,
+            max_depth: self.config.max_depth,
+            min_node_weight: self.config.min_node_weight,
+            min_gain: self.config.min_gain,
+        };
+        let root = ctx.build_node(tuples, 1, &HashSet::new(), &mut stats);
+        let mut tree = DecisionTree::new(
+            root,
+            training.n_attributes(),
+            training.class_names().to_vec(),
+        );
+        let mut nodes_pruned = 0;
+        if self.config.postprune {
+            nodes_pruned = postprune::prune(&mut tree, self.config.postprune_z);
+        }
+        Ok(BuildReport {
+            tree,
+            stats,
+            elapsed: start.elapsed(),
+            algorithm: self.config.algorithm,
+            nodes_pruned,
+        })
+    }
+}
+
+/// Immutable context shared by the recursive construction.
+struct BuildContext<'a> {
+    n_classes: usize,
+    measure: Measure,
+    search: &'a dyn SplitSearch,
+    numerical: &'a [usize],
+    categorical: &'a [(usize, usize)],
+    max_depth: usize,
+    min_node_weight: f64,
+    min_gain: f64,
+}
+
+/// The best action available at a node.
+enum NodeSplit {
+    Numeric { attribute: usize, split: f64, score: f64 },
+    Categorical { attribute: usize, cardinality: usize, score: f64 },
+}
+
+impl NodeSplit {
+    fn score(&self) -> f64 {
+        match self {
+            NodeSplit::Numeric { score, .. } | NodeSplit::Categorical { score, .. } => *score,
+        }
+    }
+}
+
+impl BuildContext<'_> {
+    fn build_node(
+        &self,
+        tuples: Vec<FractionalTuple>,
+        depth: usize,
+        used_categorical: &HashSet<usize>,
+        stats: &mut SearchStats,
+    ) -> Node {
+        let counts = class_counts(&tuples, self.n_classes);
+        // Stopping conditions (§4.1): purity, depth cap, insufficient
+        // weight.
+        if counts.is_pure()
+            || depth >= self.max_depth
+            || counts.total() < self.min_node_weight
+            || tuples.is_empty()
+        {
+            return Node::leaf(counts);
+        }
+
+        let Some(best) = self.best_split(&tuples, used_categorical, stats) else {
+            return Node::leaf(counts);
+        };
+
+        // Pre-pruning on the dispersion reduction. For entropy/Gini the
+        // split score is a weighted dispersion comparable with the node's
+        // own dispersion; for gain ratio the score is the negated ratio, so
+        // the reduction test is on `-score` directly.
+        let worthwhile = match self.measure {
+            Measure::Entropy | Measure::Gini => {
+                self.measure.dispersion(&counts) - best.score() >= self.min_gain
+            }
+            Measure::GainRatio => -best.score() >= self.min_gain,
+        };
+        if !worthwhile {
+            return Node::leaf(counts);
+        }
+
+        match best {
+            NodeSplit::Numeric { attribute, split, .. } => {
+                let mut left = Vec::new();
+                let mut right = Vec::new();
+                for t in &tuples {
+                    let (l, r) = t.split_numeric(attribute, split);
+                    if let Some(l) = l {
+                        left.push(l);
+                    }
+                    if let Some(r) = r {
+                        right.push(r);
+                    }
+                }
+                if left.is_empty() || right.is_empty() {
+                    return Node::leaf(counts);
+                }
+                drop(tuples);
+                let left_node = self.build_node(left, depth + 1, used_categorical, stats);
+                let right_node = self.build_node(right, depth + 1, used_categorical, stats);
+                Node::Split {
+                    attribute,
+                    split,
+                    counts,
+                    left: Box::new(left_node),
+                    right: Box::new(right_node),
+                }
+            }
+            NodeSplit::Categorical {
+                attribute,
+                cardinality,
+                ..
+            } => {
+                let buckets = categorical::partition(&tuples, attribute, cardinality);
+                drop(tuples);
+                let mut used = used_categorical.clone();
+                used.insert(attribute);
+                let children: Vec<Node> = buckets
+                    .into_iter()
+                    .map(|bucket| {
+                        if bucket.is_empty() {
+                            // Unseen category: fall back to the parent's
+                            // class distribution.
+                            Node::leaf(counts.clone())
+                        } else {
+                            self.build_node(bucket, depth + 1, &used, stats)
+                        }
+                    })
+                    .collect();
+                Node::CategoricalSplit {
+                    attribute,
+                    counts,
+                    children,
+                }
+            }
+        }
+    }
+
+    /// Finds the best available split (numerical via the configured
+    /// strategy, categorical via §7.2 bucket evaluation).
+    fn best_split(
+        &self,
+        tuples: &[FractionalTuple],
+        used_categorical: &HashSet<usize>,
+        stats: &mut SearchStats,
+    ) -> Option<NodeSplit> {
+        stats.nodes_searched += 1;
+        let events: Vec<(usize, AttributeEvents)> = self
+            .numerical
+            .iter()
+            .filter_map(|&j| AttributeEvents::build(tuples, j, self.n_classes).map(|e| (j, e)))
+            .collect();
+        let numeric = self
+            .search
+            .find_best(&events, self.measure, stats)
+            .map(|c| NodeSplit::Numeric {
+                attribute: c.attribute,
+                split: c.split,
+                score: c.score,
+            });
+
+        let mut best = numeric;
+        for &(attribute, cardinality) in self.categorical {
+            if used_categorical.contains(&attribute) || cardinality < 2 {
+                continue;
+            }
+            if let Some(score) =
+                categorical::evaluate(tuples, attribute, cardinality, self.n_classes, self.measure)
+            {
+                // Each categorical evaluation costs one dispersion
+                // computation per category plus the aggregation; count it
+                // as one entropy-like calculation, mirroring how the paper
+                // counts split evaluations.
+                stats.entropy_calculations += 1;
+                let better = match &best {
+                    None => true,
+                    Some(b) => score < b.score() - 1e-12,
+                };
+                if better {
+                    best = Some(NodeSplit::Categorical {
+                        attribute,
+                        cardinality,
+                        score,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::{toy, Attribute, Schema, Tuple, UncertainValue};
+    use udt_prob::DiscreteDist;
+
+    fn separable_point_dataset() -> Dataset {
+        let mut ds = Dataset::numerical(2, 2);
+        for i in 0..20 {
+            let class = i % 2;
+            let x = class as f64 * 10.0 + (i as f64) * 0.1;
+            let y = (i as f64) * 0.37 % 3.0;
+            ds.push(Tuple::from_points(&[x, y], class)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn builds_a_perfect_tree_on_separable_point_data() {
+        for algorithm in Algorithm::all() {
+            let report = TreeBuilder::new(UdtConfig::new(algorithm))
+                .build(&separable_point_dataset())
+                .unwrap();
+            let tree = &report.tree;
+            assert!(tree.size() >= 3, "{algorithm:?} must split at least once");
+            // Training accuracy is perfect on this separable data.
+            let ds = separable_point_dataset();
+            let correct = ds
+                .tuples()
+                .iter()
+                .filter(|t| tree.predict(t) == t.label())
+                .count();
+            assert_eq!(correct, ds.len(), "{algorithm:?}");
+            assert!(report.stats.nodes_searched > 0);
+        }
+    }
+
+    #[test]
+    fn avg_cannot_separate_table1_but_udt_can() {
+        // The paper's worked example: Averaging collapses every tuple to a
+        // mean of ±2, which cannot distinguish class A from class B, while
+        // the distribution-based tree classifies all six training tuples
+        // correctly (§4.2).
+        let data = toy::table1_dataset().unwrap();
+        let avg = TreeBuilder::new(UdtConfig::new(Algorithm::Avg).with_postprune(false))
+            .build(&data)
+            .unwrap();
+        let udt = TreeBuilder::new(
+            UdtConfig::new(Algorithm::Udt)
+                .with_postprune(false)
+                .with_min_node_weight(0.0),
+        )
+        .build(&data)
+        .unwrap();
+        let avg_correct = data
+            .tuples()
+            .iter()
+            .filter(|t| avg.tree.predict(t) == t.label())
+            .count();
+        let udt_correct = data
+            .tuples()
+            .iter()
+            .filter(|t| udt.tree.predict(t) == t.label())
+            .count();
+        assert!(
+            avg_correct <= 4,
+            "AVG can classify at most 4/6 of the example tuples, got {avg_correct}"
+        );
+        assert_eq!(udt_correct, 6, "UDT classifies all example tuples correctly");
+        // The distribution-based tree has more information to work with, so
+        // it is at least as elaborate as the Averaging tree (Fig. 3 vs
+        // Fig. 2a in the paper).
+        assert!(udt.tree.size() >= avg.tree.size());
+    }
+
+    #[test]
+    fn all_pruned_algorithms_build_the_same_tree_as_udt() {
+        // The paper's safe-pruning claim (§5): pruning only removes
+        // suboptimal candidates, so the resulting decision tree is
+        // unchanged. Continuous (Gaussian-injected) pdfs make score ties a
+        // measure-zero event, so the trees must be structurally identical.
+        use udt_data::synthetic::SyntheticSpec;
+        use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+        let mut spec = SyntheticSpec::small(21);
+        spec.tuples = 30;
+        spec.attributes = 3;
+        let point_data = spec.generate().unwrap();
+        let data =
+            inject_uncertainty(&point_data, &UncertaintySpec::baseline().with_s(16)).unwrap();
+        let reference = TreeBuilder::new(UdtConfig::new(Algorithm::Udt).with_postprune(false))
+            .build(&data)
+            .unwrap();
+        for algorithm in [Algorithm::UdtBp, Algorithm::UdtLp, Algorithm::UdtGp, Algorithm::UdtEs] {
+            let report = TreeBuilder::new(UdtConfig::new(algorithm).with_postprune(false))
+                .build(&data)
+                .unwrap();
+            assert_eq!(
+                report.tree, reference.tree,
+                "{algorithm:?} must build the same tree as exhaustive UDT"
+            );
+            // Pruning never evaluates more split points than the exhaustive
+            // search.
+            assert!(
+                report.stats.entropy_calculations <= reference.stats.entropy_calculations,
+                "{algorithm:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_invalid_inputs_are_rejected() {
+        let empty = Dataset::numerical(2, 2);
+        assert!(matches!(
+            TreeBuilder::new(UdtConfig::default()).build(&empty),
+            Err(TreeError::EmptyTrainingSet)
+        ));
+        let bad_config = UdtConfig::new(Algorithm::Udt).with_max_depth(0);
+        assert!(TreeBuilder::new(bad_config)
+            .build(&separable_point_dataset())
+            .is_err());
+    }
+
+    #[test]
+    fn max_depth_caps_the_tree() {
+        let report = TreeBuilder::new(
+            UdtConfig::new(Algorithm::UdtEs)
+                .with_max_depth(2)
+                .with_postprune(false),
+        )
+        .build(&separable_point_dataset())
+        .unwrap();
+        assert!(report.tree.depth() <= 2);
+    }
+
+    #[test]
+    fn min_node_weight_stops_small_nodes_from_splitting() {
+        let big = TreeBuilder::new(
+            UdtConfig::new(Algorithm::Udt)
+                .with_postprune(false)
+                .with_min_node_weight(1000.0),
+        )
+        .build(&separable_point_dataset())
+        .unwrap();
+        assert_eq!(big.tree.size(), 1, "root cannot split under the weight floor");
+    }
+
+    #[test]
+    fn categorical_attributes_are_used_when_informative() {
+        // One categorical attribute perfectly aligned with the class and
+        // one useless numerical attribute.
+        let schema = Schema::new(vec![
+            Attribute::categorical("colour", 3),
+            Attribute::numerical("noise"),
+        ]);
+        let mut ds = Dataset::new(schema, vec!["a".into(), "b".into(), "c".into()]);
+        for i in 0..30 {
+            let class = i % 3;
+            let dist = DiscreteDist::certain(class, 3).unwrap();
+            ds.push(Tuple::new(
+                vec![
+                    UncertainValue::Categorical(dist),
+                    UncertainValue::point((i % 5) as f64),
+                ],
+                class,
+            ))
+            .unwrap();
+        }
+        let report = TreeBuilder::new(UdtConfig::new(Algorithm::UdtGp).with_postprune(false))
+            .build(&ds)
+            .unwrap();
+        match report.tree.root() {
+            Node::CategoricalSplit { attribute, children, .. } => {
+                assert_eq!(*attribute, 0);
+                assert_eq!(children.len(), 3);
+            }
+            other => panic!("expected a categorical root split, got {other:?}"),
+        }
+        let correct = ds
+            .tuples()
+            .iter()
+            .filter(|t| report.tree.predict(t) == t.label())
+            .count();
+        assert_eq!(correct, 30);
+    }
+
+    #[test]
+    fn build_summary_reports_key_figures() {
+        let report = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs))
+            .build(&separable_point_dataset())
+            .unwrap();
+        let s = report.summary();
+        assert_eq!(s.algorithm, "UDT-ES");
+        assert_eq!(s.nodes, report.tree.size());
+        assert!(s.seconds >= 0.0);
+        assert!(s.entropy_like_calculations > 0);
+    }
+}

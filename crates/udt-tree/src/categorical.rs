@@ -1,0 +1,168 @@
+//! Uncertain categorical attributes (§7.2).
+//!
+//! A categorical attribute value is a discrete distribution over the
+//! attribute's categories. A node that tests a categorical attribute has
+//! one child per category; a tuple is (fractionally) copied into bucket `v`
+//! with weight `w · f(v)`, and the copied value becomes certain at `v`. As
+//! a heuristic the paper notes that a categorical attribute already used on
+//! the path from the root need not be reconsidered (it can yield no further
+//! information gain), which the builder enforces.
+
+use crate::counts::ClassCounts;
+use crate::fractional::FractionalTuple;
+use crate::measure::Measure;
+
+/// The per-category class counts resulting from fanning a set of tuples out
+/// over categorical attribute `attribute` with the given `cardinality`.
+pub fn bucket_counts(
+    tuples: &[FractionalTuple],
+    attribute: usize,
+    cardinality: usize,
+    n_classes: usize,
+) -> Vec<ClassCounts> {
+    let mut buckets = vec![ClassCounts::new(n_classes); cardinality];
+    for t in tuples {
+        let Some(dist) = t.values[attribute].as_categorical() else {
+            continue;
+        };
+        for v in 0..cardinality.min(dist.cardinality()) {
+            let w = t.weight * dist.prob(v);
+            if w > 0.0 {
+                buckets[v].add(t.label, w);
+            }
+        }
+    }
+    buckets
+}
+
+/// Evaluates the multi-way dispersion score (lower is better) of splitting
+/// on categorical attribute `attribute`. Returns `None` when the attribute
+/// cannot discriminate (fewer than two buckets receive mass).
+pub fn evaluate(
+    tuples: &[FractionalTuple],
+    attribute: usize,
+    cardinality: usize,
+    n_classes: usize,
+    measure: Measure,
+) -> Option<f64> {
+    let buckets = bucket_counts(tuples, attribute, cardinality, n_classes);
+    let occupied = buckets.iter().filter(|b| !b.is_empty()).count();
+    if occupied < 2 {
+        return None;
+    }
+    Some(measure.multiway_score(&buckets))
+}
+
+/// Partitions tuples into one bucket per category (§7.2's fractional
+/// copies). Bucket `v` holds the fractional tuples whose categorical value
+/// has been fixed to `v`.
+pub fn partition(
+    tuples: &[FractionalTuple],
+    attribute: usize,
+    cardinality: usize,
+) -> Vec<Vec<FractionalTuple>> {
+    let mut buckets: Vec<Vec<FractionalTuple>> = vec![Vec::new(); cardinality];
+    for t in tuples {
+        for (v, part) in t.split_categorical(attribute) {
+            if v < cardinality {
+                buckets[v].push(part);
+            }
+        }
+    }
+    buckets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::UncertainValue;
+    use udt_prob::DiscreteDist;
+
+    fn cat_tuple(probs: Vec<f64>, label: usize, weight: f64) -> FractionalTuple {
+        FractionalTuple {
+            values: vec![UncertainValue::Categorical(
+                DiscreteDist::new(probs).unwrap(),
+            )],
+            label,
+            weight,
+        }
+    }
+
+    #[test]
+    fn bucket_counts_accumulate_fractional_weight() {
+        let tuples = vec![
+            cat_tuple(vec![0.8, 0.2, 0.0], 0, 1.0),
+            cat_tuple(vec![0.0, 0.5, 0.5], 1, 1.0),
+        ];
+        let buckets = bucket_counts(&tuples, 0, 3, 2);
+        assert!((buckets[0].get(0) - 0.8).abs() < 1e-12);
+        assert!((buckets[1].get(0) - 0.2).abs() < 1e-12);
+        assert!((buckets[1].get(1) - 0.5).abs() < 1e-12);
+        assert!((buckets[2].get(1) - 0.5).abs() < 1e-12);
+        // Mass is conserved.
+        let total: f64 = buckets.iter().map(ClassCounts::total).sum();
+        assert!((total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluate_prefers_discriminating_attributes() {
+        // Attribute values perfectly aligned with classes.
+        let perfect = vec![
+            cat_tuple(vec![1.0, 0.0], 0, 1.0),
+            cat_tuple(vec![1.0, 0.0], 0, 1.0),
+            cat_tuple(vec![0.0, 1.0], 1, 1.0),
+            cat_tuple(vec![0.0, 1.0], 1, 1.0),
+        ];
+        let score = evaluate(&perfect, 0, 2, 2, Measure::Entropy).unwrap();
+        assert!(score.abs() < 1e-12, "perfect split has zero entropy");
+
+        // Attribute values independent of classes.
+        let useless = vec![
+            cat_tuple(vec![0.5, 0.5], 0, 1.0),
+            cat_tuple(vec![0.5, 0.5], 1, 1.0),
+        ];
+        let score = evaluate(&useless, 0, 2, 2, Measure::Entropy).unwrap();
+        assert!((score - 1.0).abs() < 1e-9, "uninformative split keeps full entropy");
+    }
+
+    #[test]
+    fn evaluate_returns_none_when_only_one_bucket_has_mass() {
+        let tuples = vec![
+            cat_tuple(vec![1.0, 0.0], 0, 1.0),
+            cat_tuple(vec![1.0, 0.0], 1, 1.0),
+        ];
+        assert!(evaluate(&tuples, 0, 2, 2, Measure::Entropy).is_none());
+        // Numeric values are ignored entirely.
+        let numeric = vec![FractionalTuple {
+            values: vec![UncertainValue::point(1.0)],
+            label: 0,
+            weight: 1.0,
+        }];
+        assert!(evaluate(&numeric, 0, 2, 2, Measure::Entropy).is_none());
+    }
+
+    #[test]
+    fn partition_fixes_the_categorical_value() {
+        let tuples = vec![cat_tuple(vec![0.25, 0.75], 1, 0.8)];
+        let buckets = partition(&tuples, 0, 2);
+        assert_eq!(buckets.len(), 2);
+        assert_eq!(buckets[0].len(), 1);
+        assert_eq!(buckets[1].len(), 1);
+        assert!((buckets[0][0].weight - 0.2).abs() < 1e-12);
+        assert!((buckets[1][0].weight - 0.6).abs() < 1e-12);
+        assert!(buckets[1][0].values[0].as_categorical().unwrap().is_certain());
+    }
+
+    #[test]
+    fn evaluate_works_for_all_measures() {
+        let tuples = vec![
+            cat_tuple(vec![0.9, 0.1], 0, 1.0),
+            cat_tuple(vec![0.2, 0.8], 1, 1.0),
+            cat_tuple(vec![0.7, 0.3], 0, 1.0),
+        ];
+        for m in [Measure::Entropy, Measure::Gini, Measure::GainRatio] {
+            let score = evaluate(&tuples, 0, 2, 2, m).unwrap();
+            assert!(score.is_finite(), "{m:?}");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! Tree-construction configuration.
+//!
+//! [`UdtConfig`] bundles the algorithm choice (§4–5), the dispersion
+//! measure (§7.4), pre-pruning thresholds (footnote 3 of §4.1), the C4.5
+//! style post-pruning switch, and the knobs specific to individual
+//! algorithms (end-point sampling rate for UDT-ES, the Theorem 3 uniform
+//! pdf hint for UDT-BP).
+
+use serde::{Deserialize, Serialize};
+
+use crate::measure::Measure;
+use crate::split::{bp, es, exhaustive::ExhaustiveSearch, gp, lp, SplitSearch};
+
+/// The split-search algorithm families evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Averaging (§4.1): collapse every pdf to its mean and run the
+    /// classical search.
+    Avg,
+    /// Distribution-based, exhaustive over all sample points (§4.2).
+    Udt,
+    /// UDT with empty/homogeneous-interval pruning (§5.1).
+    UdtBp,
+    /// UDT with local lower-bound pruning (§5.2).
+    UdtLp,
+    /// UDT with global lower-bound pruning (§5.2).
+    UdtGp,
+    /// UDT with global pruning and end-point sampling (§5.3).
+    UdtEs,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order used by the paper's Figs. 6–7.
+    pub fn all() -> [Algorithm; 6] {
+        [
+            Algorithm::Avg,
+            Algorithm::Udt,
+            Algorithm::UdtBp,
+            Algorithm::UdtLp,
+            Algorithm::UdtGp,
+            Algorithm::UdtEs,
+        ]
+    }
+
+    /// The distribution-based algorithms (everything but AVG).
+    pub fn distribution_based() -> [Algorithm; 5] {
+        [
+            Algorithm::Udt,
+            Algorithm::UdtBp,
+            Algorithm::UdtLp,
+            Algorithm::UdtGp,
+            Algorithm::UdtEs,
+        ]
+    }
+
+    /// The paper's name for the algorithm.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Avg => "AVG",
+            Algorithm::Udt => "UDT",
+            Algorithm::UdtBp => "UDT-BP",
+            Algorithm::UdtLp => "UDT-LP",
+            Algorithm::UdtGp => "UDT-GP",
+            Algorithm::UdtEs => "UDT-ES",
+        }
+    }
+
+    /// Whether this algorithm works on the full pdfs (true) or on their
+    /// means (false).
+    pub fn uses_distributions(&self) -> bool {
+        !matches!(self, Algorithm::Avg)
+    }
+}
+
+/// Configuration for [`crate::TreeBuilder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UdtConfig {
+    /// Which split-search algorithm to use.
+    pub algorithm: Algorithm,
+    /// Which dispersion measure to minimise.
+    pub measure: Measure,
+    /// Maximum tree depth (a depth of 1 yields a single leaf).
+    pub max_depth: usize,
+    /// Pre-pruning: do not split nodes whose total (fractional) tuple
+    /// weight is below this threshold.
+    pub min_node_weight: f64,
+    /// Pre-pruning: do not accept a split whose dispersion reduction over
+    /// the node's own dispersion is below this threshold.
+    pub min_gain: f64,
+    /// Whether to apply C4.5-style pessimistic post-pruning after building.
+    pub postprune: bool,
+    /// The pessimistic-error confidence z-factor used by post-pruning
+    /// (C4.5's default 25 % confidence corresponds to z ≈ 0.6745).
+    pub postprune_z: f64,
+    /// End-point sampling rate for UDT-ES.
+    pub es_sample_rate: f64,
+    /// Theorem 3 hint: set when every pdf is known to be uniform, allowing
+    /// UDT-BP to consider only interval end points.
+    pub uniform_pdf_hint: bool,
+}
+
+impl UdtConfig {
+    /// A configuration with the paper's defaults for the given algorithm:
+    /// entropy measure, depth cap 25, minimum node weight 2, minimum gain
+    /// 1e-6, post-pruning on, 10 % end-point sampling.
+    pub fn new(algorithm: Algorithm) -> Self {
+        UdtConfig {
+            algorithm,
+            measure: Measure::Entropy,
+            max_depth: 25,
+            min_node_weight: 2.0,
+            min_gain: 1e-6,
+            postprune: true,
+            postprune_z: 0.6745,
+            es_sample_rate: es::DEFAULT_SAMPLE_RATE,
+            uniform_pdf_hint: false,
+        }
+    }
+
+    /// Returns a copy using a different dispersion measure.
+    pub fn with_measure(mut self, measure: Measure) -> Self {
+        self.measure = measure;
+        self
+    }
+
+    /// Returns a copy with post-pruning switched on or off.
+    pub fn with_postprune(mut self, postprune: bool) -> Self {
+        self.postprune = postprune;
+        self
+    }
+
+    /// Returns a copy with a different maximum depth.
+    pub fn with_max_depth(mut self, max_depth: usize) -> Self {
+        self.max_depth = max_depth;
+        self
+    }
+
+    /// Returns a copy with a different minimum node weight.
+    pub fn with_min_node_weight(mut self, min_node_weight: f64) -> Self {
+        self.min_node_weight = min_node_weight;
+        self
+    }
+
+    /// Returns a copy with the Theorem 3 uniform-pdf hint set.
+    pub fn with_uniform_pdf_hint(mut self, hint: bool) -> Self {
+        self.uniform_pdf_hint = hint;
+        self
+    }
+
+    /// Instantiates the split-search strategy this configuration selects.
+    pub fn split_search(&self) -> Box<dyn SplitSearch> {
+        match self.algorithm {
+            Algorithm::Avg | Algorithm::Udt => Box::new(ExhaustiveSearch),
+            Algorithm::UdtBp => Box::new(bp::search(self.uniform_pdf_hint)),
+            Algorithm::UdtLp => Box::new(lp::search()),
+            Algorithm::UdtGp => Box::new(gp::search()),
+            Algorithm::UdtEs => Box::new(es::with_rate(self.es_sample_rate)),
+        }
+    }
+
+    /// Validates the configuration, returning the first offending
+    /// parameter if any.
+    pub fn validate(&self) -> crate::Result<()> {
+        if self.max_depth == 0 {
+            return Err(crate::TreeError::InvalidConfig {
+                name: "max_depth",
+                value: 0.0,
+            });
+        }
+        if !(self.min_node_weight >= 0.0) {
+            return Err(crate::TreeError::InvalidConfig {
+                name: "min_node_weight",
+                value: self.min_node_weight,
+            });
+        }
+        if !(self.min_gain >= 0.0) {
+            return Err(crate::TreeError::InvalidConfig {
+                name: "min_gain",
+                value: self.min_gain,
+            });
+        }
+        if !(self.es_sample_rate > 0.0 && self.es_sample_rate <= 1.0) {
+            return Err(crate::TreeError::InvalidConfig {
+                name: "es_sample_rate",
+                value: self.es_sample_rate,
+            });
+        }
+        if !(self.postprune_z >= 0.0) {
+            return Err(crate::TreeError::InvalidConfig {
+                name: "postprune_z",
+                value: self.postprune_z,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for UdtConfig {
+    fn default() -> Self {
+        UdtConfig::new(Algorithm::UdtEs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn algorithm_names_match_the_paper() {
+        let names: Vec<&str> = Algorithm::all().iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"]);
+        assert!(!Algorithm::Avg.uses_distributions());
+        assert!(Algorithm::UdtEs.uses_distributions());
+        assert_eq!(Algorithm::distribution_based().len(), 5);
+    }
+
+    #[test]
+    fn split_search_dispatch() {
+        assert_eq!(UdtConfig::new(Algorithm::Udt).split_search().name(), "UDT");
+        assert_eq!(UdtConfig::new(Algorithm::Avg).split_search().name(), "UDT");
+        assert_eq!(UdtConfig::new(Algorithm::UdtBp).split_search().name(), "UDT-BP");
+        assert_eq!(UdtConfig::new(Algorithm::UdtLp).split_search().name(), "UDT-LP");
+        assert_eq!(UdtConfig::new(Algorithm::UdtGp).split_search().name(), "UDT-GP");
+        assert_eq!(UdtConfig::new(Algorithm::UdtEs).split_search().name(), "UDT-ES");
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        assert!(UdtConfig::default().validate().is_ok());
+        assert!(UdtConfig::new(Algorithm::Udt)
+            .with_max_depth(0)
+            .validate()
+            .is_err());
+        let mut c = UdtConfig::default();
+        c.min_gain = -1.0;
+        assert!(c.validate().is_err());
+        let mut c = UdtConfig::default();
+        c.es_sample_rate = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = UdtConfig::default();
+        c.min_node_weight = f64::NAN;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_setters() {
+        let c = UdtConfig::new(Algorithm::UdtBp)
+            .with_measure(Measure::Gini)
+            .with_postprune(false)
+            .with_max_depth(5)
+            .with_min_node_weight(4.0)
+            .with_uniform_pdf_hint(true);
+        assert_eq!(c.measure, Measure::Gini);
+        assert!(!c.postprune);
+        assert_eq!(c.max_depth, 5);
+        assert_eq!(c.min_node_weight, 4.0);
+        assert!(c.uniform_pdf_hint);
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for tree construction and classification.
+
+use udt_data::DataError;
+use udt_prob::ProbError;
+
+/// Errors produced while building or applying decision trees.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum TreeError {
+    /// Training was attempted on an empty data set.
+    #[error("cannot build a decision tree from an empty data set")]
+    EmptyTrainingSet,
+
+    /// Training data declared zero classes.
+    #[error("the training data declares no classes")]
+    NoClasses,
+
+    /// A configuration parameter was invalid.
+    #[error("invalid configuration parameter {name}: {value}")]
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+
+    /// A tuple presented for classification does not match the tree's
+    /// schema arity.
+    #[error("test tuple has {found} attributes but the tree was trained on {expected}")]
+    ArityMismatch {
+        /// Number of attributes the tree was trained on.
+        expected: usize,
+        /// Number of attributes in the test tuple.
+        found: usize,
+    },
+
+    /// An error bubbled up from the data layer.
+    #[error("data error: {0}")]
+    Data(#[from] DataError),
+
+    /// An error bubbled up from the probability substrate.
+    #[error("probability error: {0}")]
+    Prob(#[from] ProbError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversion_from_lower_layers() {
+        fn f() -> crate::Result<()> {
+            Err(DataError::EmptyDataset)?
+        }
+        assert!(matches!(f(), Err(TreeError::Data(_))));
+        fn g() -> crate::Result<()> {
+            Err(ProbError::EmptyPdf)?
+        }
+        assert!(matches!(g(), Err(TreeError::Prob(_))));
+    }
+
+    #[test]
+    fn messages_mention_parameters() {
+        let e = TreeError::InvalidConfig {
+            name: "max_depth",
+            value: 0.0,
+        };
+        assert!(e.to_string().contains("max_depth"));
+        let e = TreeError::ArityMismatch {
+            expected: 3,
+            found: 1,
+        };
+        assert!(e.to_string().contains('3'));
+    }
+}

@@ -1,0 +1,409 @@
+//! Per-attribute candidate-split structure.
+//!
+//! For one numerical attribute and one set of (fractional) tuples, UDT's
+//! split search needs, for every candidate split point `z`, the weighted
+//! per-class counts on the two sides of the test `v ≤ z`. [`AttributeEvents`]
+//! pre-computes that in `O(m·s·log(m·s))`:
+//!
+//! * every pdf sample point contributes a *mass event* `(x, class, w·mass)`;
+//! * events are sorted and aggregated into the distinct positions `xs`;
+//! * a running per-class cumulative count is stored per position, so the
+//!   "left" counts of any candidate are a single array lookup — the
+//!   discrete analogue of the paper's remark that storing cumulative
+//!   distributions turns the integration of §4.2 into a subtraction.
+//!
+//! The structure also exposes the *end points* `Q_j` (the pdf domain
+//! boundaries of §5.1) and the disjoint intervals they induce, each
+//! classified as empty, homogeneous or heterogeneous (Definitions 2–4),
+//! which is all the pruning algorithms need.
+
+use crate::counts::{ClassCounts, WEIGHT_EPSILON};
+use crate::fractional::FractionalTuple;
+use crate::measure::Measure;
+
+/// Classification of an end-point interval `(a, b]` (Definitions 2–4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntervalKind {
+    /// No probability mass inside the interval.
+    Empty,
+    /// All probability mass inside the interval belongs to one class.
+    Homogeneous,
+    /// Mass from at least two classes lies inside the interval.
+    Heterogeneous,
+}
+
+/// One end-point interval `(a, b]`, referenced by indices into
+/// [`AttributeEvents::xs`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Index of the left end point `a`.
+    pub lo_idx: usize,
+    /// Index of the right end point `b`.
+    pub hi_idx: usize,
+    /// Interval classification.
+    pub kind: IntervalKind,
+}
+
+/// Sorted, aggregated per-attribute candidate-split structure.
+#[derive(Debug, Clone)]
+pub struct AttributeEvents {
+    /// Distinct candidate positions, ascending. Every pdf sample point of
+    /// every tuple appears here.
+    xs: Vec<f64>,
+    /// `cum[i]` = per-class mass at positions `<= xs[i]`.
+    cum: Vec<ClassCounts>,
+    /// Total per-class mass.
+    total: ClassCounts,
+    /// Indices into `xs` of the end points `Q_j` (pdf domain boundaries),
+    /// ascending and distinct.
+    end_point_idx: Vec<usize>,
+}
+
+impl AttributeEvents {
+    /// Builds the structure for numerical attribute `attribute` over
+    /// `tuples`. Returns `None` when the attribute carries no usable mass
+    /// or only a single distinct position (in which case no split is
+    /// possible).
+    pub fn build(
+        tuples: &[FractionalTuple],
+        attribute: usize,
+        n_classes: usize,
+    ) -> Option<AttributeEvents> {
+        let mut events: Vec<(f64, usize, f64)> = Vec::new();
+        let mut end_points: Vec<f64> = Vec::new();
+        for t in tuples {
+            let Some(pdf) = t.values[attribute].as_numeric() else {
+                continue;
+            };
+            if t.weight <= WEIGHT_EPSILON {
+                continue;
+            }
+            end_points.push(pdf.lo());
+            end_points.push(pdf.hi());
+            for (x, m) in pdf.iter() {
+                let w = t.weight * m;
+                if w > 0.0 {
+                    events.push((x, t.label, w));
+                }
+            }
+        }
+        if events.is_empty() {
+            return None;
+        }
+        events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sample points"));
+
+        let mut xs: Vec<f64> = Vec::new();
+        let mut cum: Vec<ClassCounts> = Vec::new();
+        let mut running = ClassCounts::new(n_classes);
+        for (x, label, w) in events {
+            if xs.last() != Some(&x) {
+                if !xs.is_empty() {
+                    cum.push(running.clone());
+                }
+                xs.push(x);
+            }
+            running.add(label, w);
+        }
+        cum.push(running.clone());
+        debug_assert_eq!(xs.len(), cum.len());
+        if xs.len() < 2 {
+            return None;
+        }
+
+        end_points.sort_by(|a, b| a.partial_cmp(b).expect("finite end points"));
+        end_points.dedup();
+        let end_point_idx: Vec<usize> = end_points
+            .iter()
+            .map(|&q| {
+                xs.binary_search_by(|x| x.partial_cmp(&q).expect("finite"))
+                    .expect("every end point is a sample point of some pdf")
+            })
+            .collect();
+
+        Some(AttributeEvents {
+            xs,
+            cum,
+            total: running,
+            end_point_idx,
+        })
+    }
+
+    /// The distinct candidate positions.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Number of distinct candidate positions.
+    pub fn n_positions(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Total per-class mass over all tuples.
+    pub fn total(&self) -> &ClassCounts {
+        &self.total
+    }
+
+    /// The per-class counts of mass at positions `<= xs[i]` — the "left"
+    /// counts of a split at `xs[i]`.
+    pub fn left_counts(&self, i: usize) -> &ClassCounts {
+        &self.cum[i]
+    }
+
+    /// The per-class counts of mass at positions `> xs[i]` — the "right"
+    /// counts of a split at `xs[i]`.
+    pub fn right_counts(&self, i: usize) -> ClassCounts {
+        let mut r = self.total.clone();
+        r.sub_counts(&self.cum[i]);
+        r
+    }
+
+    /// Dispersion score (eq. 1) of splitting at `xs[i]`. Splits that leave
+    /// one side without mass score `+∞` (they are not valid splits).
+    pub fn score_at(&self, i: usize, measure: Measure) -> f64 {
+        let left = self.left_counts(i);
+        let right = self.right_counts(i);
+        if left.is_empty() || right.is_empty() {
+            return f64::INFINITY;
+        }
+        measure.split_score(left, &right)
+    }
+
+    /// Indices (into [`xs`](Self::xs)) of the end points `Q_j`, ascending.
+    pub fn end_point_indices(&self) -> &[usize] {
+        &self.end_point_idx
+    }
+
+    /// The disjoint end-point intervals `(q_i, q_{i+1}]` with their
+    /// Definition 2–4 classification.
+    pub fn intervals(&self) -> Vec<Interval> {
+        self.intervals_between(&self.end_point_idx)
+    }
+
+    /// Builds classified intervals between an arbitrary ascending list of
+    /// position indices (used by UDT-ES, which works on a *sample* of the
+    /// end points and therefore on coarser concatenated intervals).
+    pub fn intervals_between(&self, boundary_idx: &[usize]) -> Vec<Interval> {
+        let mut out = Vec::new();
+        for w in boundary_idx.windows(2) {
+            let (lo, hi) = (w[0], w[1]);
+            let inside = self.counts_in(lo, hi);
+            let kind = if inside.is_empty() {
+                IntervalKind::Empty
+            } else if inside.support_size() <= 1 {
+                IntervalKind::Homogeneous
+            } else {
+                IntervalKind::Heterogeneous
+            };
+            out.push(Interval {
+                lo_idx: lo,
+                hi_idx: hi,
+                kind,
+            });
+        }
+        out
+    }
+
+    /// Per-class mass at positions `<= xs[i]` (the `n_c` of §5.2 when `i`
+    /// is an interval's left end point).
+    pub fn counts_below(&self, i: usize) -> ClassCounts {
+        self.cum[i].clone()
+    }
+
+    /// Per-class mass in `(xs[lo], xs[hi]]` (the `k_c` of §5.2).
+    pub fn counts_in(&self, lo: usize, hi: usize) -> ClassCounts {
+        let mut c = self.cum[hi].clone();
+        c.sub_counts(&self.cum[lo]);
+        c
+    }
+
+    /// Per-class mass at positions `> xs[i]` (the `m_c` of §5.2 when `i` is
+    /// an interval's right end point).
+    pub fn counts_above(&self, i: usize) -> ClassCounts {
+        let mut c = self.total.clone();
+        c.sub_counts(&self.cum[i]);
+        c
+    }
+
+    /// The eq. 3 / eq. 4 lower bound over every split point in `[xs[lo],
+    /// xs[hi]]`.
+    pub fn interval_lower_bound(&self, lo: usize, hi: usize, measure: Measure) -> f64 {
+        measure.interval_lower_bound(
+            &self.counts_below(lo),
+            &self.counts_in(lo, hi),
+            &self.counts_above(hi),
+        )
+    }
+
+    /// Candidate indices strictly inside the interval `(xs[lo], xs[hi])` —
+    /// the points whose evaluation the pruning theorems avoid.
+    pub fn interior_candidates(&self, interval: &Interval) -> std::ops::Range<usize> {
+        (interval.lo_idx + 1)..interval.hi_idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::UncertainValue;
+    use udt_prob::SampledPdf;
+
+    fn ft(points: &[f64], mass: &[f64], label: usize, weight: f64) -> FractionalTuple {
+        FractionalTuple {
+            values: vec![UncertainValue::Numeric(
+                SampledPdf::new(points.to_vec(), mass.to_vec()).unwrap(),
+            )],
+            label,
+            weight,
+        }
+    }
+
+    fn point(v: f64, label: usize) -> FractionalTuple {
+        ft(&[v], &[1.0], label, 1.0)
+    }
+
+    #[test]
+    fn build_aggregates_and_accumulates() {
+        // Two tuples sharing the position 1.0.
+        let tuples = vec![ft(&[0.0, 1.0], &[0.5, 0.5], 0, 1.0), ft(&[1.0, 2.0], &[0.5, 0.5], 1, 1.0)];
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        assert_eq!(ev.xs(), &[0.0, 1.0, 2.0]);
+        assert_eq!(ev.n_positions(), 3);
+        assert_eq!(ev.total().as_slice(), &[1.0, 1.0]);
+        assert_eq!(ev.left_counts(0).as_slice(), &[0.5, 0.0]);
+        assert_eq!(ev.left_counts(1).as_slice(), &[1.0, 0.5]);
+        assert_eq!(ev.left_counts(2).as_slice(), &[1.0, 1.0]);
+        assert_eq!(ev.right_counts(1).as_slice(), &[0.0, 0.5]);
+    }
+
+    #[test]
+    fn weights_scale_the_mass() {
+        let tuples = vec![ft(&[0.0, 1.0], &[0.5, 0.5], 0, 0.5)];
+        let ev = AttributeEvents::build(&tuples, 0, 1).unwrap();
+        assert!((ev.total().get(0) - 0.5).abs() < 1e-12);
+        assert!((ev.left_counts(0).get(0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn build_returns_none_when_no_split_is_possible() {
+        // A single distinct position cannot be split.
+        let tuples = vec![point(3.0, 0), point(3.0, 1)];
+        assert!(AttributeEvents::build(&tuples, 0, 2).is_none());
+        // Zero-weight tuples contribute nothing.
+        let mut t = point(1.0, 0);
+        t.weight = 0.0;
+        assert!(AttributeEvents::build(&[t], 0, 2).is_none());
+        assert!(AttributeEvents::build(&[], 0, 2).is_none());
+    }
+
+    #[test]
+    fn score_at_matches_direct_computation_and_flags_invalid_splits() {
+        let tuples = vec![point(0.0, 0), point(1.0, 0), point(2.0, 1), point(3.0, 1)];
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        // Perfect split between 1.0 and 2.0.
+        assert_eq!(ev.score_at(1, Measure::Entropy), 0.0);
+        assert!(ev.score_at(0, Measure::Entropy) > 0.0);
+        // Splitting at the largest position leaves the right side empty.
+        assert_eq!(ev.score_at(3, Measure::Entropy), f64::INFINITY);
+    }
+
+    #[test]
+    fn end_points_and_intervals_are_classified() {
+        // Tuple A spans [0, 2] (class 0), tuple B spans [4, 6] (class 1),
+        // tuple C spans [5, 7] (class 0): the interval (2, 4] is empty,
+        // (0, 2] homogeneous, (4, 6] and (6, 7] heterogeneous/homogeneous.
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0], &[1.0, 1.0, 1.0], 0, 1.0),
+            ft(&[4.0, 5.0, 6.0], &[1.0, 1.0, 1.0], 1, 1.0),
+            ft(&[5.0, 6.0, 7.0], &[1.0, 1.0, 1.0], 0, 1.0),
+        ];
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        let eps: Vec<f64> = ev.end_point_indices().iter().map(|&i| ev.xs()[i]).collect();
+        assert_eq!(eps, vec![0.0, 2.0, 4.0, 5.0, 6.0, 7.0]);
+        let intervals = ev.intervals();
+        assert_eq!(intervals.len(), 5);
+        // (0, 2]: only class-0 mass.
+        assert_eq!(intervals[0].kind, IntervalKind::Homogeneous);
+        // (2, 4]: only the class-1 mass sitting exactly at 4.
+        assert_eq!(intervals[1].kind, IntervalKind::Homogeneous);
+        // (4, 5] and (5, 6]: both classes contribute mass at 5 and 6.
+        assert_eq!(intervals[2].kind, IntervalKind::Heterogeneous);
+        assert_eq!(intervals[3].kind, IntervalKind::Heterogeneous);
+        // (6, 7]: only the class-0 mass at 7.
+        assert_eq!(intervals[4].kind, IntervalKind::Homogeneous);
+        // A truly empty interval requires a gap with no sample points at
+        // its right end point either, e.g. between two point tuples that
+        // share no mass; synthesise one:
+        let tuples2 = vec![
+            ft(&[0.0, 1.0], &[1.0, 1.0], 0, 1.0),
+            ft(&[1.0, 5.0], &[1.0, 0.0001], 1, 1.0),
+            ft(&[5.0, 6.0], &[1.0, 1.0], 1, 1.0),
+        ];
+        let ev2 = AttributeEvents::build(&tuples2, 0, 2).unwrap();
+        assert!(ev2
+            .intervals()
+            .iter()
+            .any(|i| i.kind == IntervalKind::Heterogeneous || i.kind == IntervalKind::Homogeneous));
+    }
+
+    #[test]
+    fn interval_counts_partition_the_total() {
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0], &[1.0, 2.0, 1.0], 0, 1.0),
+            ft(&[1.5, 2.5, 3.5], &[1.0, 1.0, 2.0], 1, 0.5),
+        ];
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        for w in ev.end_point_indices().windows(2) {
+            let mut sum = ev.counts_below(w[0]);
+            sum.add_counts(&ev.counts_in(w[0], w[1]));
+            sum.add_counts(&ev.counts_above(w[1]));
+            for c in 0..2 {
+                assert!((sum.get(c) - ev.total().get(c)).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn interval_lower_bound_never_exceeds_interior_scores() {
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0, 3.0], &[1.0, 1.0, 1.0, 1.0], 0, 1.0),
+            ft(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0, 1.0, 1.0], 1, 1.0),
+            ft(&[2.0, 3.0, 4.0, 5.0], &[1.0, 1.0, 1.0, 1.0], 0, 0.7),
+        ];
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        for m in [Measure::Entropy, Measure::Gini] {
+            for interval in ev.intervals() {
+                let bound = ev.interval_lower_bound(interval.lo_idx, interval.hi_idx, m);
+                for i in ev.interior_candidates(&interval) {
+                    let score = ev.score_at(i, m);
+                    assert!(
+                        score >= bound - 1e-9,
+                        "{m:?}: interior score {score} below bound {bound}"
+                    );
+                }
+                // The bound also covers the interval's right end point.
+                let score = ev.score_at(interval.hi_idx, m);
+                assert!(score >= bound - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn intervals_between_coarse_boundaries_concatenate() {
+        let tuples = vec![
+            ft(&[0.0, 1.0], &[1.0, 1.0], 0, 1.0),
+            ft(&[2.0, 3.0], &[1.0, 1.0], 1, 1.0),
+            ft(&[4.0, 5.0], &[1.0, 1.0], 0, 1.0),
+        ];
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        let all = ev.end_point_indices().to_vec();
+        // Keep only the first and last boundary: one coarse interval
+        // covering everything, which must be heterogeneous.
+        let coarse = ev.intervals_between(&[all[0], *all.last().unwrap()]);
+        assert_eq!(coarse.len(), 1);
+        assert_eq!(coarse[0].kind, IntervalKind::Heterogeneous);
+        assert_eq!(
+            ev.interior_candidates(&coarse[0]).len(),
+            ev.n_positions() - 2
+        );
+    }
+}

@@ -1,0 +1,229 @@
+//! Fractional tuples.
+//!
+//! When a training tuple's pdf properly contains a node's split point, the
+//! tuple is divided into two *fractional tuples* (§3.2 / §4.2, a technique
+//! borrowed from C4.5's missing-value handling): each child inherits the
+//! tuple's class label and all pdfs except the split attribute's, whose pdf
+//! is restricted to the child's sub-domain and renormalised, and carries a
+//! weight equal to the parent weight multiplied by the probability mass on
+//! its side of the split.
+
+use udt_data::{Tuple, UncertainValue};
+use udt_prob::DiscreteDist;
+
+use crate::counts::{ClassCounts, WEIGHT_EPSILON};
+
+/// A weighted (possibly fractional) training tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FractionalTuple {
+    /// The tuple's attribute values. The split attribute's pdf is replaced
+    /// by its restricted/renormalised version every time the tuple is
+    /// fractionally split.
+    pub values: Vec<UncertainValue>,
+    /// Class label index.
+    pub label: usize,
+    /// The tuple's weight `w ∈ (0, 1]` (1 for whole tuples).
+    pub weight: f64,
+}
+
+impl FractionalTuple {
+    /// Wraps a whole training tuple with weight 1.
+    pub fn from_tuple(tuple: &Tuple) -> Self {
+        FractionalTuple {
+            values: tuple.values().to_vec(),
+            label: tuple.label(),
+            weight: 1.0,
+        }
+    }
+
+    /// Splits this tuple at `split` on numerical attribute `attribute`,
+    /// returning the left and/or right fractional tuples (those that
+    /// receive non-negligible weight).
+    ///
+    /// * A tuple whose pdf lies entirely at or below the split point goes
+    ///   wholly left; entirely above goes wholly right.
+    /// * Otherwise it is divided: the left fraction's pdf is the original
+    ///   pdf restricted to `(-∞, split]` and renormalised, with weight
+    ///   `w · p_L`; symmetrically for the right fraction.
+    pub fn split_numeric(
+        &self,
+        attribute: usize,
+        split: f64,
+    ) -> (Option<FractionalTuple>, Option<FractionalTuple>) {
+        let pdf = match self.values[attribute].as_numeric() {
+            Some(pdf) => pdf,
+            // A categorical value cannot be split on a numerical test; the
+            // builder never asks for this, but fall back to sending the
+            // whole tuple left to keep the operation total.
+            None => return (Some(self.clone()), None),
+        };
+        let (p_left, left_pdf, right_pdf) = pdf.split_at(split);
+        let mut left = None;
+        let mut right = None;
+        if p_left * self.weight > WEIGHT_EPSILON {
+            let mut values = self.values.clone();
+            if let Some(lp) = left_pdf {
+                values[attribute] = UncertainValue::Numeric(lp);
+            }
+            left = Some(FractionalTuple {
+                values,
+                label: self.label,
+                weight: self.weight * p_left,
+            });
+        }
+        let p_right = 1.0 - p_left;
+        if p_right * self.weight > WEIGHT_EPSILON {
+            let mut values = self.values.clone();
+            if let Some(rp) = right_pdf {
+                values[attribute] = UncertainValue::Numeric(rp);
+            }
+            right = Some(FractionalTuple {
+                values,
+                label: self.label,
+                weight: self.weight * p_right,
+            });
+        }
+        (left, right)
+    }
+
+    /// Splits this tuple over the categories of categorical attribute
+    /// `attribute` (§7.2): the tuple is copied into bucket `v` with weight
+    /// `w · f(v)` whenever that weight is non-negligible, and the copied
+    /// value becomes certain at `v`.
+    pub fn split_categorical(&self, attribute: usize) -> Vec<(usize, FractionalTuple)> {
+        let dist: &DiscreteDist = match self.values[attribute].as_categorical() {
+            Some(d) => d,
+            None => return Vec::new(),
+        };
+        let cardinality = dist.cardinality();
+        let mut out = Vec::new();
+        for v in 0..cardinality {
+            let w = self.weight * dist.prob(v);
+            if w <= WEIGHT_EPSILON {
+                continue;
+            }
+            let mut values = self.values.clone();
+            values[attribute] = UncertainValue::category(v, cardinality);
+            out.push((
+                v,
+                FractionalTuple {
+                    values,
+                    label: self.label,
+                    weight: w,
+                },
+            ));
+        }
+        out
+    }
+}
+
+/// Sums the weights of a set of fractional tuples into per-class counts.
+pub fn class_counts(tuples: &[FractionalTuple], n_classes: usize) -> ClassCounts {
+    let mut counts = ClassCounts::new(n_classes);
+    for t in tuples {
+        counts.add(t.label, t.weight);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_prob::SampledPdf;
+
+    fn uncertain_tuple(points: &[f64], mass: &[f64], label: usize) -> FractionalTuple {
+        let pdf = SampledPdf::new(points.to_vec(), mass.to_vec()).unwrap();
+        FractionalTuple {
+            values: vec![UncertainValue::Numeric(pdf)],
+            label,
+            weight: 1.0,
+        }
+    }
+
+    #[test]
+    fn whole_tuple_wrapping() {
+        let t = Tuple::from_points(&[1.0, 2.0], 1);
+        let f = FractionalTuple::from_tuple(&t);
+        assert_eq!(f.weight, 1.0);
+        assert_eq!(f.label, 1);
+        assert_eq!(f.values.len(), 2);
+    }
+
+    #[test]
+    fn split_divides_weight_according_to_mass() {
+        // Fig. 1: 30 % of the mass at or below −1.
+        let t = uncertain_tuple(
+            &[-2.5, -2.0, -1.0, 0.0, 1.0, 2.0],
+            &[0.1, 0.1, 0.1, 0.2, 0.3, 0.2],
+            0,
+        );
+        let (left, right) = t.split_numeric(0, -1.0);
+        let left = left.unwrap();
+        let right = right.unwrap();
+        assert!((left.weight - 0.3).abs() < 1e-12);
+        assert!((right.weight - 0.7).abs() < 1e-12);
+        // The children's pdfs are restricted to their sub-domains.
+        assert!(left.values[0].as_numeric().unwrap().hi() <= -1.0);
+        assert!(right.values[0].as_numeric().unwrap().lo() > -1.0);
+        // Labels are inherited.
+        assert_eq!(left.label, 0);
+        assert_eq!(right.label, 0);
+    }
+
+    #[test]
+    fn split_entirely_on_one_side_keeps_the_tuple_whole() {
+        let t = uncertain_tuple(&[5.0, 6.0], &[0.5, 0.5], 1);
+        let (left, right) = t.split_numeric(0, 10.0);
+        assert!(right.is_none());
+        assert_eq!(left.unwrap(), t);
+        let (left, right) = t.split_numeric(0, 0.0);
+        assert!(left.is_none());
+        assert_eq!(right.unwrap(), t);
+    }
+
+    #[test]
+    fn nested_splits_multiply_weights() {
+        let t = uncertain_tuple(&[0.0, 1.0, 2.0, 3.0], &[0.25, 0.25, 0.25, 0.25], 0);
+        let (left, _) = t.split_numeric(0, 1.0);
+        let left = left.unwrap();
+        assert!((left.weight - 0.5).abs() < 1e-12);
+        let (ll, lr) = left.split_numeric(0, 0.0);
+        assert!((ll.unwrap().weight - 0.25).abs() < 1e-12);
+        assert!((lr.unwrap().weight - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn categorical_split_fans_out_by_probability() {
+        let dist = DiscreteDist::new(vec![0.5, 0.0, 0.5]).unwrap();
+        let t = FractionalTuple {
+            values: vec![UncertainValue::Categorical(dist)],
+            label: 2,
+            weight: 0.8,
+        };
+        let parts = t.split_categorical(0);
+        assert_eq!(parts.len(), 2, "zero-probability category is dropped");
+        assert_eq!(parts[0].0, 0);
+        assert_eq!(parts[1].0, 2);
+        for (v, p) in &parts {
+            assert!((p.weight - 0.4).abs() < 1e-12);
+            assert_eq!(p.label, 2);
+            assert_eq!(p.values[0].as_categorical().unwrap().mode(), *v);
+            assert!(p.values[0].as_categorical().unwrap().is_certain());
+        }
+    }
+
+    #[test]
+    fn categorical_split_on_numeric_value_is_empty() {
+        let t = uncertain_tuple(&[1.0, 2.0], &[0.5, 0.5], 0);
+        assert!(t.split_categorical(0).is_empty());
+    }
+
+    #[test]
+    fn class_counts_sum_weights() {
+        let a = uncertain_tuple(&[0.0, 1.0], &[0.5, 0.5], 0);
+        let mut b = uncertain_tuple(&[0.0, 1.0], &[0.5, 0.5], 1);
+        b.weight = 0.25;
+        let counts = class_counts(&[a, b], 3);
+        assert_eq!(counts.as_slice(), &[1.0, 0.25, 0.0]);
+    }
+}

@@ -1,0 +1,326 @@
+//! Decision-tree structure.
+//!
+//! The trees built here follow §3.1–3.2 of the paper: each internal node
+//! carries a crisp binary test `v ≤ z` on one numerical attribute (or a
+//! multi-way test on a categorical attribute, §7.2); each leaf carries a
+//! probability distribution over class labels derived from the (fractional)
+//! training tuples that reached it. Classification of an uncertain test
+//! tuple is implemented in [`crate::classify`] and surfaced here as
+//! [`DecisionTree::predict_distribution`].
+
+use serde::{Deserialize, Serialize};
+use udt_data::Tuple;
+
+use crate::counts::ClassCounts;
+
+/// One node of a decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Node {
+    /// A leaf node carrying a class distribution.
+    Leaf {
+        /// Normalised class distribution `P_m(c)`.
+        distribution: Vec<f64>,
+        /// The (fractional) training class counts that produced it; kept so
+        /// that post-pruning can re-derive error estimates without touching
+        /// the training data again.
+        counts: ClassCounts,
+    },
+    /// An internal node testing `value(attribute) ≤ split`.
+    Split {
+        /// Attribute index tested.
+        attribute: usize,
+        /// Split point `z_n`.
+        split: f64,
+        /// Training class counts at this node (for post-pruning).
+        counts: ClassCounts,
+        /// Subtree for tuples passing the test (`v ≤ z`).
+        left: Box<Node>,
+        /// Subtree for tuples failing the test (`v > z`).
+        right: Box<Node>,
+    },
+    /// An internal node fanning out over the categories of a categorical
+    /// attribute (§7.2); child `v` handles tuples whose value is category
+    /// `v`.
+    CategoricalSplit {
+        /// Attribute index tested.
+        attribute: usize,
+        /// Training class counts at this node (for post-pruning).
+        counts: ClassCounts,
+        /// One child per category, in category order.
+        children: Vec<Node>,
+    },
+}
+
+impl Node {
+    /// Creates a leaf from training counts.
+    pub fn leaf(counts: ClassCounts) -> Node {
+        Node::Leaf {
+            distribution: counts.distribution(),
+            counts,
+        }
+    }
+
+    /// The training class counts recorded at this node.
+    pub fn counts(&self) -> &ClassCounts {
+        match self {
+            Node::Leaf { counts, .. }
+            | Node::Split { counts, .. }
+            | Node::CategoricalSplit { counts, .. } => counts,
+        }
+    }
+
+    /// Whether this node is a leaf.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Number of nodes in the subtree rooted here.
+    pub fn size(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.size() + right.size(),
+            Node::CategoricalSplit { children, .. } => {
+                1 + children.iter().map(Node::size).sum::<usize>()
+            }
+        }
+    }
+
+    /// Number of leaves in the subtree rooted here.
+    pub fn n_leaves(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
+            Node::CategoricalSplit { children, .. } => {
+                children.iter().map(Node::n_leaves).sum::<usize>()
+            }
+        }
+    }
+
+    /// Depth of the subtree rooted here (a single leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            Node::Leaf { .. } => 1,
+            Node::Split { left, right, .. } => 1 + left.depth().max(right.depth()),
+            Node::CategoricalSplit { children, .. } => {
+                1 + children.iter().map(Node::depth).max().unwrap_or(0)
+            }
+        }
+    }
+
+    fn render(&self, class_names: &[String], indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent);
+        match self {
+            Node::Leaf { distribution, .. } => {
+                let best = distribution
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0);
+                let name = class_names
+                    .get(best)
+                    .map(String::as_str)
+                    .unwrap_or("<unknown>");
+                out.push_str(&format!(
+                    "{pad}leaf: {name} {:?}\n",
+                    distribution
+                        .iter()
+                        .map(|p| (p * 100.0).round() / 100.0)
+                        .collect::<Vec<_>>()
+                ));
+            }
+            Node::Split {
+                attribute,
+                split,
+                left,
+                right,
+                ..
+            } => {
+                out.push_str(&format!("{pad}if A{attribute} <= {split:.4}:\n"));
+                left.render(class_names, indent + 1, out);
+                out.push_str(&format!("{pad}else:\n"));
+                right.render(class_names, indent + 1, out);
+            }
+            Node::CategoricalSplit {
+                attribute,
+                children,
+                ..
+            } => {
+                out.push_str(&format!("{pad}switch A{attribute}:\n"));
+                for (v, child) in children.iter().enumerate() {
+                    out.push_str(&format!("{pad}case {v}:\n"));
+                    child.render(class_names, indent + 1, out);
+                }
+            }
+        }
+    }
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DecisionTree {
+    root: Node,
+    n_attributes: usize,
+    class_names: Vec<String>,
+}
+
+impl DecisionTree {
+    /// Assembles a tree from its root node and metadata.
+    pub fn new(root: Node, n_attributes: usize, class_names: Vec<String>) -> Self {
+        DecisionTree {
+            root,
+            n_attributes,
+            class_names,
+        }
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.root
+    }
+
+    /// Mutable access to the root node (used by post-pruning).
+    pub fn root_mut(&mut self) -> &mut Node {
+        &mut self.root
+    }
+
+    /// Number of attributes the tree was trained on.
+    pub fn n_attributes(&self) -> usize {
+        self.n_attributes
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.class_names.len()
+    }
+
+    /// Class names, indexed by label.
+    pub fn class_names(&self) -> &[String] {
+        &self.class_names
+    }
+
+    /// Total node count.
+    pub fn size(&self) -> usize {
+        self.root.size()
+    }
+
+    /// Leaf count.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+
+    /// Tree depth.
+    pub fn depth(&self) -> usize {
+        self.root.depth()
+    }
+
+    /// Classifies an uncertain test tuple, returning the probability
+    /// distribution over class labels (§3.2).
+    pub fn predict_distribution(&self, tuple: &Tuple) -> Vec<f64> {
+        crate::classify::predict_distribution(self, tuple)
+    }
+
+    /// Classifies an uncertain test tuple and returns the single most
+    /// probable class label, as the paper does when "a single result is
+    /// desired".
+    pub fn predict(&self, tuple: &Tuple) -> usize {
+        let dist = self.predict_distribution(tuple);
+        dist.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// A human-readable rendering of the tree (one line per node).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.root.render(&self.class_names, 0, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_tree() -> DecisionTree {
+        // The post-pruned tree of Fig. 2b: root split at 0, left leaf
+        // mostly class B, right leaf mostly class A.
+        let left = Node::Leaf {
+            distribution: vec![0.212, 0.788],
+            counts: ClassCounts::from_vec(vec![0.636, 2.364]),
+        };
+        let right = Node::Leaf {
+            distribution: vec![0.80, 0.20],
+            counts: ClassCounts::from_vec(vec![2.4, 0.6]),
+        };
+        let root = Node::Split {
+            attribute: 0,
+            split: 0.0,
+            counts: ClassCounts::from_vec(vec![3.0, 3.0]),
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        DecisionTree::new(root, 1, vec!["A".into(), "B".into()])
+    }
+
+    #[test]
+    fn structural_statistics() {
+        let tree = sample_tree();
+        assert_eq!(tree.size(), 3);
+        assert_eq!(tree.n_leaves(), 2);
+        assert_eq!(tree.depth(), 2);
+        assert_eq!(tree.n_attributes(), 1);
+        assert_eq!(tree.n_classes(), 2);
+        assert!(!tree.root().is_leaf());
+    }
+
+    #[test]
+    fn leaf_from_counts_normalises() {
+        let leaf = Node::leaf(ClassCounts::from_vec(vec![1.0, 3.0]));
+        match &leaf {
+            Node::Leaf { distribution, .. } => {
+                assert_eq!(distribution, &vec![0.25, 0.75]);
+            }
+            _ => panic!("expected leaf"),
+        }
+        assert_eq!(leaf.size(), 1);
+        assert_eq!(leaf.depth(), 1);
+    }
+
+    #[test]
+    fn point_tuple_prediction_follows_the_split() {
+        let tree = sample_tree();
+        let left_tuple = Tuple::from_points(&[-5.0], 0);
+        let right_tuple = Tuple::from_points(&[5.0], 0);
+        assert_eq!(tree.predict(&left_tuple), 1, "left leaf favours class B");
+        assert_eq!(tree.predict(&right_tuple), 0, "right leaf favours class A");
+    }
+
+    #[test]
+    fn render_mentions_split_and_classes() {
+        let tree = sample_tree();
+        let text = tree.render();
+        assert!(text.contains("A0"));
+        assert!(text.contains("leaf"));
+        assert!(text.contains("else"));
+    }
+
+    #[test]
+    fn categorical_node_statistics() {
+        let children = vec![
+            Node::leaf(ClassCounts::from_vec(vec![1.0, 0.0])),
+            Node::leaf(ClassCounts::from_vec(vec![0.0, 1.0])),
+            Node::leaf(ClassCounts::from_vec(vec![0.5, 0.5])),
+        ];
+        let node = Node::CategoricalSplit {
+            attribute: 2,
+            counts: ClassCounts::from_vec(vec![1.5, 1.5]),
+            children,
+        };
+        assert_eq!(node.size(), 4);
+        assert_eq!(node.n_leaves(), 3);
+        assert_eq!(node.depth(), 2);
+    }
+}

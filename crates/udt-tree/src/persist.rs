@@ -1,0 +1,92 @@
+//! Model persistence.
+//!
+//! Trained trees are plain serde-serialisable data, so they can be stored
+//! and shipped as JSON — useful for the experiment harness (caching a tree
+//! across runs) and for downstream users who train offline and classify
+//! online. The format is the straightforward serde projection of
+//! [`DecisionTree`]; it is stable as long as the node structure is.
+
+use crate::node::DecisionTree;
+use crate::Result;
+use crate::TreeError;
+
+/// Serialises a tree to a JSON string.
+pub fn to_json(tree: &DecisionTree) -> Result<String> {
+    serde_json::to_string(tree).map_err(|e| TreeError::InvalidConfig {
+        name: "serialisation failed (unrepresentable float?)",
+        value: e.line() as f64,
+    })
+}
+
+/// Deserialises a tree from a JSON string produced by [`to_json`].
+pub fn from_json(json: &str) -> Result<DecisionTree> {
+    serde_json::from_str(json).map_err(|e| TreeError::InvalidConfig {
+        name: "deserialisation failed",
+        value: e.line() as f64,
+    })
+}
+
+/// Writes a tree to a JSON file.
+pub fn save(tree: &DecisionTree, path: &std::path::Path) -> Result<()> {
+    let json = to_json(tree)?;
+    std::fs::write(path, json).map_err(|_| TreeError::InvalidConfig {
+        name: "could not write model file",
+        value: 0.0,
+    })
+}
+
+/// Reads a tree from a JSON file written by [`save`].
+pub fn load(path: &std::path::Path) -> Result<DecisionTree> {
+    let json = std::fs::read_to_string(path).map_err(|_| TreeError::InvalidConfig {
+        name: "could not read model file",
+        value: 0.0,
+    })?;
+    from_json(&json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Algorithm, TreeBuilder, UdtConfig};
+    use udt_data::toy;
+
+    fn trained() -> DecisionTree {
+        TreeBuilder::new(
+            UdtConfig::new(Algorithm::UdtEs)
+                .with_postprune(false)
+                .with_min_node_weight(0.0),
+        )
+        .build(&toy::table1_dataset().unwrap())
+        .unwrap()
+        .tree
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_the_tree_and_its_predictions() {
+        let tree = trained();
+        let json = to_json(&tree).unwrap();
+        let restored = from_json(&json).unwrap();
+        assert_eq!(tree, restored);
+        let data = toy::table1_dataset().unwrap();
+        for t in data.tuples() {
+            assert_eq!(tree.predict(t), restored.predict(t));
+            assert_eq!(tree.predict_distribution(t), restored.predict_distribution(t));
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let tree = trained();
+        let path = std::env::temp_dir().join("udt-tree-model-test.json");
+        save(&tree, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(tree, restored);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn malformed_input_is_rejected() {
+        assert!(from_json("{not json").is_err());
+        assert!(load(std::path::Path::new("/no/such/model.json")).is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Application of the pruning techniques to point data (§7.5).
+//!
+//! The bounding and end-point-sampling techniques were designed for
+//! uncertain data but apply unchanged to classical point-valued data, where
+//! they reduce the number of entropy computations when the number of tuples
+//! is large. This module provides a thin convenience wrapper that builds a
+//! classical decision tree (every value collapsed to a point) with any of
+//! the UDT split-search strategies, so the §7.5 claim can be measured
+//! directly (see the `point_data` benchmark).
+
+use udt_data::Dataset;
+
+use crate::builder::{BuildReport, TreeBuilder};
+use crate::config::{Algorithm, UdtConfig};
+use crate::Result;
+
+/// Builds a decision tree over the *point projection* of `data` (every
+/// value replaced by its mean) using the split-search strategy of
+/// `algorithm`. With [`Algorithm::Avg`] or [`Algorithm::Udt`] this is the
+/// classical exhaustive C4.5-style construction; the pruned algorithms
+/// demonstrate the §7.5 speed-up on large point data sets.
+pub fn build_point_tree(data: &Dataset, algorithm: Algorithm) -> Result<BuildReport> {
+    let averaged = data.to_averaged();
+    TreeBuilder::new(UdtConfig::new(algorithm)).build(&averaged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::Tuple;
+
+    fn point_dataset(n: usize) -> Dataset {
+        let mut ds = Dataset::numerical(2, 2);
+        for i in 0..n {
+            let class = i % 2;
+            let x = class as f64 * 5.0 + (i % 7) as f64 * 0.3;
+            let y = (i % 11) as f64;
+            ds.push(Tuple::from_points(&[x, y], class)).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn point_trees_from_all_strategies_agree_on_accuracy() {
+        let ds = point_dataset(60);
+        let reference = build_point_tree(&ds, Algorithm::Udt).unwrap();
+        let reference_acc = ds
+            .tuples()
+            .iter()
+            .filter(|t| reference.tree.predict(t) == t.label())
+            .count();
+        for algorithm in [Algorithm::UdtBp, Algorithm::UdtGp, Algorithm::UdtEs] {
+            let report = build_point_tree(&ds, algorithm).unwrap();
+            let acc = ds
+                .tuples()
+                .iter()
+                .filter(|t| report.tree.predict(t) == t.label())
+                .count();
+            assert_eq!(acc, reference_acc, "{algorithm:?}");
+        }
+    }
+
+    #[test]
+    fn end_point_sampling_saves_work_on_point_data() {
+        let ds = point_dataset(400);
+        let udt = build_point_tree(&ds, Algorithm::Udt).unwrap();
+        let es = build_point_tree(&ds, Algorithm::UdtEs).unwrap();
+        assert!(
+            es.stats.entropy_like_calculations() <= udt.stats.entropy_like_calculations(),
+            "ES ({}) should not exceed UDT ({}) on point data",
+            es.stats.entropy_like_calculations(),
+            udt.stats.entropy_like_calculations()
+        );
+    }
+
+    #[test]
+    fn uncertain_data_is_collapsed_before_building() {
+        use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+        let ds = point_dataset(30);
+        let uncertain = inject_uncertainty(&ds, &UncertaintySpec::baseline().with_s(20)).unwrap();
+        let report = build_point_tree(&uncertain, Algorithm::UdtGp).unwrap();
+        // The point tree never sees more than one sample per value, so its
+        // candidate pool equals the averaged data's distinct values.
+        assert!(report.stats.candidate_points <= (uncertain.len() as u64 + 1) * 2);
+    }
+}

@@ -1,0 +1,175 @@
+//! Split-point search strategies.
+//!
+//! Every tree node asks a [`SplitSearch`] strategy for the best `(attribute,
+//! split point)` pair over the node's fractional tuples. The strategies
+//! implement the paper's algorithms:
+//!
+//! * [`exhaustive::ExhaustiveSearch`] — UDT's brute-force search over every
+//!   pdf sample point (§4.2), also used (on point data) by AVG (§4.1);
+//! * [`pruned::PrunedSearch`] — the common engine behind UDT-BP, UDT-LP,
+//!   UDT-GP and UDT-ES (§5), configured via [`pruned::BoundingMode`] and
+//!   the end-point sampling rate;
+//! * [`bp`], [`lp`], [`gp`], [`es`] — thin constructors selecting the
+//!   paper's exact configurations.
+//!
+//! All strategies record their work in [`SearchStats`], whose
+//! `entropy_like_calculations` counter is the quantity plotted in the
+//! paper's Fig. 7.
+
+pub mod bp;
+pub mod es;
+pub mod exhaustive;
+pub mod gp;
+pub mod lp;
+pub mod pruned;
+
+use serde::{Deserialize, Serialize};
+
+use crate::events::AttributeEvents;
+use crate::measure::Measure;
+
+/// The best split found for a node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitChoice {
+    /// Index of the attribute to test.
+    pub attribute: usize,
+    /// Split point `z`; the node's test is `v ≤ z`.
+    pub split: f64,
+    /// The dispersion score achieved (lower is better).
+    pub score: f64,
+}
+
+impl SplitChoice {
+    /// Whether `candidate` improves on `self` under the deterministic
+    /// ordering used by every strategy: strictly better score first, then
+    /// lower attribute index, then lower split point. The tolerance makes
+    /// tie-breaking stable under floating-point jitter so that all
+    /// algorithms pick the same split when scores tie.
+    pub fn is_improved_by(&self, candidate: &SplitChoice) -> bool {
+        const TOL: f64 = 1e-12;
+        if candidate.score < self.score - TOL {
+            return true;
+        }
+        if candidate.score > self.score + TOL {
+            return false;
+        }
+        (candidate.attribute, candidate.split) < (self.attribute, self.split)
+    }
+}
+
+/// Instrumentation counters for one tree construction (the quantities
+/// reported in the paper's Figs. 6 and 7).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchStats {
+    /// Dispersion evaluations at candidate split points.
+    pub entropy_calculations: u64,
+    /// Interval lower-bound evaluations (eq. 3 / eq. 4). The paper counts
+    /// these together with entropy calculations because they cost about the
+    /// same.
+    pub bound_calculations: u64,
+    /// Dispersion evaluations performed at interval end points (a subset of
+    /// `entropy_calculations`).
+    pub end_point_evaluations: u64,
+    /// Candidate split points available across all attributes (the search
+    /// space size `k·(m·s − 1)` of §4.2).
+    pub candidate_points: u64,
+    /// End-point intervals examined.
+    pub intervals_examined: u64,
+    /// Intervals whose interiors were pruned (by Theorems 1–3 or by
+    /// bounding).
+    pub intervals_pruned: u64,
+    /// Tree nodes for which a split search was run.
+    pub nodes_searched: u64,
+}
+
+impl SearchStats {
+    /// Total "entropy-like" computations — the quantity of Fig. 7.
+    pub fn entropy_like_calculations(&self) -> u64 {
+        self.entropy_calculations + self.bound_calculations
+    }
+
+    /// Accumulates `other` into `self`.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.entropy_calculations += other.entropy_calculations;
+        self.bound_calculations += other.bound_calculations;
+        self.end_point_evaluations += other.end_point_evaluations;
+        self.candidate_points += other.candidate_points;
+        self.intervals_examined += other.intervals_examined;
+        self.intervals_pruned += other.intervals_pruned;
+        self.nodes_searched += other.nodes_searched;
+    }
+}
+
+/// A strategy for finding the best split over a node's numerical
+/// attributes.
+pub trait SplitSearch: Send + Sync {
+    /// Finds the best split over the given per-attribute candidate
+    /// structures (pairs of attribute index and its [`AttributeEvents`]).
+    /// Returns `None` when no valid split exists. Work is recorded in
+    /// `stats`.
+    fn find_best(
+        &self,
+        events: &[(usize, AttributeEvents)],
+        measure: Measure,
+        stats: &mut SearchStats,
+    ) -> Option<SplitChoice>;
+
+    /// Short algorithm name for reports ("UDT", "UDT-ES", …).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_choice_ordering_prefers_lower_score_then_attribute_then_split() {
+        let base = SplitChoice {
+            attribute: 1,
+            split: 5.0,
+            score: 0.5,
+        };
+        assert!(base.is_improved_by(&SplitChoice {
+            attribute: 3,
+            split: 9.0,
+            score: 0.4
+        }));
+        assert!(!base.is_improved_by(&SplitChoice {
+            attribute: 0,
+            split: 0.0,
+            score: 0.6
+        }));
+        // Equal score: lower attribute wins.
+        assert!(base.is_improved_by(&SplitChoice {
+            attribute: 0,
+            split: 9.0,
+            score: 0.5
+        }));
+        // Equal score and attribute: lower split wins.
+        assert!(base.is_improved_by(&SplitChoice {
+            attribute: 1,
+            split: 4.0,
+            score: 0.5
+        }));
+        assert!(!base.is_improved_by(&base.clone()));
+    }
+
+    #[test]
+    fn stats_merge_and_totals() {
+        let mut a = SearchStats {
+            entropy_calculations: 10,
+            bound_calculations: 2,
+            end_point_evaluations: 4,
+            candidate_points: 100,
+            intervals_examined: 5,
+            intervals_pruned: 3,
+            nodes_searched: 1,
+        };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.entropy_calculations, 20);
+        assert_eq!(a.bound_calculations, 4);
+        assert_eq!(a.entropy_like_calculations(), 24);
+        assert_eq!(a.nodes_searched, 2);
+    }
+}

@@ -1,0 +1,502 @@
+//! The common pruning engine behind UDT-BP, UDT-LP, UDT-GP and UDT-ES.
+//!
+//! All four algorithms of §5 share the same skeleton:
+//!
+//! 1. evaluate the dispersion score at interval *end points* (all of them,
+//!    or a sample of them for UDT-ES);
+//! 2. skip the interiors of empty and homogeneous intervals (Theorems 1–2;
+//!    for uniform pdfs Theorem 3 additionally allows skipping every
+//!    interior);
+//! 3. optionally compute the eq. 3 / eq. 4 lower bound of each remaining
+//!    heterogeneous interval and prune it when the bound cannot beat the
+//!    best score found so far — locally per attribute (UDT-LP) or globally
+//!    across attributes (UDT-GP / UDT-ES);
+//! 4. for UDT-ES, intervals that survive the coarse (sampled-end-point)
+//!    pass are refined: the original end points inside them are evaluated
+//!    and the finer intervals re-pruned before any interior sample point is
+//!    evaluated.
+//!
+//! The pruning is *safe*: a candidate is only skipped when a theorem or a
+//! lower bound guarantees it cannot score better than a candidate that is
+//! kept, so the optimal score is always preserved (verified by property
+//! tests against [`super::exhaustive::ExhaustiveSearch`]).
+
+use crate::events::{AttributeEvents, Interval, IntervalKind};
+use crate::measure::Measure;
+use crate::split::{SearchStats, SplitChoice, SplitSearch};
+
+/// How lower-bound pruning of heterogeneous intervals is thresholded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundingMode {
+    /// No bounding: only Theorems 1–3 are used (UDT-BP).
+    None,
+    /// Threshold is the best end-point score of the *same attribute*
+    /// (UDT-LP).
+    Local,
+    /// Threshold is the best score seen so far across *all* attributes
+    /// (UDT-GP, UDT-ES).
+    Global,
+}
+
+/// Configuration of the pruning engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrunedSearch {
+    bounding: BoundingMode,
+    /// When `Some(rate)`, only that fraction of end points is evaluated up
+    /// front (always at least the two extreme ones); surviving coarse
+    /// intervals are refined on demand (UDT-ES, §5.3).
+    end_point_sample_rate: Option<f64>,
+    /// When true, every pdf is known to be uniform, so Theorem 3 applies
+    /// and interior points of *heterogeneous* intervals can be skipped as
+    /// well. Note: the theorem is exact for continuous uniform pdfs; for
+    /// the discretised pdfs used here it is exact only when all pdfs share
+    /// a common sample grid (otherwise a pdf whose domain begins exactly at
+    /// an interval's right end point breaks the linear-count premise), so
+    /// the hint is best treated as an approximation that trades a small
+    /// amount of optimality for end-point-only search.
+    uniform_pdf_hint: bool,
+    name: &'static str,
+}
+
+impl PrunedSearch {
+    /// Creates an engine with explicit settings. `name` is used in reports.
+    pub fn new(
+        bounding: BoundingMode,
+        end_point_sample_rate: Option<f64>,
+        uniform_pdf_hint: bool,
+        name: &'static str,
+    ) -> Self {
+        PrunedSearch {
+            bounding,
+            end_point_sample_rate,
+            uniform_pdf_hint,
+            name,
+        }
+    }
+
+    /// Returns a copy with the Theorem 3 uniform-pdf hint enabled.
+    pub fn with_uniform_hint(mut self, hint: bool) -> Self {
+        self.uniform_pdf_hint = hint;
+        self
+    }
+
+    /// The configured bounding mode.
+    pub fn bounding(&self) -> BoundingMode {
+        self.bounding
+    }
+
+    /// The configured end-point sampling rate, if any.
+    pub fn sample_rate(&self) -> Option<f64> {
+        self.end_point_sample_rate
+    }
+
+    /// Evaluates the score at position `idx`, updating `best` and counters.
+    fn evaluate(
+        ev: &AttributeEvents,
+        attribute: usize,
+        idx: usize,
+        measure: Measure,
+        is_end_point: bool,
+        best: &mut Option<SplitChoice>,
+        stats: &mut SearchStats,
+    ) -> f64 {
+        if idx + 1 == ev.n_positions() {
+            // The largest position is not a valid split point (its right
+            // side is empty), so it is not part of the paper's `m·s − 1`
+            // candidates and costs nothing to reject.
+            return f64::INFINITY;
+        }
+        let score = ev.score_at(idx, measure);
+        stats.entropy_calculations += 1;
+        if is_end_point {
+            stats.end_point_evaluations += 1;
+        }
+        if score.is_finite() {
+            let candidate = SplitChoice {
+                attribute,
+                split: ev.xs()[idx],
+                score,
+            };
+            match best {
+                Some(b) if !b.is_improved_by(&candidate) => {}
+                _ => *best = Some(candidate),
+            }
+        }
+        score
+    }
+
+    /// The pruning threshold applicable to `attribute` right now.
+    fn threshold(
+        &self,
+        attribute_best: Option<f64>,
+        global_best: &Option<SplitChoice>,
+    ) -> f64 {
+        match self.bounding {
+            BoundingMode::None => f64::NEG_INFINITY,
+            BoundingMode::Local => attribute_best.unwrap_or(f64::INFINITY),
+            BoundingMode::Global => global_best.as_ref().map_or(f64::INFINITY, |b| b.score),
+        }
+    }
+
+    /// Whether the interval's interior can be skipped without a bound.
+    fn theorem_prunes_interior(&self, kind: IntervalKind, measure: Measure) -> bool {
+        match kind {
+            IntervalKind::Empty => true,
+            IntervalKind::Homogeneous => measure.supports_homogeneous_pruning(),
+            IntervalKind::Heterogeneous => self.uniform_pdf_hint,
+        }
+    }
+
+    /// Selects the sampled end-point boundary indices for one attribute.
+    fn sampled_boundaries(&self, ev: &AttributeEvents) -> Vec<usize> {
+        let all = ev.end_point_indices();
+        let Some(rate) = self.end_point_sample_rate else {
+            return all.to_vec();
+        };
+        if all.len() <= 2 {
+            return all.to_vec();
+        }
+        let target = ((all.len() as f64 * rate).ceil() as usize).clamp(2, all.len());
+        if target >= all.len() {
+            return all.to_vec();
+        }
+        // Evenly spaced sample always containing the first and last end
+        // point, so the sampled intervals still cover the whole domain.
+        let mut picked: Vec<usize> = (0..target)
+            .map(|i| {
+                let pos = i as f64 * (all.len() - 1) as f64 / (target - 1) as f64;
+                all[pos.round() as usize]
+            })
+            .collect();
+        picked.dedup();
+        picked
+    }
+
+    /// Processes one (possibly coarse) interval: applies theorem- and
+    /// bound-based pruning, refines coarse intervals when end-point
+    /// sampling is active, and evaluates surviving interior candidates.
+    #[allow(clippy::too_many_arguments)]
+    fn process_interval(
+        &self,
+        ev: &AttributeEvents,
+        attribute: usize,
+        interval: &Interval,
+        measure: Measure,
+        refine: bool,
+        attribute_best: &mut Option<f64>,
+        best: &mut Option<SplitChoice>,
+        stats: &mut SearchStats,
+    ) {
+        stats.intervals_examined += 1;
+        if ev.interior_candidates(interval).is_empty() {
+            return;
+        }
+        if self.theorem_prunes_interior(interval.kind, measure) {
+            stats.intervals_pruned += 1;
+            return;
+        }
+        if self.bounding != BoundingMode::None {
+            let threshold = self.threshold(*attribute_best, best);
+            let bound = ev.interval_lower_bound(interval.lo_idx, interval.hi_idx, measure);
+            stats.bound_calculations += 1;
+            if bound >= threshold {
+                stats.intervals_pruned += 1;
+                return;
+            }
+        }
+        if refine {
+            // UDT-ES: bring back the original end points inside this coarse
+            // interval, evaluate them, and re-prune the finer intervals.
+            let inner: Vec<usize> = ev
+                .end_point_indices()
+                .iter()
+                .copied()
+                .filter(|&i| i > interval.lo_idx && i < interval.hi_idx)
+                .collect();
+            if !inner.is_empty() {
+                for &idx in &inner {
+                    let score =
+                        Self::evaluate(ev, attribute, idx, measure, true, best, stats);
+                    if score.is_finite() {
+                        *attribute_best =
+                            Some(attribute_best.map_or(score, |b: f64| b.min(score)));
+                    }
+                }
+                let mut boundaries = Vec::with_capacity(inner.len() + 2);
+                boundaries.push(interval.lo_idx);
+                boundaries.extend(inner);
+                boundaries.push(interval.hi_idx);
+                for fine in ev.intervals_between(&boundaries) {
+                    self.process_interval(
+                        ev,
+                        attribute,
+                        &fine,
+                        measure,
+                        false,
+                        attribute_best,
+                        best,
+                        stats,
+                    );
+                }
+                return;
+            }
+        }
+        for idx in ev.interior_candidates(interval) {
+            Self::evaluate(ev, attribute, idx, measure, false, best, stats);
+        }
+    }
+}
+
+impl SplitSearch for PrunedSearch {
+    fn find_best(
+        &self,
+        events: &[(usize, AttributeEvents)],
+        measure: Measure,
+        stats: &mut SearchStats,
+    ) -> Option<SplitChoice> {
+        let mut best: Option<SplitChoice> = None;
+        // Per-attribute boundary choices and best end-point scores.
+        let mut boundaries: Vec<Vec<usize>> = Vec::with_capacity(events.len());
+        let mut attribute_best: Vec<Option<f64>> = vec![None; events.len()];
+
+        // Pass 1: evaluate (sampled) end points for every attribute. Doing
+        // this for all attributes before any interval work is what makes
+        // the Global threshold of UDT-GP/UDT-ES cross-attribute.
+        for (slot, (attribute, ev)) in events.iter().enumerate() {
+            stats.candidate_points += (ev.n_positions() - 1) as u64;
+            let bounds_idx = self.sampled_boundaries(ev);
+            for &idx in &bounds_idx {
+                let score = Self::evaluate(ev, *attribute, idx, measure, true, &mut best, stats);
+                if score.is_finite() {
+                    attribute_best[slot] =
+                        Some(attribute_best[slot].map_or(score, |b: f64| b.min(score)));
+                }
+            }
+            boundaries.push(bounds_idx);
+        }
+
+        // Pass 2: interval pruning and interior evaluation.
+        let refine = self.end_point_sample_rate.is_some();
+        for (slot, (attribute, ev)) in events.iter().enumerate() {
+            for interval in ev.intervals_between(&boundaries[slot]) {
+                self.process_interval(
+                    ev,
+                    *attribute,
+                    &interval,
+                    measure,
+                    refine,
+                    &mut attribute_best[slot],
+                    &mut best,
+                    stats,
+                );
+            }
+        }
+        best
+    }
+
+    fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::exhaustive::ExhaustiveSearch;
+    use udt_data::UncertainValue;
+    use udt_prob::SampledPdf;
+
+    use crate::fractional::FractionalTuple;
+
+    fn ft(points: &[f64], mass: &[f64], label: usize) -> FractionalTuple {
+        FractionalTuple {
+            values: vec![UncertainValue::Numeric(
+                SampledPdf::new(points.to_vec(), mass.to_vec()).unwrap(),
+            )],
+            label,
+            weight: 1.0,
+        }
+    }
+
+    /// A small but awkward data set: overlapping pdfs of three classes.
+    fn overlapping_tuples() -> Vec<FractionalTuple> {
+        let mut tuples = Vec::new();
+        for i in 0..6 {
+            let base = i as f64;
+            let points: Vec<f64> = (0..10).map(|j| base + j as f64 * 0.3).collect();
+            let mass: Vec<f64> = (0..10).map(|j| 1.0 + ((i + j) % 3) as f64).collect();
+            tuples.push(ft(&points, &mass, i % 3));
+        }
+        tuples
+    }
+
+    fn engines() -> Vec<PrunedSearch> {
+        vec![
+            PrunedSearch::new(BoundingMode::None, None, false, "UDT-BP"),
+            PrunedSearch::new(BoundingMode::Local, None, false, "UDT-LP"),
+            PrunedSearch::new(BoundingMode::Global, None, false, "UDT-GP"),
+            PrunedSearch::new(BoundingMode::Global, Some(0.1), false, "UDT-ES"),
+        ]
+    }
+
+    #[test]
+    fn every_engine_matches_the_exhaustive_optimum() {
+        let tuples = overlapping_tuples();
+        let ev = AttributeEvents::build(&tuples, 0, 3).unwrap();
+        let mut ex_stats = SearchStats::default();
+        let exhaustive = ExhaustiveSearch
+            .find_best(&[(0, ev.clone())], Measure::Entropy, &mut ex_stats)
+            .unwrap();
+        for engine in engines() {
+            let mut stats = SearchStats::default();
+            let found = engine
+                .find_best(&[(0, ev.clone())], Measure::Entropy, &mut stats)
+                .unwrap();
+            assert!(
+                (found.score - exhaustive.score).abs() < 1e-9,
+                "{}: score {} != exhaustive {}",
+                engine.name(),
+                found.score,
+                exhaustive.score
+            );
+            // Pruning may add bound computations on top of the points it
+            // still has to evaluate, so the safe invariant is on the split
+            // evaluations alone, not on the bound-inclusive total.
+            assert!(
+                stats.entropy_calculations <= ex_stats.entropy_calculations,
+                "{}: pruning should not evaluate more split points than exhaustive",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_entropy_calculations_progressively() {
+        let tuples = overlapping_tuples();
+        let ev = AttributeEvents::build(&tuples, 0, 3).unwrap();
+        let mut udt = SearchStats::default();
+        ExhaustiveSearch.find_best(&[(0, ev.clone())], Measure::Entropy, &mut udt);
+        let mut per_engine = Vec::new();
+        for engine in engines() {
+            let mut stats = SearchStats::default();
+            engine.find_best(&[(0, ev.clone())], Measure::Entropy, &mut stats);
+            per_engine.push(stats.entropy_like_calculations());
+        }
+        // BP does no more work than UDT, and the bounded engines do no more
+        // than BP.
+        assert!(per_engine[0] <= udt.entropy_like_calculations());
+        assert!(per_engine[1] <= per_engine[0] + 10);
+        assert!(per_engine[2] <= per_engine[1]);
+    }
+
+    #[test]
+    fn uniform_hint_reduces_to_end_points_only() {
+        // Uniform pdfs: Theorem 3 says the end points suffice.
+        let tuples: Vec<FractionalTuple> = (0..8)
+            .map(|i| {
+                let base = i as f64 * 0.7;
+                let points: Vec<f64> = (0..20).map(|j| base + j as f64 * 0.1).collect();
+                ft(&points, &[1.0; 20], i % 2)
+            })
+            .collect();
+        let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        let mut ex = SearchStats::default();
+        let exhaustive = ExhaustiveSearch
+            .find_best(&[(0, ev.clone())], Measure::Entropy, &mut ex)
+            .unwrap();
+        let engine =
+            PrunedSearch::new(BoundingMode::None, None, false, "UDT-BP").with_uniform_hint(true);
+        let mut stats = SearchStats::default();
+        let found = engine
+            .find_best(&[(0, ev.clone())], Measure::Entropy, &mut stats)
+            .unwrap();
+        assert!((found.score - exhaustive.score).abs() < 1e-9);
+        // Only end points were evaluated.
+        assert_eq!(stats.entropy_calculations, stats.end_point_evaluations);
+        assert!(stats.entropy_calculations < ex.entropy_calculations);
+    }
+
+    #[test]
+    fn end_point_sampling_uses_fewer_end_point_evaluations() {
+        let tuples = overlapping_tuples();
+        let ev = AttributeEvents::build(&tuples, 0, 3).unwrap();
+        let full = PrunedSearch::new(BoundingMode::Global, None, false, "UDT-GP");
+        let sampled = PrunedSearch::new(BoundingMode::Global, Some(0.1), false, "UDT-ES");
+        let mut full_stats = SearchStats::default();
+        let mut sampled_stats = SearchStats::default();
+        let a = full
+            .find_best(&[(0, ev.clone())], Measure::Entropy, &mut full_stats)
+            .unwrap();
+        let b = sampled
+            .find_best(&[(0, ev.clone())], Measure::Entropy, &mut sampled_stats)
+            .unwrap();
+        assert!((a.score - b.score).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gain_ratio_disables_homogeneous_pruning_but_stays_correct() {
+        let tuples = overlapping_tuples();
+        let ev = AttributeEvents::build(&tuples, 0, 3).unwrap();
+        let mut ex = SearchStats::default();
+        let exhaustive = ExhaustiveSearch
+            .find_best(&[(0, ev.clone())], Measure::GainRatio, &mut ex)
+            .unwrap();
+        for engine in engines() {
+            let mut stats = SearchStats::default();
+            let found = engine
+                .find_best(&[(0, ev.clone())], Measure::GainRatio, &mut stats)
+                .unwrap();
+            assert!(
+                (found.score - exhaustive.score).abs() < 1e-9,
+                "{} with gain ratio",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn multi_attribute_global_threshold_prunes_weak_attributes() {
+        // Attribute 0 separates the classes perfectly; attribute 1 is noise
+        // with heavily overlapping pdfs. The global threshold from
+        // attribute 0 should prune most of attribute 1's intervals.
+        let mut tuples = Vec::new();
+        for i in 0..10 {
+            let class = i % 2;
+            let informative = if class == 0 { 0.0 } else { 100.0 } + i as f64;
+            let noise_points: Vec<f64> = (0..15).map(|j| (i + j) as f64 * 0.9).collect();
+            tuples.push(FractionalTuple {
+                values: vec![
+                    UncertainValue::point(informative),
+                    UncertainValue::Numeric(
+                        SampledPdf::new(noise_points, vec![1.0; 15]).unwrap(),
+                    ),
+                ],
+                label: class,
+                weight: 1.0,
+            });
+        }
+        let ev0 = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        let ev1 = AttributeEvents::build(&tuples, 1, 2).unwrap();
+        let gp = PrunedSearch::new(BoundingMode::Global, None, false, "UDT-GP");
+        let lp = PrunedSearch::new(BoundingMode::Local, None, false, "UDT-LP");
+        let mut gp_stats = SearchStats::default();
+        let mut lp_stats = SearchStats::default();
+        let g = gp
+            .find_best(
+                &[(0, ev0.clone()), (1, ev1.clone())],
+                Measure::Entropy,
+                &mut gp_stats,
+            )
+            .unwrap();
+        let l = lp
+            .find_best(&[(0, ev0), (1, ev1)], Measure::Entropy, &mut lp_stats)
+            .unwrap();
+        assert_eq!(g.attribute, 0);
+        assert_eq!(g.score, 0.0);
+        assert!((g.score - l.score).abs() < 1e-12);
+        // The global threshold (0.0 from the perfect attribute) prunes at
+        // least as many intervals as the local one.
+        assert!(gp_stats.intervals_pruned >= lp_stats.intervals_pruned);
+        assert!(gp_stats.entropy_like_calculations() <= lp_stats.entropy_like_calculations());
+    }
+}

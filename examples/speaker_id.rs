@@ -1,0 +1,60 @@
+//! Speaker identification from repeated measurements (the paper's
+//! "JapaneseVowel" scenario, §1.3 and §4.3).
+//!
+//! Each utterance yields 7–29 raw samples of every LPC coefficient. Rather
+//! than averaging them away, the Distribution-based approach builds a pdf
+//! per coefficient from the raw samples (a histogram) and trains the tree
+//! on those pdfs. This example compares that against Averaging on a
+//! synthetic 9-speaker data set with the same shape as the paper's.
+//!
+//! Run with: `cargo run --release -p udt-eval --example speaker_id`
+
+use udt_data::repository::japanese_vowel;
+use udt_data::split::train_test_split;
+use udt_eval::accuracy::evaluate;
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn main() {
+    // A 9-speaker, 12-coefficient data set with 7–29 raw samples per value
+    // (scale 0.5 ≈ 320 utterances, enough to be interesting and quick).
+    let data = japanese_vowel(0.5).expect("generation succeeds");
+    println!(
+        "speakers: {}   utterances: {}   coefficients: {}",
+        data.n_classes(),
+        data.len(),
+        data.n_attributes()
+    );
+
+    // The paper's protocol for this data set: a provided train/test split.
+    let tt = train_test_split(&data, 0.7, 11).expect("split succeeds");
+
+    for algorithm in [Algorithm::Avg, Algorithm::UdtEs] {
+        let report = TreeBuilder::new(UdtConfig::new(algorithm))
+            .build(&tt.train)
+            .expect("training succeeds");
+        let result = evaluate(&report.tree, &tt.test);
+        println!(
+            "\n{:<7}  accuracy {:>6.2}%   tree size {:>3} nodes   build {:>7.3}s   entropy calcs {}",
+            report.algorithm.name(),
+            result.accuracy() * 100.0,
+            report.tree.size(),
+            report.elapsed.as_secs_f64(),
+            report.stats.entropy_like_calculations(),
+        );
+        // Show the per-speaker recall for the distribution-based tree.
+        if algorithm == Algorithm::UdtEs {
+            print!("per-speaker recall:");
+            for c in 0..data.n_classes() {
+                if let Some(r) = result.recall(c) {
+                    print!("  {}={:.0}%", data.class_names()[c], r * 100.0);
+                }
+            }
+            println!();
+        }
+    }
+    println!(
+        "\n(the paper reports 81.89% → 87.30% on the real JapaneseVowel data;\n\
+         the synthetic stand-in preserves the shape of that comparison, not the\n\
+         absolute numbers)"
+    );
+}

@@ -1,0 +1,94 @@
+//! Smoke tests of the experiment harness: every table/figure experiment
+//! runs end to end at a tiny scale and produces rows with the qualitative
+//! shape the paper reports.
+
+use udt_eval::experiments::settings::Settings;
+use udt_eval::experiments::{ablation, efficiency, fig4, sweeps, table2};
+
+fn smoke() -> Settings {
+    Settings {
+        scale: 0.2,
+        s: 10,
+        folds: 3,
+        seed: 41,
+        datasets: vec!["Iris".to_string()],
+    }
+}
+
+#[test]
+fn table2_inventory_matches_published_shapes() {
+    let rows = table2::run(&Settings::smoke()).unwrap();
+    assert!(!rows.is_empty());
+    for r in &rows {
+        assert!(r.generated_tuples > 0);
+        assert!(r.attributes > 0 && r.classes >= 2);
+        assert!(r.generated_tuples <= r.published_tuples);
+    }
+}
+
+#[test]
+fn efficiency_experiment_reproduces_fig6_and_fig7_shape() {
+    let rows = efficiency::run(&smoke(), &[]).unwrap();
+    assert_eq!(rows.len(), 6);
+    let get = |name: &str| rows.iter().find(|r| r.algorithm == name).unwrap();
+    // Fig. 7 shape: AVG < pruned algorithms < UDT in entropy-like work.
+    assert!(get("AVG").entropy_like_calculations < get("UDT").entropy_like_calculations);
+    assert!(get("UDT-GP").entropy_like_calculations <= get("UDT").entropy_like_calculations);
+    assert!(get("UDT-ES").entropy_like_calculations <= get("UDT").entropy_like_calculations);
+    // All algorithms build usable trees.
+    assert!(rows.iter().all(|r| r.tree_size >= 1));
+    // Text renderings exist for both figures.
+    assert!(efficiency::render_time(&rows).contains("Fig. 6"));
+    assert!(efficiency::render_pruning(&rows).contains("Fig. 7"));
+}
+
+#[test]
+fn sweep_s_shows_work_growing_with_s() {
+    let rows = sweeps::sweep_s(&smoke(), &[8, 24, 48]).unwrap();
+    assert_eq!(rows.len(), 3);
+    // Fig. 8 shape: entropy-like work grows with s.
+    assert!(rows[0].entropy_like_calculations < rows[2].entropy_like_calculations);
+}
+
+#[test]
+fn sweep_w_runs_for_every_width() {
+    let rows = sweeps::sweep_w(&smoke(), &[0.05, 0.3]).unwrap();
+    assert_eq!(rows.len(), 2);
+    assert!(rows.iter().all(|r| r.entropy_like_calculations > 0));
+}
+
+#[test]
+fn fig4_grid_has_its_best_accuracy_at_positive_w() {
+    let mut settings = smoke();
+    settings.scale = 0.35;
+    settings.s = 12;
+    let result = fig4::run(&settings, "Iris").unwrap();
+    // Fig. 4 shape: some uncertainty-modelling width w > 0 does at least as
+    // well as the AVG baseline (w = 0) for the noisier curves.
+    let noisy_u = fig4::U_VALUES[fig4::U_VALUES.len() - 1];
+    let avg_at_noisy_u = result
+        .points
+        .iter()
+        .find(|p| p.u == noisy_u && p.w == 0.0)
+        .unwrap()
+        .accuracy;
+    let best_udt_at_noisy_u = result
+        .points
+        .iter()
+        .filter(|p| p.u == noisy_u && p.w > 0.0)
+        .map(|p| p.accuracy)
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert!(
+        best_udt_at_noisy_u + 0.02 >= avg_at_noisy_u,
+        "best UDT accuracy {best_udt_at_noisy_u:.3} should not trail AVG {avg_at_noisy_u:.3}"
+    );
+}
+
+#[test]
+fn measure_ablation_produces_comparable_accuracies() {
+    let rows = ablation::run(&smoke()).unwrap();
+    assert_eq!(rows.len(), 6);
+    // Every measure yields a working classifier (well above chance for the
+    // 3-class Iris stand-in).
+    assert!(rows.iter().all(|r| r.accuracy > 0.4), "{rows:?}");
+}

@@ -1,0 +1,98 @@
+//! Cross-crate integration tests of the paper's §5 claims: all pruning
+//! algorithms build the same trees as exhaustive UDT on realistic
+//! (generated + injected) data, while doing progressively less work.
+
+use udt_data::repository::by_name;
+use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+use udt_prob::ErrorModel;
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn uncertain_iris(s: usize) -> udt_data::Dataset {
+    let point = by_name("Iris").unwrap().generate(0.4).unwrap();
+    inject_uncertainty(
+        &point,
+        &UncertaintySpec {
+            w: 0.10,
+            s,
+            model: ErrorModel::Gaussian,
+        },
+    )
+    .unwrap()
+}
+
+#[test]
+fn pruned_algorithms_build_identical_trees_on_injected_data() {
+    let data = uncertain_iris(24);
+    let reference = TreeBuilder::new(UdtConfig::new(Algorithm::Udt))
+        .build(&data)
+        .unwrap();
+    for algorithm in [Algorithm::UdtBp, Algorithm::UdtLp, Algorithm::UdtGp, Algorithm::UdtEs] {
+        let report = TreeBuilder::new(UdtConfig::new(algorithm)).build(&data).unwrap();
+        assert_eq!(
+            report.tree, reference.tree,
+            "{algorithm:?} must build the same tree as exhaustive UDT"
+        );
+    }
+}
+
+#[test]
+fn work_decreases_along_the_papers_algorithm_ordering() {
+    let data = uncertain_iris(32);
+    let mut calcs = Vec::new();
+    for algorithm in [
+        Algorithm::Udt,
+        Algorithm::UdtBp,
+        Algorithm::UdtLp,
+        Algorithm::UdtGp,
+        Algorithm::UdtEs,
+    ] {
+        let report = TreeBuilder::new(UdtConfig::new(algorithm)).build(&data).unwrap();
+        calcs.push((algorithm, report.stats.entropy_like_calculations()));
+    }
+    let udt = calcs[0].1;
+    // Every pruned algorithm does less entropy-like work than exhaustive
+    // UDT on this Gaussian workload (Fig. 7's headline), and the global
+    // threshold never does more than the local one.
+    for &(algorithm, c) in &calcs[1..] {
+        assert!(c < udt, "{algorithm:?}: {c} should be below UDT's {udt}");
+    }
+    let lp = calcs[2].1;
+    let gp = calcs[3].1;
+    assert!(gp <= lp, "UDT-GP ({gp}) should not exceed UDT-LP ({lp})");
+}
+
+#[test]
+fn avg_is_cheapest_but_less_informed() {
+    let data = uncertain_iris(32);
+    let avg = TreeBuilder::new(UdtConfig::new(Algorithm::Avg)).build(&data).unwrap();
+    let es = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs)).build(&data).unwrap();
+    // AVG looks at one value per pdf, so its candidate pool is s times
+    // smaller (§4.2) and its work strictly lower.
+    assert!(avg.stats.candidate_points < es.stats.candidate_points);
+    assert!(avg.stats.entropy_like_calculations() < es.stats.entropy_like_calculations());
+}
+
+#[test]
+fn uniform_error_model_profits_from_the_theorem3_hint() {
+    // With uniform pdfs, Theorem 3 lets UDT-BP consider end points only.
+    let point = by_name("Vehicle").unwrap().generate(0.1).unwrap();
+    let data = inject_uncertainty(
+        &point,
+        &UncertaintySpec {
+            w: 0.10,
+            s: 20,
+            model: ErrorModel::Uniform,
+        },
+    )
+    .unwrap();
+    let plain = TreeBuilder::new(UdtConfig::new(Algorithm::UdtBp)).build(&data).unwrap();
+    let hinted = TreeBuilder::new(
+        UdtConfig::new(Algorithm::UdtBp).with_uniform_pdf_hint(true),
+    )
+    .build(&data)
+    .unwrap();
+    assert!(
+        hinted.stats.entropy_like_calculations() <= plain.stats.entropy_like_calculations(),
+        "the hint must not increase the work"
+    );
+}
