@@ -1,0 +1,90 @@
+//! Phase-level timing probe for the split engine (development utility).
+//!
+//! Prints per-phase timings of the columnar engine and the naive
+//! baseline on the benchmark workload so regressions in either phase are
+//! easy to localise without a profiler.
+
+use std::time::Instant;
+
+use udt_bench::baseline_workload;
+use udt_tree::baseline::{naive_find_best, NaiveAttributeEvents};
+use udt_tree::events::AttributeEvents;
+use udt_tree::fractional::FractionalTuple;
+use udt_tree::split::{exhaustive::ExhaustiveSearch, SearchStats, SplitSearch};
+use udt_tree::{Algorithm, Measure, TreeBuilder, UdtConfig};
+
+fn time<T>(label: &str, reps: u32, mut f: impl FnMut() -> T) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        std::hint::black_box(f());
+    }
+    let per = start.elapsed().as_secs_f64() / reps as f64;
+    println!("{label:40} {:>10.3} ms", per * 1e3);
+    per
+}
+
+fn main() {
+    let s: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(40);
+    let data = baseline_workload(s);
+    println!(
+        "workload: {} tuples, {} attributes, s={s}",
+        data.len(),
+        data.n_attributes()
+    );
+    let tuples: Vec<FractionalTuple> = data
+        .tuples()
+        .iter()
+        .map(FractionalTuple::from_tuple)
+        .collect();
+    let k = data.n_attributes();
+    let n_classes = data.n_classes();
+
+    time("naive: build events (all attrs)", 50, || {
+        (0..k)
+            .filter_map(|j| NaiveAttributeEvents::build(&tuples, j, n_classes))
+            .count()
+    });
+    time("columnar: build events (all attrs)", 50, || {
+        (0..k)
+            .filter_map(|j| AttributeEvents::build(&tuples, j, n_classes))
+            .count()
+    });
+
+    let naive_events: Vec<(usize, NaiveAttributeEvents)> = (0..k)
+        .filter_map(|j| NaiveAttributeEvents::build(&tuples, j, n_classes).map(|e| (j, e)))
+        .collect();
+    let columnar_events: Vec<(usize, AttributeEvents)> = (0..k)
+        .filter_map(|j| AttributeEvents::build(&tuples, j, n_classes).map(|e| (j, e)))
+        .collect();
+    let candidates: usize = columnar_events
+        .iter()
+        .map(|(_, e)| e.n_positions() - 1)
+        .sum();
+    println!("candidates at root: {candidates}");
+
+    time("naive: exhaustive scan", 50, || {
+        naive_find_best(&naive_events, Measure::Entropy)
+    });
+    time("columnar: exhaustive scan", 50, || {
+        let mut stats = SearchStats::default();
+        ExhaustiveSearch.find_best(&columnar_events, Measure::Entropy, &mut stats)
+    });
+
+    time("naive: full build (exhaustive)", 10, || {
+        udt_tree::baseline::naive_build_splits(
+            &data,
+            Measure::Entropy,
+            udt_tree::baseline::NaiveSearch::Exhaustive,
+            25,
+            2.0,
+            1e-6,
+        )
+    });
+    let builder = TreeBuilder::new(UdtConfig::new(Algorithm::Udt).with_postprune(false));
+    time("columnar: full build (exhaustive)", 10, || {
+        builder.build(&data).expect("build succeeds")
+    });
+}

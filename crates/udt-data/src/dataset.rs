@@ -224,11 +224,17 @@ mod tests {
         let mut ds = Dataset::numerical(2, 2);
         assert!(matches!(
             ds.push(Tuple::from_points(&[1.0], 0)),
-            Err(DataError::ArityMismatch { expected: 2, found: 1 })
+            Err(DataError::ArityMismatch {
+                expected: 2,
+                found: 1
+            })
         ));
         assert!(matches!(
             ds.push(Tuple::from_points(&[1.0, 2.0], 5)),
-            Err(DataError::LabelOutOfRange { label: 5, classes: 2 })
+            Err(DataError::LabelOutOfRange {
+                label: 5,
+                classes: 2
+            })
         ));
         let bad_kind = Tuple::new(
             vec![UncertainValue::point(1.0), UncertainValue::category(0, 3)],
@@ -249,7 +255,10 @@ mod tests {
         let wrong = Tuple::new(vec![UncertainValue::category(0, 4)], 0);
         assert!(matches!(
             ds.push(wrong),
-            Err(DataError::CategoryOutOfRange { attribute: 0, cardinality: 3 })
+            Err(DataError::CategoryOutOfRange {
+                attribute: 0,
+                cardinality: 3
+            })
         ));
         let ok = Tuple::new(
             vec![UncertainValue::Categorical(

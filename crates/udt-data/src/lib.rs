@@ -20,6 +20,12 @@
 //! * **evaluation splits**: train/test splits and k-fold cross validation
 //!   ([`split`]).
 
+// Negated float comparisons (`!(x > 0.0)`) are deliberate NaN guards
+// throughout this crate: a NaN parameter must take the rejection branch.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+// Parallel-slice index loops mirror the paper's subscript notation and
+// often index several arrays at once; iterator rewrites obscure that.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

@@ -144,20 +144,17 @@ mod tests {
         ]);
         let mut ds = IncompleteDataset::new(schema, vec!["a".into(), "b".into()]);
         ds.push(
-            vec![Some(UncertainValue::point(1.0)), Some(UncertainValue::category(0, 2))],
+            vec![
+                Some(UncertainValue::point(1.0)),
+                Some(UncertainValue::category(0, 2)),
+            ],
             0,
         )
         .unwrap();
-        ds.push(
-            vec![Some(UncertainValue::point(3.0)), None],
-            1,
-        )
-        .unwrap();
-        ds.push(
-            vec![None, Some(UncertainValue::category(1, 2))],
-            1,
-        )
-        .unwrap();
+        ds.push(vec![Some(UncertainValue::point(3.0)), None], 1)
+            .unwrap();
+        ds.push(vec![None, Some(UncertainValue::category(1, 2))], 1)
+            .unwrap();
         ds
     }
 

@@ -12,8 +12,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
 use crate::dataset::Dataset;
-use crate::randn;
 use crate::error::DataError;
+use crate::randn;
 use crate::value::UncertainValue;
 use crate::Result;
 
@@ -26,7 +26,10 @@ use crate::Result;
 /// uncertainty is added).
 pub fn perturb(data: &Dataset, u: f64, seed: u64) -> Result<Dataset> {
     if !u.is_finite() || u < 0.0 {
-        return Err(DataError::InvalidParameter { name: "u", value: u });
+        return Err(DataError::InvalidParameter {
+            name: "u",
+            value: u,
+        });
     }
     if data.is_empty() {
         return Err(DataError::EmptyDataset);
@@ -102,7 +105,11 @@ mod tests {
             .map(|(a, b)| b.value(0).expected() - a.value(0).expected())
             .collect();
         let s = Summary::of(&deltas);
-        assert!(s.mean.abs() < 10.0, "noise should be zero-mean, got {}", s.mean);
+        assert!(
+            s.mean.abs() < 10.0,
+            "noise should be zero-mean, got {}",
+            s.mean
+        );
         let sigma = 0.2 * 1999.0 / 4.0;
         assert!((s.std_dev() - sigma).abs() < sigma * 0.1);
     }

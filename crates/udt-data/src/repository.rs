@@ -238,9 +238,9 @@ mod tests {
             .collect();
         assert_eq!(integral, vec!["PenDigits", "Satellite", "Vehicle"]);
         // Only JapaneseVowel uses raw-sample uncertainty.
-        assert!(specs
-            .iter()
-            .all(|s| (s.uncertainty == UncertaintySource::RawSamples) == (s.name == "JapaneseVowel")));
+        assert!(specs.iter().all(
+            |s| (s.uncertainty == UncertaintySource::RawSamples) == (s.name == "JapaneseVowel")
+        ));
     }
 
     #[test]

@@ -40,8 +40,7 @@ pub fn train_test_split(data: &Dataset, train_fraction: f64, seed: u64) -> Resul
     let mut indices: Vec<usize> = (0..data.len()).collect();
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     indices.shuffle(&mut rng);
-    let n_train = ((data.len() as f64 * train_fraction).round() as usize)
-        .clamp(1, data.len() - 1);
+    let n_train = ((data.len() as f64 * train_fraction).round() as usize).clamp(1, data.len() - 1);
     let (train_idx, test_idx) = indices.split_at(n_train);
     Ok(TrainTest {
         train: data.subset(train_idx),

@@ -214,7 +214,7 @@ mod tests {
         assert_eq!(ds.n_classes(), 3);
         // Round-robin labels keep classes balanced to within one tuple.
         let counts = ds.class_counts();
-        assert!(counts.iter().all(|&c| c >= 66 && c <= 67));
+        assert!(counts.iter().all(|&c| (66..=67).contains(&c)));
     }
 
     #[test]

@@ -44,13 +44,21 @@ pub fn table1_tuples() -> Result<Vec<Tuple>> {
         // Tuple 2: class A, mean −2.5, all mass at ±10.
         (CLASS_A, vec![-10.0, 10.0], vec![0.625, 0.375]),
         // Tuple 3: class A, mean +2.5, 87.5 % of the mass at ±10.
-        (CLASS_A, vec![-10.0, -1.0, 1.0, 10.0], vec![0.3125, 0.0625, 0.0625, 0.5625]),
+        (
+            CLASS_A,
+            vec![-10.0, -1.0, 1.0, 10.0],
+            vec![0.3125, 0.0625, 0.0625, 0.5625],
+        ),
         // Tuple 4: class B, mean −2.5, 75 % of the mass at ±1.
         (CLASS_B, vec![-10.0, -1.0, 1.0], vec![0.25, 0.375, 0.375]),
         // Tuple 5: class B, mean +2.5, 75 % of the mass at ±1.
         (CLASS_B, vec![-1.0, 1.0, 10.0], vec![0.375, 0.375, 0.25]),
         // Tuple 6: class B, mean −2.5, 68.75 % of the mass at ±1.
-        (CLASS_B, vec![-10.0, -1.0, 1.0], vec![0.3125, 0.03125, 0.65625]),
+        (
+            CLASS_B,
+            vec![-10.0, -1.0, 1.0],
+            vec![0.3125, 0.03125, 0.65625],
+        ),
     ];
     let mut tuples = Vec::with_capacity(6);
     for (label, points, mass) in specs {

@@ -110,10 +110,7 @@ mod tests {
     fn averaging_collapses_every_value() {
         let pdf = SampledPdf::new(vec![0.0, 10.0], vec![0.5, 0.5]).unwrap();
         let t = Tuple::new(
-            vec![
-                UncertainValue::Numeric(pdf),
-                UncertainValue::point(7.0),
-            ],
+            vec![UncertainValue::Numeric(pdf), UncertainValue::point(7.0)],
             2,
         );
         assert_eq!(t.total_samples(), 3);

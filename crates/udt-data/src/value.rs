@@ -84,9 +84,7 @@ impl UncertainValue {
     pub fn to_averaged(&self) -> UncertainValue {
         match self {
             UncertainValue::Numeric(pdf) => UncertainValue::point(pdf.mean()),
-            UncertainValue::Categorical(d) => {
-                UncertainValue::category(d.mode(), d.cardinality())
-            }
+            UncertainValue::Categorical(d) => UncertainValue::category(d.mode(), d.cardinality()),
         }
     }
 }

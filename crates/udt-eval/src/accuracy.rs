@@ -89,8 +89,11 @@ mod tests {
         let mut ds = Dataset::numerical(1, 2);
         for i in 0..20 {
             let class = i % 2;
-            ds.push(Tuple::from_points(&[class as f64 * 10.0 + i as f64 * 0.1], class))
-                .unwrap();
+            ds.push(Tuple::from_points(
+                &[class as f64 * 10.0 + i as f64 * 0.1],
+                class,
+            ))
+            .unwrap();
         }
         let tree = TreeBuilder::new(UdtConfig::new(Algorithm::Udt))
             .build(&ds)

@@ -67,17 +67,16 @@ pub fn cross_validate(
     };
 
     let fold_outputs: Vec<(EvalResult, SearchStats, f64, usize)> = if parallel {
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             let handles: Vec<_> = folds
                 .iter()
-                .map(|fold| scope.spawn(move |_| run_fold(fold)))
+                .map(|fold| scope.spawn(|| run_fold(fold)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("fold worker does not panic"))
                 .collect()
         })
-        .expect("crossbeam scope")
     } else {
         folds.iter().map(run_fold).collect()
     };

@@ -73,7 +73,13 @@ pub fn run(settings: &Settings) -> udt_data::Result<Vec<AblationRow>> {
 pub fn render(rows: &[AblationRow]) -> String {
     render_table(
         "§7.4 ablation: dispersion measures",
-        &["data set", "measure", "algorithm", "accuracy", "entropy calcs"],
+        &[
+            "data set",
+            "measure",
+            "algorithm",
+            "accuracy",
+            "entropy calcs",
+        ],
         &rows
             .iter()
             .map(|r| {

@@ -127,7 +127,13 @@ pub fn render_pruning(rows: &[EfficiencyRow]) -> String {
     }
     render_table(
         "Fig. 7: pruning effectiveness (entropy-like calculations)",
-        &["data set", "algorithm", "entropy calcs", "% of UDT", "intervals pruned"],
+        &[
+            "data set",
+            "algorithm",
+            "entropy calcs",
+            "% of UDT",
+            "intervals pruned",
+        ],
         &table_rows,
     )
 }
@@ -151,7 +157,10 @@ mod tests {
         let rows = run(&tiny_settings(), &[]).unwrap();
         assert_eq!(rows.len(), 6);
         let names: Vec<&str> = rows.iter().map(|r| r.algorithm.as_str()).collect();
-        assert_eq!(names, vec!["AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"]);
+        assert_eq!(
+            names,
+            vec!["AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"]
+        );
         for r in &rows {
             assert!(r.seconds >= 0.0);
             assert!(r.entropy_like_calculations > 0);

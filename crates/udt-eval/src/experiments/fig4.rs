@@ -94,7 +94,11 @@ pub fn run(settings: &Settings, dataset: &str) -> udt_data::Result<Fig4Result> {
 
 /// Cross-validated accuracy of the distribution-based tree at uncertainty
 /// width `w` (or of AVG when `w == 0`).
-fn accuracy_at(perturbed: &udt_data::Dataset, w: f64, settings: &Settings) -> udt_data::Result<f64> {
+fn accuracy_at(
+    perturbed: &udt_data::Dataset,
+    w: f64,
+    settings: &Settings,
+) -> udt_data::Result<f64> {
     if w <= 0.0 {
         let cv = cross_validate(
             perturbed,
@@ -125,10 +129,7 @@ fn accuracy_at(perturbed: &udt_data::Dataset, w: f64, settings: &Settings) -> ud
 /// range of `w > 0` whose accuracy is statistically indistinguishable from
 /// the best observed accuracy (§4.4).
 fn estimate_kappa(points: &[Fig4Point], settings: &Settings) -> f64 {
-    let zero_curve: Vec<&Fig4Point> = points
-        .iter()
-        .filter(|p| p.u == 0.0 && p.w > 0.0)
-        .collect();
+    let zero_curve: Vec<&Fig4Point> = points.iter().filter(|p| p.u == 0.0 && p.w > 0.0).collect();
     if zero_curve.is_empty() {
         return 0.0;
     }

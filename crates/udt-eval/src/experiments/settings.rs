@@ -82,11 +82,7 @@ impl Settings {
 
     /// Whether a data set is selected by this configuration.
     pub fn includes(&self, name: &str) -> bool {
-        self.datasets.is_empty()
-            || self
-                .datasets
-                .iter()
-                .any(|d| d.eq_ignore_ascii_case(name))
+        self.datasets.is_empty() || self.datasets.iter().any(|d| d.eq_ignore_ascii_case(name))
     }
 }
 

@@ -47,11 +47,7 @@ fn injectable_specs(settings: &Settings) -> Vec<udt_data::repository::DatasetSpe
         .collect()
 }
 
-fn measure(
-    point_data: &udt_data::Dataset,
-    w: f64,
-    s: usize,
-) -> udt_data::Result<(f64, u64)> {
+fn measure(point_data: &udt_data::Dataset, w: f64, s: usize) -> udt_data::Result<(f64, u64)> {
     let data = inject_uncertainty(
         point_data,
         &UncertaintySpec {

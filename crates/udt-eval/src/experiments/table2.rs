@@ -105,7 +105,9 @@ mod tests {
         let rows = run(&Settings::smoke()).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.name == "Iris" || r.name == "Glass"));
-        assert!(rows.iter().all(|r| r.generated_tuples <= r.published_tuples));
+        assert!(rows
+            .iter()
+            .all(|r| r.generated_tuples <= r.published_tuples));
     }
 
     #[test]

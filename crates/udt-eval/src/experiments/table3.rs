@@ -215,7 +215,9 @@ mod tests {
         let rows = run(&tiny_settings()).unwrap();
         // Iris is real-valued: Gaussian only, four w values.
         assert_eq!(rows.len(), W_VALUES.len());
-        assert!(rows.iter().all(|r| r.dataset == "Iris" && r.model == "Gaussian"));
+        assert!(rows
+            .iter()
+            .all(|r| r.dataset == "Iris" && r.model == "Gaussian"));
         for r in &rows {
             assert!((0.0..=1.0).contains(&r.avg_accuracy));
             assert!((0.0..=1.0).contains(&r.udt_accuracy));
@@ -230,7 +232,9 @@ mod tests {
         let s = &summary[0];
         assert_eq!(s.dataset, "Iris");
         assert!(s.udt_best_accuracy + 1e-12 >= s.udt_accuracy);
-        assert!(rows.iter().all(|r| r.udt_accuracy <= s.udt_best_accuracy + 1e-12));
+        assert!(rows
+            .iter()
+            .all(|r| r.udt_accuracy <= s.udt_best_accuracy + 1e-12));
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! the paper's tables and figures; see `EXPERIMENTS.md` at the workspace
 //! root).
 
+// Parallel-slice index loops mirror the paper's subscript notation and
+// often index several arrays at once; iterator rewrites obscure that.
+#![allow(clippy::needless_range_loop)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

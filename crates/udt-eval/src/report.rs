@@ -81,7 +81,10 @@ mod tests {
         // The accuracy column starts at the same offset in both rows.
         let lines: Vec<&str> = text.lines().collect();
         let iris = lines.iter().find(|l| l.starts_with("Iris")).unwrap();
-        let jv = lines.iter().find(|l| l.starts_with("JapaneseVowel")).unwrap();
+        let jv = lines
+            .iter()
+            .find(|l| l.starts_with("JapaneseVowel"))
+            .unwrap();
         assert_eq!(iris.find("96.13%"), jv.find("87.30%"));
     }
 

@@ -128,7 +128,10 @@ mod tests {
 
     #[test]
     fn invalid_construction_is_rejected() {
-        assert_eq!(DiscreteDist::new(vec![]).unwrap_err(), ProbError::EmptySupport);
+        assert_eq!(
+            DiscreteDist::new(vec![]).unwrap_err(),
+            ProbError::EmptySupport
+        );
         assert!(matches!(
             DiscreteDist::new(vec![1.0, -1.0]).unwrap_err(),
             ProbError::InvalidMass { index: 1, .. }

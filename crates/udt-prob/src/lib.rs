@@ -21,6 +21,9 @@
 //! All structures are deterministic and `Send + Sync`; randomness only
 //! enters through explicitly seeded [`rand`] RNGs in the callers.
 
+// Negated float comparisons (`!(x > 0.0)`) are deliberate NaN guards
+// throughout this crate: a NaN parameter must take the rejection branch.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 

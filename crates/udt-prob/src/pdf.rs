@@ -86,11 +86,7 @@ impl SampledPdf {
         if samples.is_empty() {
             return Err(ProbError::EmptyPdf);
         }
-        let mut sorted: Vec<f64> = samples
-            .iter()
-            .copied()
-            .filter(|v| v.is_finite())
-            .collect();
+        let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
         if sorted.is_empty() {
             return Err(ProbError::EmptyPdf);
         }
@@ -412,7 +408,10 @@ mod tests {
     fn split_at_produces_renormalised_children() {
         // Fig. 1 of the paper: pdf over [-2.5, 2], split point -1,
         // p_left = 0.3, p_right = 0.7.
-        let p = pdf(&[-2.5, -2.0, -1.0, 0.0, 1.0, 2.0], &[0.1, 0.1, 0.1, 0.2, 0.3, 0.2]);
+        let p = pdf(
+            &[-2.5, -2.0, -1.0, 0.0, 1.0, 2.0],
+            &[0.1, 0.1, 0.1, 0.2, 0.3, 0.2],
+        );
         let (pl, left, right) = p.split_at(-1.0);
         assert!((pl - 0.3).abs() < 1e-12);
         let left = left.unwrap();

@@ -16,10 +16,7 @@ pub fn quantile(pdf: &SampledPdf, q: f64) -> f64 {
     let q = q.clamp(0.0, 1.0);
     let cum = pdf.cumulative();
     // First index whose cumulative mass reaches q.
-    match cum.binary_search_by(|c| {
-        c.partial_cmp(&q)
-            .expect("cumulative masses are finite")
-    }) {
+    match cum.binary_search_by(|c| c.partial_cmp(&q).expect("cumulative masses are finite")) {
         Ok(i) => pdf.points()[i],
         Err(i) if i < cum.len() => pdf.points()[i],
         Err(_) => pdf.hi(),

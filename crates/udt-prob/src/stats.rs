@@ -100,7 +100,11 @@ impl Summary {
             min = min.min(v);
             max = max.max(v);
         }
-        let variance = if count > 1 { m2 / (count - 1) as f64 } else { 0.0 };
+        let variance = if count > 1 {
+            m2 / (count - 1) as f64
+        } else {
+            0.0
+        };
         Summary {
             count,
             mean: if count == 0 { 0.0 } else { mean },

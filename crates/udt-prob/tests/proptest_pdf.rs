@@ -1,76 +1,92 @@
-//! Property-based tests for the probability substrate.
+//! Randomized property tests for the probability substrate.
 //!
-//! These check the structural invariants that the decision-tree algorithms
-//! rely on: normalisation, cdf monotonicity, consistency between splitting
-//! and interval probabilities, and mean preservation under mixtures.
+//! The build environment is offline, so instead of `proptest` these use a
+//! seeded ChaCha8 generator and explicit case loops; every case is fully
+//! deterministic and reproducible from the seed. The invariants checked
+//! are the ones the decision-tree algorithms rely on: normalisation, cdf
+//! monotonicity, consistency between splitting and interval
+//! probabilities, and mean preservation under mixtures.
 
-use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 use udt_prob::model::ErrorModel;
 use udt_prob::pdf::SampledPdf;
 use udt_prob::quantile::quantile;
 use udt_prob::stats::Summary;
 
-/// Strategy producing a valid (points, masses) pair with 1..=64 samples.
-fn pdf_strategy() -> impl Strategy<Value = SampledPdf> {
-    (1usize..64)
-        .prop_flat_map(|n| {
-            (
-                proptest::collection::vec(-1000.0f64..1000.0, n),
-                proptest::collection::vec(0.001f64..10.0, n),
-            )
-        })
-        .prop_map(|(mut points, mass)| {
-            points.sort_by(|a, b| a.partial_cmp(b).unwrap());
-            points.dedup();
-            let mass = mass[..points.len()].to_vec();
-            SampledPdf::new(points, mass).expect("strategy builds valid pdfs")
-        })
+const CASES: usize = 64;
+
+/// Generates a valid pdf with 1..=64 samples over roughly [-1000, 1000].
+fn random_pdf(rng: &mut ChaCha8Rng) -> SampledPdf {
+    let n = rng.gen_range(1..=64usize);
+    let mut points: Vec<f64> = (0..n).map(|_| rng.gen_range(-1000.0..1000.0)).collect();
+    points.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    points.dedup();
+    let mass: Vec<f64> = points.iter().map(|_| rng.gen_range(0.001..10.0)).collect();
+    SampledPdf::new(points, mass).expect("generator builds valid pdfs")
 }
 
-proptest! {
-    #[test]
-    fn mass_is_normalised(pdf in pdf_strategy()) {
+#[test]
+fn mass_is_normalised() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA0);
+    for _ in 0..CASES {
+        let pdf = random_pdf(&mut rng);
         let total: f64 = pdf.mass().iter().sum();
-        prop_assert!((total - 1.0).abs() < 1e-9);
-        prop_assert!((pdf.cumulative().last().unwrap() - 1.0).abs() < 1e-12);
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!((pdf.cumulative().last().unwrap() - 1.0).abs() < 1e-12);
     }
+}
 
-    #[test]
-    fn cdf_is_monotone(pdf in pdf_strategy(), xs in proptest::collection::vec(-1100.0f64..1100.0, 1..20)) {
-        let mut xs = xs;
-        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+#[test]
+fn cdf_is_monotone() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA1);
+    for _ in 0..CASES {
+        let pdf = random_pdf(&mut rng);
+        let mut xs: Vec<f64> = (0..rng.gen_range(1..20usize))
+            .map(|_| rng.gen_range(-1100.0..1100.0))
+            .collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let mut prev = 0.0;
         for x in xs {
             let c = pdf.prob_le(x);
-            prop_assert!(c >= prev - 1e-12);
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&c));
+            assert!(c >= prev - 1e-12);
+            assert!((0.0..=1.0 + 1e-12).contains(&c));
             prev = c;
         }
     }
+}
 
-    #[test]
-    fn split_mass_is_conserved(pdf in pdf_strategy(), z in -1100.0f64..1100.0) {
+#[test]
+fn split_mass_is_conserved() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA2);
+    for _ in 0..CASES {
+        let pdf = random_pdf(&mut rng);
+        let z = rng.gen_range(-1100.0..1100.0);
         let (p_left, left, right) = pdf.split_at(z);
-        prop_assert!((0.0..=1.0).contains(&p_left));
+        assert!((0.0..=1.0).contains(&p_left));
         // Weighted child masses reconstruct the parent probability of any
         // query point.
         let probe = pdf.points()[pdf.len() / 2];
-        let reconstructed = p_left
-            * left.as_ref().map(|l| l.prob_le(probe)).unwrap_or(0.0)
-            + (1.0 - p_left)
-                * right.as_ref().map(|r| r.prob_le(probe)).unwrap_or(0.0);
-        prop_assert!((reconstructed - pdf.prob_le(probe)).abs() < 1e-9);
+        let reconstructed = p_left * left.as_ref().map(|l| l.prob_le(probe)).unwrap_or(0.0)
+            + (1.0 - p_left) * right.as_ref().map(|r| r.prob_le(probe)).unwrap_or(0.0);
+        assert!((reconstructed - pdf.prob_le(probe)).abs() < 1e-9);
         // Weighted child means reconstruct the parent mean.
         if let (Some(l), Some(r)) = (&left, &right) {
             let mean = p_left * l.mean() + (1.0 - p_left) * r.mean();
-            prop_assert!((mean - pdf.mean()).abs() < 1e-6);
+            assert!((mean - pdf.mean()).abs() < 1e-6);
         }
     }
+}
 
-    #[test]
-    fn interval_probabilities_partition_unity(pdf in pdf_strategy(), cuts in proptest::collection::vec(-1100.0f64..1100.0, 0..8)) {
-        let mut cuts = cuts;
-        cuts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+#[test]
+fn interval_probabilities_partition_unity() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA3);
+    for _ in 0..CASES {
+        let pdf = random_pdf(&mut rng);
+        let mut cuts: Vec<f64> = (0..rng.gen_range(0..8usize))
+            .map(|_| rng.gen_range(-1100.0..1100.0))
+            .collect();
+        cuts.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let lo = pdf.lo() - 1.0;
         let hi = pdf.hi() + 1.0;
         let mut boundaries = vec![lo];
@@ -80,45 +96,67 @@ proptest! {
         for w in boundaries.windows(2) {
             total += pdf.prob_in(w[0], w[1]).unwrap();
         }
-        prop_assert!((total - 1.0).abs() < 1e-9);
+        assert!((total - 1.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn quantile_inverts_cdf(pdf in pdf_strategy(), q in 0.0f64..=1.0) {
+#[test]
+fn quantile_inverts_cdf() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA4);
+    for _ in 0..CASES {
+        let pdf = random_pdf(&mut rng);
+        let q = rng.gen_range(0.0..=1.0);
         let x = quantile(&pdf, q);
         // P[X <= x] >= q by definition of the quantile.
-        prop_assert!(pdf.prob_le(x) + 1e-12 >= q.min(1.0));
+        assert!(pdf.prob_le(x) + 1e-12 >= q.min(1.0));
         // x is within the pdf domain.
-        prop_assert!(x >= pdf.lo() && x <= pdf.hi());
+        assert!(x >= pdf.lo() && x <= pdf.hi());
     }
+}
 
-    #[test]
-    fn error_models_centre_on_the_mean(
-        mean in -100.0f64..100.0,
-        width in 0.01f64..50.0,
-        s in 2usize..128,
-        gaussian in proptest::bool::ANY,
-    ) {
-        let model = if gaussian { ErrorModel::Gaussian } else { ErrorModel::Uniform };
+#[test]
+fn error_models_centre_on_the_mean() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA5);
+    for _ in 0..CASES {
+        let mean = rng.gen_range(-100.0..100.0);
+        let width = rng.gen_range(0.01..50.0);
+        let s = rng.gen_range(2..128usize);
+        let model = if rng.gen::<bool>() {
+            ErrorModel::Gaussian
+        } else {
+            ErrorModel::Uniform
+        };
         let pdf = model.discretise(mean, width, s).unwrap();
-        prop_assert_eq!(pdf.len(), s);
-        prop_assert!((pdf.mean() - mean).abs() < width * 1e-6 + 1e-9);
-        prop_assert!(pdf.lo() >= mean - width / 2.0 - 1e-9);
-        prop_assert!(pdf.hi() <= mean + width / 2.0 + 1e-9);
+        assert_eq!(pdf.len(), s);
+        assert!((pdf.mean() - mean).abs() < width * 1e-6 + 1e-9);
+        assert!(pdf.lo() >= mean - width / 2.0 - 1e-9);
+        assert!(pdf.hi() <= mean + width / 2.0 + 1e-9);
     }
+}
 
-    #[test]
-    fn summary_mean_within_min_max(values in proptest::collection::vec(-1e6f64..1e6, 1..200)) {
+#[test]
+fn summary_mean_within_min_max() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA6);
+    for _ in 0..CASES {
+        let values: Vec<f64> = (0..rng.gen_range(1..200usize))
+            .map(|_| rng.gen_range(-1e6..1e6))
+            .collect();
         let s = Summary::of(&values);
-        prop_assert!(s.mean >= s.min - 1e-9);
-        prop_assert!(s.mean <= s.max + 1e-9);
-        prop_assert!(s.variance >= 0.0);
+        assert!(s.mean >= s.min - 1e-9);
+        assert!(s.mean <= s.max + 1e-9);
+        assert!(s.variance >= 0.0);
     }
+}
 
-    #[test]
-    fn raw_sample_pdf_mean_matches_sample_mean(values in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+#[test]
+fn raw_sample_pdf_mean_matches_sample_mean() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xA7);
+    for _ in 0..CASES {
+        let values: Vec<f64> = (0..rng.gen_range(1..100usize))
+            .map(|_| rng.gen_range(-1e3..1e3))
+            .collect();
         let pdf = SampledPdf::from_raw_samples(&values).unwrap();
         let mean = values.iter().sum::<f64>() / values.len() as f64;
-        prop_assert!((pdf.mean() - mean).abs() < 1e-6);
+        assert!((pdf.mean() - mean).abs() < 1e-6);
     }
 }

@@ -1,13 +1,19 @@
-//! Recursive top-down tree construction.
+//! Recursive top-down tree construction over the columnar split engine.
 //!
 //! [`TreeBuilder`] implements the greedy framework shared by AVG and all
 //! the UDT variants (§4.1–4.2): starting from the whole training set, each
 //! node asks the configured [`SplitSearch`] strategy for the best
 //! `(attribute, split point)` pair (and, when categorical attributes are
-//! present, compares it with the best §7.2 multi-way split), partitions the
-//! (fractional) tuples, and recurses. Pre-pruning (depth, minimum node
-//! weight, minimum gain) and C4.5-style post-pruning are applied as
+//! present, compares it with the best §7.2 multi-way split), partitions
+//! the (fractional) tuples, and recurses. Pre-pruning (depth, minimum
+//! node weight, minimum gain) and C4.5-style post-pruning are applied as
 //! configured.
+//!
+//! The hot path is columnar: every numerical attribute's events are
+//! sorted **once at the root** (see [`crate::columns`]) and recursion
+//! only partitions the sorted columns — stable, linear, no re-sorting —
+//! while candidate scoring runs over borrowed cumulative rows with zero
+//! per-candidate allocations (see [`crate::events`]).
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -16,9 +22,11 @@ use serde::{Deserialize, Serialize};
 use udt_data::{AttributeKind, Dataset};
 
 use crate::categorical;
+use crate::columns::{self, NodeTuples, Scratch};
 use crate::config::{Algorithm, UdtConfig};
+use crate::counts::ClassCounts;
 use crate::events::AttributeEvents;
-use crate::fractional::{class_counts, FractionalTuple};
+use crate::fractional::FractionalTuple;
 use crate::measure::Measure;
 use crate::node::{DecisionTree, Node};
 use crate::postprune;
@@ -111,6 +119,7 @@ impl TreeBuilder {
             .iter()
             .map(FractionalTuple::from_tuple)
             .collect();
+        let labels: Vec<u32> = tuples.iter().map(|t| t.label as u32).collect();
         let search = self.config.split_search();
         let mut stats = SearchStats::default();
         let numerical: Vec<usize> = training.schema().numerical_indices();
@@ -127,6 +136,8 @@ impl TreeBuilder {
             })
             .collect();
         let ctx = BuildContext {
+            tuples: &tuples,
+            labels: &labels,
             n_classes: training.n_classes(),
             measure: self.config.measure,
             search: search.as_ref(),
@@ -136,7 +147,11 @@ impl TreeBuilder {
             min_node_weight: self.config.min_node_weight,
             min_gain: self.config.min_gain,
         };
-        let root = ctx.build_node(tuples, 1, &HashSet::new(), &mut stats);
+        // The single O(E log E) presorting pass; recursion below never
+        // sorts again.
+        let root_state = columns::build_root(&tuples, &numerical);
+        let mut scratch = Scratch::new(tuples.len());
+        let root = ctx.build_node(root_state, 1, &HashSet::new(), &mut stats, &mut scratch);
         let mut tree = DecisionTree::new(
             root,
             training.n_attributes(),
@@ -158,6 +173,11 @@ impl TreeBuilder {
 
 /// Immutable context shared by the recursive construction.
 struct BuildContext<'a> {
+    /// The root fractional tuples (never mutated; categorical
+    /// distributions and labels are read through them).
+    tuples: &'a [FractionalTuple],
+    /// Per-tuple class labels.
+    labels: &'a [u32],
     n_classes: usize,
     measure: Measure,
     search: &'a dyn SplitSearch,
@@ -170,8 +190,16 @@ struct BuildContext<'a> {
 
 /// The best action available at a node.
 enum NodeSplit {
-    Numeric { attribute: usize, split: f64, score: f64 },
-    Categorical { attribute: usize, cardinality: usize, score: f64 },
+    Numeric {
+        attribute: usize,
+        split: f64,
+        score: f64,
+    },
+    Categorical {
+        attribute: usize,
+        cardinality: usize,
+        score: f64,
+    },
 }
 
 impl NodeSplit {
@@ -183,25 +211,35 @@ impl NodeSplit {
 }
 
 impl BuildContext<'_> {
+    /// Class counts of the node's alive tuples.
+    fn node_counts(&self, state: &NodeTuples) -> ClassCounts {
+        let mut counts = ClassCounts::new(self.n_classes);
+        for &t in &state.alive {
+            counts.add(self.labels[t as usize] as usize, state.weights[t as usize]);
+        }
+        counts
+    }
+
     fn build_node(
         &self,
-        tuples: Vec<FractionalTuple>,
+        state: NodeTuples,
         depth: usize,
         used_categorical: &HashSet<usize>,
         stats: &mut SearchStats,
+        scratch: &mut Scratch,
     ) -> Node {
-        let counts = class_counts(&tuples, self.n_classes);
+        let counts = self.node_counts(&state);
         // Stopping conditions (§4.1): purity, depth cap, insufficient
         // weight.
         if counts.is_pure()
             || depth >= self.max_depth
             || counts.total() < self.min_node_weight
-            || tuples.is_empty()
+            || state.alive.is_empty()
         {
             return Node::leaf(counts);
         }
 
-        let Some(best) = self.best_split(&tuples, used_categorical, stats) else {
+        let Some(best) = self.best_split(&state, used_categorical, stats, scratch) else {
             return Node::leaf(counts);
         };
 
@@ -220,24 +258,22 @@ impl BuildContext<'_> {
         }
 
         match best {
-            NodeSplit::Numeric { attribute, split, .. } => {
-                let mut left = Vec::new();
-                let mut right = Vec::new();
-                for t in &tuples {
-                    let (l, r) = t.split_numeric(attribute, split);
-                    if let Some(l) = l {
-                        left.push(l);
-                    }
-                    if let Some(r) = r {
-                        right.push(r);
-                    }
-                }
-                if left.is_empty() || right.is_empty() {
+            NodeSplit::Numeric {
+                attribute, split, ..
+            } => {
+                let slot = self
+                    .numerical
+                    .iter()
+                    .position(|&j| j == attribute)
+                    .expect("numeric split attribute has a column");
+                let (left, right) = columns::partition_numeric(&state, slot, split, scratch);
+                if left.alive.is_empty() || right.alive.is_empty() {
                     return Node::leaf(counts);
                 }
-                drop(tuples);
-                let left_node = self.build_node(left, depth + 1, used_categorical, stats);
-                let right_node = self.build_node(right, depth + 1, used_categorical, stats);
+                drop(state);
+                let left_node = self.build_node(left, depth + 1, used_categorical, stats, scratch);
+                let right_node =
+                    self.build_node(right, depth + 1, used_categorical, stats, scratch);
                 Node::Split {
                     attribute,
                     split,
@@ -251,19 +287,20 @@ impl BuildContext<'_> {
                 cardinality,
                 ..
             } => {
-                let buckets = categorical::partition(&tuples, attribute, cardinality);
-                drop(tuples);
+                let buckets =
+                    columns::partition_categorical(&state, self.tuples, attribute, cardinality);
+                drop(state);
                 let mut used = used_categorical.clone();
                 used.insert(attribute);
                 let children: Vec<Node> = buckets
                     .into_iter()
                     .map(|bucket| {
-                        if bucket.is_empty() {
+                        if bucket.alive.is_empty() {
                             // Unseen category: fall back to the parent's
                             // class distribution.
                             Node::leaf(counts.clone())
                         } else {
-                            self.build_node(bucket, depth + 1, &used, stats)
+                            self.build_node(bucket, depth + 1, &used, stats, scratch)
                         }
                     })
                     .collect();
@@ -277,18 +314,29 @@ impl BuildContext<'_> {
     }
 
     /// Finds the best available split (numerical via the configured
-    /// strategy, categorical via §7.2 bucket evaluation).
+    /// strategy over the node's presorted columns, categorical via §7.2
+    /// bucket evaluation).
     fn best_split(
         &self,
-        tuples: &[FractionalTuple],
+        state: &NodeTuples,
         used_categorical: &HashSet<usize>,
         stats: &mut SearchStats,
+        scratch: &mut Scratch,
     ) -> Option<NodeSplit> {
         stats.nodes_searched += 1;
-        let events: Vec<(usize, AttributeEvents)> = self
-            .numerical
+        let events: Vec<(usize, AttributeEvents)> = state
+            .columns
             .iter()
-            .filter_map(|&j| AttributeEvents::build(tuples, j, self.n_classes).map(|e| (j, e)))
+            .filter_map(|col| {
+                columns::events_from_column(
+                    col,
+                    &state.weights,
+                    self.labels,
+                    self.n_classes,
+                    scratch,
+                )
+                .map(|e| (col.attribute, e))
+            })
             .collect();
         let numeric = self
             .search
@@ -304,9 +352,15 @@ impl BuildContext<'_> {
             if used_categorical.contains(&attribute) || cardinality < 2 {
                 continue;
             }
-            if let Some(score) =
-                categorical::evaluate(tuples, attribute, cardinality, self.n_classes, self.measure)
-            {
+            if let Some(score) = categorical::evaluate_weighted(
+                self.tuples,
+                &state.alive,
+                &state.weights,
+                attribute,
+                cardinality,
+                self.n_classes,
+                self.measure,
+            ) {
                 // Each categorical evaluation costs one dispersion
                 // computation per category plus the aggregation; count it
                 // as one entropy-like calculation, mirroring how the paper
@@ -397,7 +451,10 @@ mod tests {
             avg_correct <= 4,
             "AVG can classify at most 4/6 of the example tuples, got {avg_correct}"
         );
-        assert_eq!(udt_correct, 6, "UDT classifies all example tuples correctly");
+        assert_eq!(
+            udt_correct, 6,
+            "UDT classifies all example tuples correctly"
+        );
         // The distribution-based tree has more information to work with, so
         // it is at least as elaborate as the Averaging tree (Fig. 3 vs
         // Fig. 2a in the paper).
@@ -421,7 +478,12 @@ mod tests {
         let reference = TreeBuilder::new(UdtConfig::new(Algorithm::Udt).with_postprune(false))
             .build(&data)
             .unwrap();
-        for algorithm in [Algorithm::UdtBp, Algorithm::UdtLp, Algorithm::UdtGp, Algorithm::UdtEs] {
+        for algorithm in [
+            Algorithm::UdtBp,
+            Algorithm::UdtLp,
+            Algorithm::UdtGp,
+            Algorithm::UdtEs,
+        ] {
             let report = TreeBuilder::new(UdtConfig::new(algorithm).with_postprune(false))
                 .build(&data)
                 .unwrap();
@@ -472,7 +534,11 @@ mod tests {
         )
         .build(&separable_point_dataset())
         .unwrap();
-        assert_eq!(big.tree.size(), 1, "root cannot split under the weight floor");
+        assert_eq!(
+            big.tree.size(),
+            1,
+            "root cannot split under the weight floor"
+        );
     }
 
     #[test]
@@ -500,7 +566,11 @@ mod tests {
             .build(&ds)
             .unwrap();
         match report.tree.root() {
-            Node::CategoricalSplit { attribute, children, .. } => {
+            Node::CategoricalSplit {
+                attribute,
+                children,
+                ..
+            } => {
                 assert_eq!(*attribute, 0);
                 assert_eq!(children.len(), 3);
             }
@@ -524,5 +594,34 @@ mod tests {
         assert_eq!(s.nodes, report.tree.size());
         assert!(s.seconds >= 0.0);
         assert!(s.entropy_like_calculations > 0);
+    }
+
+    #[test]
+    fn columnar_and_naive_builds_agree_on_split_structure() {
+        // The columnar engine and the checked-in naive baseline must make
+        // the same split decisions on a numeric workload.
+        use udt_data::synthetic::SyntheticSpec;
+        use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+        let mut spec = SyntheticSpec::small(5);
+        spec.tuples = 24;
+        spec.attributes = 2;
+        let data = inject_uncertainty(
+            &spec.generate().unwrap(),
+            &UncertaintySpec::baseline().with_s(12),
+        )
+        .unwrap();
+        let report = TreeBuilder::new(UdtConfig::new(Algorithm::Udt).with_postprune(false))
+            .build(&data)
+            .unwrap();
+        let naive_splits = crate::baseline::naive_build_splits(
+            &data,
+            Measure::Entropy,
+            crate::baseline::NaiveSearch::Exhaustive,
+            25,
+            2.0,
+            1e-6,
+        );
+        let columnar_splits = report.tree.size() - report.tree.n_leaves();
+        assert_eq!(columnar_splits, naive_splits);
     }
 }

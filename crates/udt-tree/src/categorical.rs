@@ -2,33 +2,43 @@
 //!
 //! A categorical attribute value is a discrete distribution over the
 //! attribute's categories. A node that tests a categorical attribute has
-//! one child per category; a tuple is (fractionally) copied into bucket `v`
-//! with weight `w · f(v)`, and the copied value becomes certain at `v`. As
-//! a heuristic the paper notes that a categorical attribute already used on
-//! the path from the root need not be reconsidered (it can yield no further
-//! information gain), which the builder enforces.
+//! one child per category; a tuple is (fractionally) present in bucket `v`
+//! with weight `w · f(v)`. As a heuristic the paper notes that a
+//! categorical attribute already used on the path from the root need not
+//! be reconsidered (it can yield no further information gain), which the
+//! builder enforces.
+//!
+//! Evaluation works over the columnar node representation (tuple indices
+//! plus a dense weight vector — see [`crate::columns`]); the node
+//! partition itself is [`crate::columns::partition_categorical`].
 
 use crate::counts::ClassCounts;
 use crate::fractional::FractionalTuple;
 use crate::measure::Measure;
 
-/// The per-category class counts resulting from fanning a set of tuples out
-/// over categorical attribute `attribute` with the given `cardinality`.
-pub fn bucket_counts(
+/// The per-category class counts over the columnar node representation:
+/// `alive` lists the tuple indices present at the node and `weights` their
+/// current fractional weights. Avoids materialising per-node tuple
+/// vectors.
+pub fn bucket_counts_weighted(
     tuples: &[FractionalTuple],
+    alive: &[u32],
+    weights: &[f64],
     attribute: usize,
     cardinality: usize,
     n_classes: usize,
 ) -> Vec<ClassCounts> {
     let mut buckets = vec![ClassCounts::new(n_classes); cardinality];
-    for t in tuples {
-        let Some(dist) = t.values[attribute].as_categorical() else {
+    for &t in alive {
+        let tuple = &tuples[t as usize];
+        let Some(dist) = tuple.values[attribute].as_categorical() else {
             continue;
         };
+        let weight = weights[t as usize];
         for v in 0..cardinality.min(dist.cardinality()) {
-            let w = t.weight * dist.prob(v);
+            let w = weight * dist.prob(v);
             if w > 0.0 {
-                buckets[v].add(t.label, w);
+                buckets[v].add(tuple.label, w);
             }
         }
     }
@@ -38,38 +48,21 @@ pub fn bucket_counts(
 /// Evaluates the multi-way dispersion score (lower is better) of splitting
 /// on categorical attribute `attribute`. Returns `None` when the attribute
 /// cannot discriminate (fewer than two buckets receive mass).
-pub fn evaluate(
+pub fn evaluate_weighted(
     tuples: &[FractionalTuple],
+    alive: &[u32],
+    weights: &[f64],
     attribute: usize,
     cardinality: usize,
     n_classes: usize,
     measure: Measure,
 ) -> Option<f64> {
-    let buckets = bucket_counts(tuples, attribute, cardinality, n_classes);
+    let buckets = bucket_counts_weighted(tuples, alive, weights, attribute, cardinality, n_classes);
     let occupied = buckets.iter().filter(|b| !b.is_empty()).count();
     if occupied < 2 {
         return None;
     }
     Some(measure.multiway_score(&buckets))
-}
-
-/// Partitions tuples into one bucket per category (§7.2's fractional
-/// copies). Bucket `v` holds the fractional tuples whose categorical value
-/// has been fixed to `v`.
-pub fn partition(
-    tuples: &[FractionalTuple],
-    attribute: usize,
-    cardinality: usize,
-) -> Vec<Vec<FractionalTuple>> {
-    let mut buckets: Vec<Vec<FractionalTuple>> = vec![Vec::new(); cardinality];
-    for t in tuples {
-        for (v, part) in t.split_categorical(attribute) {
-            if v < cardinality {
-                buckets[v].push(part);
-            }
-        }
-    }
-    buckets
 }
 
 #[cfg(test)]
@@ -88,13 +81,22 @@ mod tests {
         }
     }
 
+    /// All tuples alive with their own weights — the root-node view.
+    fn node_view(tuples: &[FractionalTuple]) -> (Vec<u32>, Vec<f64>) {
+        (
+            (0..tuples.len() as u32).collect(),
+            tuples.iter().map(|t| t.weight).collect(),
+        )
+    }
+
     #[test]
     fn bucket_counts_accumulate_fractional_weight() {
         let tuples = vec![
             cat_tuple(vec![0.8, 0.2, 0.0], 0, 1.0),
             cat_tuple(vec![0.0, 0.5, 0.5], 1, 1.0),
         ];
-        let buckets = bucket_counts(&tuples, 0, 3, 2);
+        let (alive, weights) = node_view(&tuples);
+        let buckets = bucket_counts_weighted(&tuples, &alive, &weights, 0, 3, 2);
         assert!((buckets[0].get(0) - 0.8).abs() < 1e-12);
         assert!((buckets[1].get(0) - 0.2).abs() < 1e-12);
         assert!((buckets[1].get(1) - 0.5).abs() < 1e-12);
@@ -102,6 +104,15 @@ mod tests {
         // Mass is conserved.
         let total: f64 = buckets.iter().map(ClassCounts::total).sum();
         assert!((total - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_weights_scale_the_buckets() {
+        // The node weight (not the root tuple weight) is what counts.
+        let tuples = vec![cat_tuple(vec![0.25, 0.75], 1, 1.0)];
+        let buckets = bucket_counts_weighted(&tuples, &[0], &[0.8], 0, 2, 2);
+        assert!((buckets[0].get(1) - 0.2).abs() < 1e-12);
+        assert!((buckets[1].get(1) - 0.6).abs() < 1e-12);
     }
 
     #[test]
@@ -113,7 +124,9 @@ mod tests {
             cat_tuple(vec![0.0, 1.0], 1, 1.0),
             cat_tuple(vec![0.0, 1.0], 1, 1.0),
         ];
-        let score = evaluate(&perfect, 0, 2, 2, Measure::Entropy).unwrap();
+        let (alive, weights) = node_view(&perfect);
+        let score =
+            evaluate_weighted(&perfect, &alive, &weights, 0, 2, 2, Measure::Entropy).unwrap();
         assert!(score.abs() < 1e-12, "perfect split has zero entropy");
 
         // Attribute values independent of classes.
@@ -121,8 +134,13 @@ mod tests {
             cat_tuple(vec![0.5, 0.5], 0, 1.0),
             cat_tuple(vec![0.5, 0.5], 1, 1.0),
         ];
-        let score = evaluate(&useless, 0, 2, 2, Measure::Entropy).unwrap();
-        assert!((score - 1.0).abs() < 1e-9, "uninformative split keeps full entropy");
+        let (alive, weights) = node_view(&useless);
+        let score =
+            evaluate_weighted(&useless, &alive, &weights, 0, 2, 2, Measure::Entropy).unwrap();
+        assert!(
+            (score - 1.0).abs() < 1e-9,
+            "uninformative split keeps full entropy"
+        );
     }
 
     #[test]
@@ -131,26 +149,16 @@ mod tests {
             cat_tuple(vec![1.0, 0.0], 0, 1.0),
             cat_tuple(vec![1.0, 0.0], 1, 1.0),
         ];
-        assert!(evaluate(&tuples, 0, 2, 2, Measure::Entropy).is_none());
+        let (alive, weights) = node_view(&tuples);
+        assert!(evaluate_weighted(&tuples, &alive, &weights, 0, 2, 2, Measure::Entropy).is_none());
         // Numeric values are ignored entirely.
         let numeric = vec![FractionalTuple {
             values: vec![UncertainValue::point(1.0)],
             label: 0,
             weight: 1.0,
         }];
-        assert!(evaluate(&numeric, 0, 2, 2, Measure::Entropy).is_none());
-    }
-
-    #[test]
-    fn partition_fixes_the_categorical_value() {
-        let tuples = vec![cat_tuple(vec![0.25, 0.75], 1, 0.8)];
-        let buckets = partition(&tuples, 0, 2);
-        assert_eq!(buckets.len(), 2);
-        assert_eq!(buckets[0].len(), 1);
-        assert_eq!(buckets[1].len(), 1);
-        assert!((buckets[0][0].weight - 0.2).abs() < 1e-12);
-        assert!((buckets[1][0].weight - 0.6).abs() < 1e-12);
-        assert!(buckets[1][0].values[0].as_categorical().unwrap().is_certain());
+        let (alive, weights) = node_view(&numeric);
+        assert!(evaluate_weighted(&numeric, &alive, &weights, 0, 2, 2, Measure::Entropy).is_none());
     }
 
     #[test]
@@ -160,8 +168,9 @@ mod tests {
             cat_tuple(vec![0.2, 0.8], 1, 1.0),
             cat_tuple(vec![0.7, 0.3], 0, 1.0),
         ];
+        let (alive, weights) = node_view(&tuples);
         for m in [Measure::Entropy, Measure::Gini, Measure::GainRatio] {
-            let score = evaluate(&tuples, 0, 2, 2, m).unwrap();
+            let score = evaluate_weighted(&tuples, &alive, &weights, 0, 2, 2, m).unwrap();
             assert!(score.is_finite(), "{m:?}");
         }
     }

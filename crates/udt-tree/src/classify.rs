@@ -213,7 +213,10 @@ mod tests {
         let tuple = toy::fig1_test_tuple().unwrap();
         let dist = predict_distribution(&tree, &tuple);
         let wrong_a = 0.3 * 0.2 + 0.7 * (0.6 / 0.7 * 0.8 + 0.1 / 0.7 * 0.3);
-        assert!((dist[0] - wrong_a).abs() > 1e-3, "pdf restriction must be applied");
+        assert!(
+            (dist[0] - wrong_a).abs() > 1e-3,
+            "pdf restriction must be applied"
+        );
     }
 
     #[test]

@@ -1,0 +1,585 @@
+//! Root-presorted event columns for the split-search engine.
+//!
+//! The classic SPRINT/C4.5 presorting idea applied to UDT's fractional
+//! tuples: every numerical attribute's pdf sample points are flattened
+//! into one sorted column **once at the root** (`O(n log n)` per
+//! attribute), and tree recursion only *partitions* those columns — a
+//! stable linear filter that preserves sort order — instead of rebuilding
+//! and re-sorting per node.
+//!
+//! The fractional-tuple semantics of §3.2/§4.2 map onto columns like
+//! this: a node is described by a dense per-tuple weight vector plus, per
+//! attribute, the list of events still inside the node's domain for that
+//! attribute. Splitting on attribute `a` at `z`
+//!
+//! * sends each event of column `a` to the side its position lies on,
+//!   rescaling its mass by the tuple's kept fraction (the pdf
+//!   renormalisation of [`udt_prob::SampledPdf::split_at`], done in
+//!   place);
+//! * copies each event of every other column to every side where its
+//!   tuple retains weight (the tuple is fractionally present on both
+//!   sides, pdf unchanged);
+//! * multiplies tuple weights by their side fractions `p` / `1 − p`.
+//!
+//! Per-node work is `O(events at the node)` for the column walks —
+//! no sorting, no per-candidate allocation — plus `O(root tuple count)`
+//! for the dense child weight vectors each split materialises (the
+//! per-*tuple* scratch arrays themselves live in a [`Scratch`] reused
+//! across the whole recursion). Replacing the dense weight vectors with
+//! a sparse representation for deep trees is tracked in ROADMAP.md.
+
+use crate::counts::WEIGHT_EPSILON;
+use crate::events::AttributeEvents;
+use crate::fractional::FractionalTuple;
+
+/// One attribute's event column: parallel arrays sorted by position.
+#[derive(Debug, Clone)]
+pub struct AttrColumn {
+    /// The attribute index this column belongs to.
+    pub attribute: usize,
+    /// Event positions, ascending.
+    pub xs: Vec<f64>,
+    /// Event owner tuples (indices into the root tuple array).
+    pub tuple: Vec<u32>,
+    /// Event pdf masses, renormalised to the column's current domain
+    /// restriction (they sum to ≈1 per surviving tuple).
+    pub mass: Vec<f64>,
+}
+
+impl AttrColumn {
+    /// Number of events in the column.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the column holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+/// The per-node tuple state threaded through recursion.
+#[derive(Debug, Clone)]
+pub struct NodeTuples {
+    /// Dense per-tuple weights (0 for tuples absent from this node).
+    pub weights: Vec<f64>,
+    /// Tuples with non-negligible weight, ascending.
+    pub alive: Vec<u32>,
+    /// One column per numerical attribute (same order as the builder's
+    /// numerical attribute list).
+    pub columns: Vec<AttrColumn>,
+}
+
+/// Reusable per-tuple scratch buffers (all sized to the root tuple
+/// count), so the recursion's *working* passes never allocate per-tuple
+/// arrays per node. (Child [`NodeTuples::weights`] vectors are the one
+/// per-node dense allocation; see the module docs.)
+#[derive(Debug)]
+pub struct Scratch {
+    /// Mass at or below the split point, per tuple.
+    left_mass: Vec<f64>,
+    /// Mass above the split point, per tuple.
+    right_mass: Vec<f64>,
+    /// Position index (into the structure being built) of the first
+    /// surviving event per tuple in the current column.
+    lo_idx: Vec<u32>,
+    /// Position index of the last surviving event per tuple.
+    hi_idx: Vec<u32>,
+    /// Whether the tuple has been touched in the current pass.
+    seen: Vec<bool>,
+    /// Touched tuples, for cheap resets.
+    touched: Vec<u32>,
+    /// Reusable running per-class totals (`n_classes`-sized).
+    running: Vec<f64>,
+}
+
+impl Scratch {
+    /// Creates scratch buffers for `n_tuples` root tuples.
+    pub fn new(n_tuples: usize) -> Scratch {
+        Scratch {
+            left_mass: vec![0.0; n_tuples],
+            right_mass: vec![0.0; n_tuples],
+            lo_idx: vec![0; n_tuples],
+            hi_idx: vec![0; n_tuples],
+            seen: vec![false; n_tuples],
+            touched: Vec::with_capacity(n_tuples),
+            running: Vec::new(),
+        }
+    }
+
+    fn reset_touched(&mut self) {
+        for &t in &self.touched {
+            self.seen[t as usize] = false;
+            self.left_mass[t as usize] = 0.0;
+            self.right_mass[t as usize] = 0.0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// Builds the root [`NodeTuples`]: per-attribute columns sorted once, all
+/// tuple weights taken from the fractional tuples (1 for whole tuples).
+pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> NodeTuples {
+    let mut weights = vec![0.0f64; tuples.len()];
+    let mut alive = Vec::with_capacity(tuples.len());
+    for (t, tuple) in tuples.iter().enumerate() {
+        if tuple.weight > WEIGHT_EPSILON {
+            weights[t] = tuple.weight;
+            alive.push(t as u32);
+        }
+    }
+    let columns = numerical
+        .iter()
+        .map(|&attribute| {
+            let mut order: Vec<(f64, u32, f64)> = Vec::new();
+            for &t in &alive {
+                let Some(pdf) = tuples[t as usize].values[attribute].as_numeric() else {
+                    continue;
+                };
+                for (x, m) in pdf.iter() {
+                    order.push((x, t, m));
+                }
+            }
+            // The one O(E log E) sort; recursion below only partitions.
+            order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sample points"));
+            let mut xs = Vec::with_capacity(order.len());
+            let mut tuple = Vec::with_capacity(order.len());
+            let mut mass = Vec::with_capacity(order.len());
+            for (x, t, m) in order {
+                xs.push(x);
+                tuple.push(t);
+                mass.push(m);
+            }
+            AttrColumn {
+                attribute,
+                xs,
+                tuple,
+                mass,
+            }
+        })
+        .collect();
+    NodeTuples {
+        weights,
+        alive,
+        columns,
+    }
+}
+
+/// Builds the scoring structure for one column at one node. Returns
+/// `None` when fewer than two distinct positions carry mass (no split
+/// possible). Linear in the column length; the only allocations are the
+/// output structure's own arrays.
+pub fn events_from_column(
+    col: &AttrColumn,
+    weights: &[f64],
+    labels: &[u32],
+    n_classes: usize,
+    scratch: &mut Scratch,
+) -> Option<AttributeEvents> {
+    scratch.reset_touched();
+    scratch.running.clear();
+    scratch.running.resize(n_classes, 0.0);
+    let mut xs: Vec<f64> = Vec::with_capacity(col.len());
+    let mut cum: Vec<f64> = Vec::with_capacity(col.len() * n_classes);
+    for e in 0..col.len() {
+        let t = col.tuple[e] as usize;
+        let w = weights[t];
+        if w <= WEIGHT_EPSILON {
+            continue;
+        }
+        let x = col.xs[e];
+        let event_weight = w * col.mass[e];
+        if event_weight <= WEIGHT_EPSILON {
+            // Same denormal gate as AttributeEvents::build.
+            continue;
+        }
+        if xs.last() != Some(&x) {
+            if !xs.is_empty() {
+                cum.extend_from_slice(&scratch.running);
+            }
+            xs.push(x);
+        }
+        scratch.running[labels[t] as usize] += event_weight;
+        let pos = (xs.len() - 1) as u32;
+        if !scratch.seen[t] {
+            scratch.seen[t] = true;
+            scratch.touched.push(t as u32);
+            scratch.lo_idx[t] = pos;
+        }
+        scratch.hi_idx[t] = pos;
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    cum.extend_from_slice(&scratch.running);
+    let mut end_point_idx: Vec<usize> = scratch
+        .touched
+        .iter()
+        .flat_map(|&t| {
+            [
+                scratch.lo_idx[t as usize] as usize,
+                scratch.hi_idx[t as usize] as usize,
+            ]
+        })
+        .collect();
+    end_point_idx.sort_unstable();
+    end_point_idx.dedup();
+    AttributeEvents::from_parts(xs, cum, n_classes, end_point_idx)
+}
+
+/// Copies the events of `column` whose tuples keep weight, in order —
+/// the shared filter used for every column a split does not rescale
+/// (numeric non-split attributes and all columns of a categorical
+/// partition).
+fn filter_column(column: &AttrColumn, weights: &[f64]) -> AttrColumn {
+    let mut xs = Vec::with_capacity(column.len());
+    let mut tuple = Vec::with_capacity(column.len());
+    let mut mass = Vec::with_capacity(column.len());
+    for e in 0..column.len() {
+        let t = column.tuple[e] as usize;
+        if weights[t] <= WEIGHT_EPSILON {
+            continue;
+        }
+        xs.push(column.xs[e]);
+        tuple.push(t as u32);
+        mass.push(column.mass[e]);
+    }
+    AttrColumn {
+        attribute: column.attribute,
+        xs,
+        tuple,
+        mass,
+    }
+}
+
+/// Splits a node's tuples on `(attribute slot, z)`, producing the left
+/// and right children. Implements the fractional-tuple split of §3.2
+/// against the columnar layout: linear in the node's event count,
+/// stable, no re-sorting.
+pub fn partition_numeric(
+    node: &NodeTuples,
+    slot: usize,
+    z: f64,
+    scratch: &mut Scratch,
+) -> (NodeTuples, NodeTuples) {
+    let n = node.weights.len();
+    let col = &node.columns[slot];
+
+    // Pass 1: per-tuple mass on each side of the split.
+    scratch.reset_touched();
+    for e in 0..col.len() {
+        let t = col.tuple[e] as usize;
+        if node.weights[t] <= WEIGHT_EPSILON {
+            continue;
+        }
+        if !scratch.seen[t] {
+            scratch.seen[t] = true;
+            scratch.touched.push(t as u32);
+        }
+        if col.xs[e] <= z {
+            scratch.left_mass[t] += col.mass[e];
+        } else {
+            scratch.right_mass[t] += col.mass[e];
+        }
+    }
+
+    // Pass 2: child weights; stash each tuple's left fraction p in
+    // `left_mass` and its right fraction in `right_mass` for the mass
+    // renormalisation below.
+    let mut left_weights = vec![0.0f64; n];
+    let mut right_weights = vec![0.0f64; n];
+    let mut left_alive = Vec::new();
+    let mut right_alive = Vec::new();
+    for &t in &scratch.touched {
+        let t = t as usize;
+        let lm = scratch.left_mass[t];
+        let rm = scratch.right_mass[t];
+        let total = lm + rm;
+        if total <= 0.0 {
+            continue;
+        }
+        let p = lm / total;
+        let w = node.weights[t];
+        let wl = w * p;
+        let wr = w * (1.0 - p);
+        if wl > WEIGHT_EPSILON {
+            left_weights[t] = wl;
+            left_alive.push(t as u32);
+        }
+        if wr > WEIGHT_EPSILON {
+            right_weights[t] = wr;
+            right_alive.push(t as u32);
+        }
+        scratch.left_mass[t] = p;
+        scratch.right_mass[t] = 1.0 - p;
+    }
+    left_alive.sort_unstable();
+    right_alive.sort_unstable();
+
+    // Pass 3: partition every column. The split attribute's events go to
+    // the side their position lies on with mass rescaled by 1/p (the pdf
+    // renormalisation of the fractional split); all other columns are
+    // copied to each side where the tuple survives, masses unchanged.
+    let partition_columns = |keep: &dyn Fn(f64) -> bool, weights: &[f64], fractions: &[f64]| {
+        node.columns
+            .iter()
+            .enumerate()
+            .map(|(j, column)| {
+                if j != slot {
+                    return filter_column(column, weights);
+                }
+                let mut xs = Vec::with_capacity(column.len());
+                let mut tuple = Vec::with_capacity(column.len());
+                let mut mass = Vec::with_capacity(column.len());
+                for e in 0..column.len() {
+                    let t = column.tuple[e] as usize;
+                    if weights[t] <= WEIGHT_EPSILON {
+                        continue;
+                    }
+                    let x = column.xs[e];
+                    if !keep(x) {
+                        continue;
+                    }
+                    let fraction = fractions[t];
+                    if fraction <= 0.0 {
+                        continue;
+                    }
+                    xs.push(x);
+                    tuple.push(t as u32);
+                    mass.push(column.mass[e] / fraction);
+                }
+                AttrColumn {
+                    attribute: column.attribute,
+                    xs,
+                    tuple,
+                    mass,
+                }
+            })
+            .collect::<Vec<_>>()
+    };
+
+    // Shared reborrows of the scratch fraction buffers; partition_columns
+    // only reads them.
+    let left_columns = partition_columns(&|x| x <= z, &left_weights, &scratch.left_mass);
+    let right_columns = partition_columns(&|x| x > z, &right_weights, &scratch.right_mass);
+
+    (
+        NodeTuples {
+            weights: left_weights,
+            alive: left_alive,
+            columns: left_columns,
+        },
+        NodeTuples {
+            weights: right_weights,
+            alive: right_alive,
+            columns: right_columns,
+        },
+    )
+}
+
+/// Splits a node's tuples over the categories of categorical attribute
+/// `attribute` (§7.2): bucket `v` receives every tuple with weight
+/// `w · f(v)`; numerical columns are filtered to surviving tuples, masses
+/// unchanged.
+pub fn partition_categorical(
+    node: &NodeTuples,
+    tuples: &[FractionalTuple],
+    attribute: usize,
+    cardinality: usize,
+) -> Vec<NodeTuples> {
+    let n = node.weights.len();
+    (0..cardinality)
+        .map(|v| {
+            let mut weights = vec![0.0f64; n];
+            let mut alive = Vec::new();
+            for &t in &node.alive {
+                let Some(dist) = tuples[t as usize].values[attribute].as_categorical() else {
+                    continue;
+                };
+                if v >= dist.cardinality() {
+                    continue;
+                }
+                let w = node.weights[t as usize] * dist.prob(v);
+                if w > WEIGHT_EPSILON {
+                    weights[t as usize] = w;
+                    alive.push(t);
+                }
+            }
+            let columns = node
+                .columns
+                .iter()
+                .map(|column| filter_column(column, &weights))
+                .collect();
+            NodeTuples {
+                weights,
+                alive,
+                columns,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::Measure;
+    use udt_data::UncertainValue;
+    use udt_prob::SampledPdf;
+
+    fn ft(points: &[f64], mass: &[f64], label: usize) -> FractionalTuple {
+        FractionalTuple {
+            values: vec![UncertainValue::Numeric(
+                SampledPdf::new(points.to_vec(), mass.to_vec()).unwrap(),
+            )],
+            label,
+            weight: 1.0,
+        }
+    }
+
+    fn labels(tuples: &[FractionalTuple]) -> Vec<u32> {
+        tuples.iter().map(|t| t.label as u32).collect()
+    }
+
+    #[test]
+    fn root_events_match_direct_build() {
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0], &[1.0, 2.0, 1.0], 0),
+            ft(&[1.5, 2.5, 3.5], &[1.0, 1.0, 2.0], 1),
+        ];
+        let root = build_root(&tuples, &[0]);
+        let mut scratch = Scratch::new(tuples.len());
+        let from_col = events_from_column(
+            &root.columns[0],
+            &root.weights,
+            &labels(&tuples),
+            2,
+            &mut scratch,
+        )
+        .unwrap();
+        let direct = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        assert_eq!(from_col.xs(), direct.xs());
+        assert_eq!(from_col.end_point_indices(), direct.end_point_indices());
+        for i in 0..direct.n_positions() {
+            assert_eq!(
+                from_col.left_counts(i).as_slice(),
+                direct.left_counts(i).as_slice(),
+                "row {i}"
+            );
+        }
+        for i in 0..direct.n_positions() - 1 {
+            assert_eq!(
+                from_col.score_at(i, Measure::Entropy).to_bits(),
+                direct.score_at(i, Measure::Entropy).to_bits(),
+                "score {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn numeric_partition_matches_fractional_split() {
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0, 3.0], &[0.25, 0.25, 0.25, 0.25], 0),
+            ft(&[2.0, 3.0, 4.0, 5.0], &[0.25, 0.25, 0.25, 0.25], 1),
+        ];
+        let root = build_root(&tuples, &[0]);
+        let mut scratch = Scratch::new(tuples.len());
+        let (left, right) = partition_numeric(&root, 0, 2.0, &mut scratch);
+        // Tuple 0 keeps 3/4 of its mass left, tuple 1 keeps 1/4 left.
+        assert!((left.weights[0] - 0.75).abs() < 1e-12);
+        assert!((left.weights[1] - 0.25).abs() < 1e-12);
+        assert!((right.weights[0] - 0.25).abs() < 1e-12);
+        assert!((right.weights[1] - 0.75).abs() < 1e-12);
+        // The split column's masses are renormalised per tuple.
+        let per_tuple_mass = |node: &NodeTuples, t: u32| -> f64 {
+            node.columns[0]
+                .tuple
+                .iter()
+                .zip(&node.columns[0].mass)
+                .filter(|(&owner, _)| owner == t)
+                .map(|(_, &m)| m)
+                .sum()
+        };
+        for node in [&left, &right] {
+            for t in [0u32, 1] {
+                let total = per_tuple_mass(node, t);
+                assert!((total - 1.0).abs() < 1e-9, "mass {total} for tuple {t}");
+            }
+        }
+        // Columns stay sorted.
+        for node in [&left, &right] {
+            assert!(node.columns[0].xs.windows(2).all(|w| w[0] <= w[1]));
+        }
+        // Reference: the same split through the fractional-tuple path.
+        for (t, tuple) in tuples.iter().enumerate() {
+            let (l, r) = tuple.split_numeric(0, 2.0);
+            assert!((l.map_or(0.0, |x| x.weight) - left.weights[t]).abs() < 1e-12);
+            assert!((r.map_or(0.0, |x| x.weight) - right.weights[t]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partitioned_columns_reproduce_fractional_tuple_events() {
+        // After one split, the child columns must yield the same scoring
+        // structure as rebuilding from explicitly split fractional tuples.
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 1.0], 0),
+            ft(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0, 1.0, 1.0], 1),
+            ft(&[2.0, 3.0, 4.0, 5.0], &[2.0, 1.0, 1.0, 2.0], 0),
+        ];
+        let root = build_root(&tuples, &[0]);
+        let mut scratch = Scratch::new(tuples.len());
+        let z = 2.0;
+        let (left, _right) = partition_numeric(&root, 0, z, &mut scratch);
+
+        // Reference: split every tuple fractionally, rebuild from scratch.
+        let left_tuples: Vec<FractionalTuple> = tuples
+            .iter()
+            .filter_map(|t| t.split_numeric(0, z).0)
+            .collect();
+        let reference = AttributeEvents::build(&left_tuples, 0, 2).unwrap();
+        let got = events_from_column(
+            &left.columns[0],
+            &left.weights,
+            &labels(&tuples),
+            2,
+            &mut scratch,
+        )
+        .unwrap();
+        assert_eq!(got.xs(), reference.xs());
+        for i in 0..reference.n_positions() {
+            let g = got.left_counts(i);
+            let r = reference.left_counts(i);
+            for c in 0..2 {
+                assert!(
+                    (g.get(c) - r.get(c)).abs() < 1e-12,
+                    "row {i} class {c}: {} vs {}",
+                    g.get(c),
+                    r.get(c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn categorical_partition_scales_weights() {
+        use udt_prob::DiscreteDist;
+        let tuples = vec![FractionalTuple {
+            values: vec![
+                UncertainValue::Categorical(DiscreteDist::new(vec![0.5, 0.0, 0.5]).unwrap()),
+                UncertainValue::point(1.0),
+            ],
+            label: 0,
+            weight: 0.8,
+        }];
+        let mut root = build_root(&tuples, &[1]);
+        root.weights[0] = 0.8;
+        let buckets = partition_categorical(&root, &tuples, 0, 3);
+        assert_eq!(buckets.len(), 3);
+        assert!((buckets[0].weights[0] - 0.4).abs() < 1e-12);
+        assert!(buckets[1].alive.is_empty());
+        assert!((buckets[2].weights[0] - 0.4).abs() < 1e-12);
+        // Numerical columns follow the surviving tuples.
+        assert_eq!(buckets[0].columns[0].len(), 1);
+        assert_eq!(buckets[1].columns[0].len(), 0);
+    }
+}

@@ -208,7 +208,10 @@ mod tests {
     #[test]
     fn algorithm_names_match_the_paper() {
         let names: Vec<&str> = Algorithm::all().iter().map(|a| a.name()).collect();
-        assert_eq!(names, vec!["AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"]);
+        assert_eq!(
+            names,
+            vec!["AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES"]
+        );
         assert!(!Algorithm::Avg.uses_distributions());
         assert!(Algorithm::UdtEs.uses_distributions());
         assert_eq!(Algorithm::distribution_based().len(), 5);
@@ -218,10 +221,22 @@ mod tests {
     fn split_search_dispatch() {
         assert_eq!(UdtConfig::new(Algorithm::Udt).split_search().name(), "UDT");
         assert_eq!(UdtConfig::new(Algorithm::Avg).split_search().name(), "UDT");
-        assert_eq!(UdtConfig::new(Algorithm::UdtBp).split_search().name(), "UDT-BP");
-        assert_eq!(UdtConfig::new(Algorithm::UdtLp).split_search().name(), "UDT-LP");
-        assert_eq!(UdtConfig::new(Algorithm::UdtGp).split_search().name(), "UDT-GP");
-        assert_eq!(UdtConfig::new(Algorithm::UdtEs).split_search().name(), "UDT-ES");
+        assert_eq!(
+            UdtConfig::new(Algorithm::UdtBp).split_search().name(),
+            "UDT-BP"
+        );
+        assert_eq!(
+            UdtConfig::new(Algorithm::UdtLp).split_search().name(),
+            "UDT-LP"
+        );
+        assert_eq!(
+            UdtConfig::new(Algorithm::UdtGp).split_search().name(),
+            "UDT-GP"
+        );
+        assert_eq!(
+            UdtConfig::new(Algorithm::UdtEs).split_search().name(),
+            "UDT-ES"
+        );
     }
 
     #[test]
@@ -231,14 +246,20 @@ mod tests {
             .with_max_depth(0)
             .validate()
             .is_err());
-        let mut c = UdtConfig::default();
-        c.min_gain = -1.0;
+        let c = UdtConfig {
+            min_gain: -1.0,
+            ..UdtConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = UdtConfig::default();
-        c.es_sample_rate = 0.0;
+        let c = UdtConfig {
+            es_sample_rate: 0.0,
+            ..UdtConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = UdtConfig::default();
-        c.min_node_weight = f64::NAN;
+        let c = UdtConfig {
+            min_node_weight: f64::NAN,
+            ..UdtConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 

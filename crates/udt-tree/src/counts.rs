@@ -14,6 +14,77 @@ use serde::{Deserialize, Serialize};
 /// Numerical tolerance below which a weight is treated as zero.
 pub const WEIGHT_EPSILON: f64 = 1e-9;
 
+/// Clamps tiny negative floating-point residues (from subtracting nearly
+/// equal cumulative masses) to zero. The single source of truth for the
+/// drift guard shared by [`ClassCounts::sub_counts`], the slice-based
+/// scoring in [`crate::measure`], and the diagnostic difference helpers
+/// in [`crate::events`] — they must agree bit for bit for the
+/// columnar-vs-baseline regression contract to hold.
+#[inline]
+pub(crate) fn clamp_residue(x: f64) -> f64 {
+    if x < 0.0 && x > -WEIGHT_EPSILON {
+        0.0
+    } else {
+        x
+    }
+}
+
+/// A borrowed view of weighted per-class counts.
+///
+/// This is the zero-allocation companion of [`ClassCounts`]: the columnar
+/// split engine stores all cumulative per-class masses in one flat
+/// row-major `Vec<f64>` (see [`crate::events::AttributeEvents`]) and hands
+/// out `CountsView`s of individual rows, so the per-candidate scoring
+/// loop never clones a counter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountsView<'a>(&'a [f64]);
+
+impl<'a> CountsView<'a> {
+    /// Wraps a slice of per-class counts.
+    pub fn new(counts: &'a [f64]) -> Self {
+        CountsView(counts)
+    }
+
+    /// Number of classes tracked.
+    pub fn n_classes(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The count of class `c`.
+    pub fn get(&self, c: usize) -> f64 {
+        self.0[c]
+    }
+
+    /// All counts.
+    pub fn as_slice(&self) -> &'a [f64] {
+        self.0
+    }
+
+    /// Total weight across all classes.
+    pub fn total(&self) -> f64 {
+        self.0.iter().sum()
+    }
+
+    /// Whether the total weight is (numerically) zero.
+    pub fn is_empty(&self) -> bool {
+        self.total() <= WEIGHT_EPSILON
+    }
+
+    /// Number of distinct classes carrying non-negligible weight.
+    pub fn support_size(&self) -> usize {
+        let total = self.total();
+        if total <= WEIGHT_EPSILON {
+            return 0;
+        }
+        self.0.iter().filter(|&&c| c > total * 1e-9).count()
+    }
+
+    /// Copies the view into an owned counter.
+    pub fn to_counts(&self) -> ClassCounts {
+        ClassCounts::from_vec(self.0.to_vec())
+    }
+}
+
 /// Weighted per-class counts.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassCounts {
@@ -54,10 +125,7 @@ impl ClassCounts {
     /// residues (floating point drift) to zero.
     pub fn sub_counts(&mut self, other: &ClassCounts) {
         for (a, b) in self.counts.iter_mut().zip(&other.counts) {
-            *a -= b;
-            if *a < 0.0 && *a > -WEIGHT_EPSILON {
-                *a = 0.0;
-            }
+            *a = clamp_residue(*a - b);
         }
     }
 
@@ -89,11 +157,7 @@ impl ClassCounts {
         if total <= WEIGHT_EPSILON {
             return true;
         }
-        self.counts
-            .iter()
-            .filter(|&&c| c > total * 1e-9)
-            .count()
-            <= 1
+        self.counts.iter().filter(|&&c| c > total * 1e-9).count() <= 1
     }
 
     /// The class with the largest weight (lowest index wins ties).
@@ -127,6 +191,11 @@ impl ClassCounts {
             return 0;
         }
         self.counts.iter().filter(|&&c| c > total * 1e-9).count()
+    }
+
+    /// A borrowed view of the counts.
+    pub fn as_view(&self) -> CountsView<'_> {
+        CountsView(&self.counts)
     }
 }
 

@@ -1,23 +1,28 @@
-//! Per-attribute candidate-split structure.
+//! Per-attribute candidate-split structure (columnar layout).
 //!
 //! For one numerical attribute and one set of (fractional) tuples, UDT's
 //! split search needs, for every candidate split point `z`, the weighted
 //! per-class counts on the two sides of the test `v ≤ z`. [`AttributeEvents`]
-//! pre-computes that in `O(m·s·log(m·s))`:
+//! pre-computes that in `O(m·s·log(m·s))` (or `O(m·s)` when fed an
+//! already-sorted event column by the tree builder):
 //!
 //! * every pdf sample point contributes a *mass event* `(x, class, w·mass)`;
 //! * events are sorted and aggregated into the distinct positions `xs`;
-//! * a running per-class cumulative count is stored per position, so the
-//!   "left" counts of any candidate are a single array lookup — the
-//!   discrete analogue of the paper's remark that storing cumulative
-//!   distributions turns the integration of §4.2 into a subtraction.
+//! * the running per-class cumulative counts are stored as a single
+//!   row-major `Vec<f64>` matrix (`n_positions × n_classes`), so the
+//!   "left" counts of any candidate are one borrowed row — the discrete
+//!   analogue of the paper's remark that storing cumulative distributions
+//!   turns the integration of §4.2 into a subtraction, laid out so the
+//!   per-candidate scoring loop performs **zero heap allocations**: the
+//!   right-side counts are derived from `total − left` on the fly inside
+//!   [`crate::measure::Measure::split_score_cum`].
 //!
 //! The structure also exposes the *end points* `Q_j` (the pdf domain
 //! boundaries of §5.1) and the disjoint intervals they induce, each
 //! classified as empty, homogeneous or heterogeneous (Definitions 2–4),
 //! which is all the pruning algorithms need.
 
-use crate::counts::{ClassCounts, WEIGHT_EPSILON};
+use crate::counts::{clamp_residue, ClassCounts, CountsView, WEIGHT_EPSILON};
 use crate::fractional::FractionalTuple;
 use crate::measure::Measure;
 
@@ -44,16 +49,19 @@ pub struct Interval {
     pub kind: IntervalKind,
 }
 
-/// Sorted, aggregated per-attribute candidate-split structure.
+/// Sorted, aggregated per-attribute candidate-split structure in
+/// structure-of-arrays form.
 #[derive(Debug, Clone)]
 pub struct AttributeEvents {
     /// Distinct candidate positions, ascending. Every pdf sample point of
     /// every tuple appears here.
     xs: Vec<f64>,
-    /// `cum[i]` = per-class mass at positions `<= xs[i]`.
-    cum: Vec<ClassCounts>,
-    /// Total per-class mass.
-    total: ClassCounts,
+    /// Row-major cumulative per-class mass matrix: row `i` (that is,
+    /// `cum[i*k .. (i+1)*k]` for `k = n_classes`) holds the per-class mass
+    /// at positions `<= xs[i]`. The final row is the per-class total.
+    cum: Vec<f64>,
+    /// Number of classes (row width of `cum`).
+    n_classes: usize,
     /// Indices into `xs` of the end points `Q_j` (pdf domain boundaries),
     /// ascending and distinct.
     end_point_idx: Vec<usize>,
@@ -82,7 +90,11 @@ impl AttributeEvents {
             end_points.push(pdf.hi());
             for (x, m) in pdf.iter() {
                 let w = t.weight * m;
-                if w > 0.0 {
+                // Consistent zero-mass gate: denormal event weights below
+                // WEIGHT_EPSILON would create spurious candidate positions
+                // (and inflate the `candidate_points` statistic) without
+                // contributing meaningful mass.
+                if w > WEIGHT_EPSILON {
                     events.push((x, t.label, w));
                 }
             }
@@ -91,39 +103,108 @@ impl AttributeEvents {
             return None;
         }
         events.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sample points"));
+        Self::from_sorted_events(&events, end_points, n_classes)
+    }
 
-        let mut xs: Vec<f64> = Vec::new();
-        let mut cum: Vec<ClassCounts> = Vec::new();
-        let mut running = ClassCounts::new(n_classes);
-        for (x, label, w) in events {
+    /// Builds the structure from events already sorted by position — the
+    /// entry point used by the tree builder, which presorts every
+    /// attribute column once at the root and only repartitions (stably)
+    /// during recursion. `end_points` may arrive unsorted; end points
+    /// whose position carries no surviving mass are dropped (they bound
+    /// empty domain stretches and coarsen the interval decomposition at
+    /// most, which every pruning theorem tolerates).
+    pub fn from_sorted_events(
+        events: &[(f64, usize, f64)],
+        mut end_points: Vec<f64>,
+        n_classes: usize,
+    ) -> Option<AttributeEvents> {
+        if events.is_empty() {
+            return None;
+        }
+        let mut xs: Vec<f64> = Vec::with_capacity(events.len());
+        let mut cum: Vec<f64> = Vec::with_capacity(events.len() * n_classes);
+        let mut running = vec![0.0f64; n_classes];
+        for &(x, label, w) in events {
+            debug_assert!(
+                xs.last().is_none_or(|&last| last <= x),
+                "events must arrive sorted by position"
+            );
             if xs.last() != Some(&x) {
                 if !xs.is_empty() {
-                    cum.push(running.clone());
+                    cum.extend_from_slice(&running);
                 }
                 xs.push(x);
             }
-            running.add(label, w);
+            running[label] += w;
         }
-        cum.push(running.clone());
-        debug_assert_eq!(xs.len(), cum.len());
+        cum.extend_from_slice(&running);
+        debug_assert_eq!(xs.len() * n_classes, cum.len());
         if xs.len() < 2 {
             return None;
         }
 
         end_points.sort_by(|a, b| a.partial_cmp(b).expect("finite end points"));
         end_points.dedup();
-        let end_point_idx: Vec<usize> = end_points
+        let mut end_point_idx: Vec<usize> = end_points
             .iter()
-            .map(|&q| {
+            .filter_map(|&q| {
                 xs.binary_search_by(|x| x.partial_cmp(&q).expect("finite"))
-                    .expect("every end point is a sample point of some pdf")
+                    .ok()
             })
             .collect();
+        // The interval decomposition must COVER every candidate position:
+        // a dropped *interior* end point (its boundary event was
+        // epsilon-gated) merely coarsens adjacent intervals, but a dropped
+        // extreme end point would leave the candidates before the first /
+        // after the last surviving end point outside every interval, and
+        // the pruned searches would never evaluate them — breaking the
+        // safe-pruning guarantee. Pin both extremes.
+        if end_point_idx.first() != Some(&0) {
+            end_point_idx.insert(0, 0);
+        }
+        let last = xs.len() - 1;
+        if end_point_idx.last() != Some(&last) {
+            end_point_idx.push(last);
+        }
 
         Some(AttributeEvents {
             xs,
             cum,
-            total: running,
+            n_classes,
+            end_point_idx,
+        })
+    }
+
+    /// Assembles the structure from pre-aggregated parts — the zero-copy
+    /// entry point used by [`crate::columns::events_from_column`], which
+    /// fuses filtering, aggregation and end-point tracking into a single
+    /// pass over a presorted column.
+    ///
+    /// Invariants (checked in debug builds): `xs` ascending and distinct,
+    /// `cum` row-major with `xs.len()` rows of `n_classes`, each row
+    /// element-wise ≥ its predecessor, `end_point_idx` ascending indices
+    /// into `xs`.
+    pub fn from_parts(
+        xs: Vec<f64>,
+        cum: Vec<f64>,
+        n_classes: usize,
+        end_point_idx: Vec<usize>,
+    ) -> Option<AttributeEvents> {
+        debug_assert_eq!(xs.len() * n_classes, cum.len());
+        debug_assert!(xs.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(cum
+            .chunks_exact(n_classes.max(1))
+            .zip(cum.chunks_exact(n_classes.max(1)).skip(1))
+            .all(|(prev, next)| prev.iter().zip(next).all(|(&p, &n)| p <= n)));
+        debug_assert!(end_point_idx.windows(2).all(|w| w[0] < w[1]));
+        debug_assert!(end_point_idx.iter().all(|&i| i < xs.len()));
+        if xs.len() < 2 {
+            return None;
+        }
+        Some(AttributeEvents {
+            xs,
+            cum,
+            n_classes,
             end_point_idx,
         })
     }
@@ -138,34 +219,47 @@ impl AttributeEvents {
         self.xs.len()
     }
 
-    /// Total per-class mass over all tuples.
-    pub fn total(&self) -> &ClassCounts {
-        &self.total
+    /// Number of classes tracked per position.
+    pub fn n_classes(&self) -> usize {
+        self.n_classes
+    }
+
+    /// Row `i` of the cumulative matrix.
+    #[inline]
+    fn row(&self, i: usize) -> &[f64] {
+        &self.cum[i * self.n_classes..(i + 1) * self.n_classes]
+    }
+
+    /// Total per-class mass over all tuples (the final cumulative row).
+    pub fn total(&self) -> CountsView<'_> {
+        CountsView::new(self.row(self.xs.len() - 1))
     }
 
     /// The per-class counts of mass at positions `<= xs[i]` — the "left"
-    /// counts of a split at `xs[i]`.
-    pub fn left_counts(&self, i: usize) -> &ClassCounts {
-        &self.cum[i]
+    /// counts of a split at `xs[i]`. A borrowed row; no allocation.
+    pub fn left_counts(&self, i: usize) -> CountsView<'_> {
+        CountsView::new(self.row(i))
     }
 
     /// The per-class counts of mass at positions `> xs[i]` — the "right"
-    /// counts of a split at `xs[i]`.
-    pub fn right_counts(&self, i: usize) -> ClassCounts {
-        let mut r = self.total.clone();
-        r.sub_counts(&self.cum[i]);
-        r
+    /// counts of a split at `xs[i]`. Allocates a fresh vector; intended
+    /// for tests and diagnostics only — the scoring loop derives right
+    /// counts in place via [`Measure::split_score_cum`].
+    pub fn right_counts_vec(&self, i: usize) -> Vec<f64> {
+        let total = self.row(self.xs.len() - 1);
+        self.row(i)
+            .iter()
+            .zip(total)
+            .map(|(&l, &t)| clamp_residue(t - l))
+            .collect()
     }
 
     /// Dispersion score (eq. 1) of splitting at `xs[i]`. Splits that leave
     /// one side without mass score `+∞` (they are not valid splits).
+    /// Allocation-free: one borrowed cumulative row plus the total row.
+    #[inline]
     pub fn score_at(&self, i: usize, measure: Measure) -> f64 {
-        let left = self.left_counts(i);
-        let right = self.right_counts(i);
-        if left.is_empty() || right.is_empty() {
-            return f64::INFINITY;
-        }
-        measure.split_score(left, &right)
+        measure.split_score_cum(self.row(i), self.row(self.xs.len() - 1))
     }
 
     /// Indices (into [`xs`](Self::xs)) of the end points `Q_j`, ascending.
@@ -183,61 +277,84 @@ impl AttributeEvents {
     /// position indices (used by UDT-ES, which works on a *sample* of the
     /// end points and therefore on coarser concatenated intervals).
     pub fn intervals_between(&self, boundary_idx: &[usize]) -> Vec<Interval> {
-        let mut out = Vec::new();
+        let mut out = Vec::with_capacity(boundary_idx.len().saturating_sub(1));
         for w in boundary_idx.windows(2) {
             let (lo, hi) = (w[0], w[1]);
-            let inside = self.counts_in(lo, hi);
-            let kind = if inside.is_empty() {
-                IntervalKind::Empty
-            } else if inside.support_size() <= 1 {
-                IntervalKind::Homogeneous
-            } else {
-                IntervalKind::Heterogeneous
-            };
             out.push(Interval {
                 lo_idx: lo,
                 hi_idx: hi,
-                kind,
+                kind: self.classify_interval(lo, hi),
             });
         }
         out
     }
 
+    /// Classifies the mass in `(xs[lo], xs[hi]]` without materialising the
+    /// per-class difference vector.
+    fn classify_interval(&self, lo: usize, hi: usize) -> IntervalKind {
+        let row_lo = self.row(lo);
+        let row_hi = self.row(hi);
+        let total: f64 = row_hi
+            .iter()
+            .zip(row_lo)
+            .map(|(&h, &l)| (h - l).max(0.0))
+            .sum();
+        if total <= WEIGHT_EPSILON {
+            return IntervalKind::Empty;
+        }
+        let support = row_hi
+            .iter()
+            .zip(row_lo)
+            .filter(|&(&h, &l)| h - l > total * 1e-9)
+            .count();
+        if support <= 1 {
+            IntervalKind::Homogeneous
+        } else {
+            IntervalKind::Heterogeneous
+        }
+    }
+
     /// Per-class mass at positions `<= xs[i]` (the `n_c` of §5.2 when `i`
-    /// is an interval's left end point).
-    pub fn counts_below(&self, i: usize) -> ClassCounts {
-        self.cum[i].clone()
+    /// is an interval's left end point). A borrowed row; no allocation.
+    pub fn counts_below(&self, i: usize) -> CountsView<'_> {
+        CountsView::new(self.row(i))
     }
 
     /// Per-class mass in `(xs[lo], xs[hi]]` (the `k_c` of §5.2).
-    pub fn counts_in(&self, lo: usize, hi: usize) -> ClassCounts {
-        let mut c = self.cum[hi].clone();
-        c.sub_counts(&self.cum[lo]);
-        c
+    /// Allocates; intended for tests and diagnostics — the bound path
+    /// derives these counts in place.
+    pub fn counts_in_vec(&self, lo: usize, hi: usize) -> Vec<f64> {
+        self.row(hi)
+            .iter()
+            .zip(self.row(lo))
+            .map(|(&h, &l)| clamp_residue(h - l))
+            .collect()
     }
 
-    /// Per-class mass at positions `> xs[i]` (the `m_c` of §5.2 when `i` is
-    /// an interval's right end point).
-    pub fn counts_above(&self, i: usize) -> ClassCounts {
-        let mut c = self.total.clone();
-        c.sub_counts(&self.cum[i]);
-        c
+    /// Per-class mass at positions `> xs[i]` (the `m_c` of §5.2 when `i`
+    /// is an interval's right end point). Allocates; intended for tests
+    /// and diagnostics.
+    pub fn counts_above_vec(&self, i: usize) -> Vec<f64> {
+        self.right_counts_vec(i)
     }
 
     /// The eq. 3 / eq. 4 lower bound over every split point in `[xs[lo],
-    /// xs[hi]]`.
+    /// xs[hi]]`. Allocation-free: three borrowed cumulative rows.
+    #[inline]
     pub fn interval_lower_bound(&self, lo: usize, hi: usize, measure: Measure) -> f64 {
-        measure.interval_lower_bound(
-            &self.counts_below(lo),
-            &self.counts_in(lo, hi),
-            &self.counts_above(hi),
-        )
+        measure.interval_lower_bound_cum(self.row(lo), self.row(hi), self.row(self.xs.len() - 1))
     }
 
     /// Candidate indices strictly inside the interval `(xs[lo], xs[hi])` —
     /// the points whose evaluation the pruning theorems avoid.
     pub fn interior_candidates(&self, interval: &Interval) -> std::ops::Range<usize> {
         (interval.lo_idx + 1)..interval.hi_idx
+    }
+
+    /// Copies the cumulative row at `i` into an owned counter (test and
+    /// diagnostic helper).
+    pub fn left_counts_owned(&self, i: usize) -> ClassCounts {
+        self.left_counts(i).to_counts()
     }
 }
 
@@ -264,15 +381,19 @@ mod tests {
     #[test]
     fn build_aggregates_and_accumulates() {
         // Two tuples sharing the position 1.0.
-        let tuples = vec![ft(&[0.0, 1.0], &[0.5, 0.5], 0, 1.0), ft(&[1.0, 2.0], &[0.5, 0.5], 1, 1.0)];
+        let tuples = vec![
+            ft(&[0.0, 1.0], &[0.5, 0.5], 0, 1.0),
+            ft(&[1.0, 2.0], &[0.5, 0.5], 1, 1.0),
+        ];
         let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
         assert_eq!(ev.xs(), &[0.0, 1.0, 2.0]);
         assert_eq!(ev.n_positions(), 3);
+        assert_eq!(ev.n_classes(), 2);
         assert_eq!(ev.total().as_slice(), &[1.0, 1.0]);
         assert_eq!(ev.left_counts(0).as_slice(), &[0.5, 0.0]);
         assert_eq!(ev.left_counts(1).as_slice(), &[1.0, 0.5]);
         assert_eq!(ev.left_counts(2).as_slice(), &[1.0, 1.0]);
-        assert_eq!(ev.right_counts(1).as_slice(), &[0.0, 0.5]);
+        assert_eq!(ev.right_counts_vec(1), vec![0.0, 0.5]);
     }
 
     #[test]
@@ -296,6 +417,18 @@ mod tests {
     }
 
     #[test]
+    fn denormal_event_weights_do_not_create_candidates() {
+        // A tuple with weight just above the epsilon gate: its events'
+        // effective weights fall below WEIGHT_EPSILON and must not create
+        // spurious candidate positions.
+        let mut tiny = ft(&[10.0, 20.0], &[0.5, 0.5], 1, 1.0);
+        tiny.weight = 1.5e-9; // passes the tuple gate, events are ~7.5e-10
+        let solid = ft(&[0.0, 1.0], &[0.5, 0.5], 0, 1.0);
+        let ev = AttributeEvents::build(&[solid, tiny], 0, 2).unwrap();
+        assert_eq!(ev.xs(), &[0.0, 1.0], "denormal positions must be dropped");
+    }
+
+    #[test]
     fn score_at_matches_direct_computation_and_flags_invalid_splits() {
         let tuples = vec![point(0.0, 0), point(1.0, 0), point(2.0, 1), point(3.0, 1)];
         let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
@@ -304,6 +437,33 @@ mod tests {
         assert!(ev.score_at(0, Measure::Entropy) > 0.0);
         // Splitting at the largest position leaves the right side empty.
         assert_eq!(ev.score_at(3, Measure::Entropy), f64::INFINITY);
+    }
+
+    #[test]
+    fn score_at_agrees_with_counter_based_scoring() {
+        // The slice path must agree with the ClassCounts path bit for bit.
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0], &[1.0, 2.0, 1.0], 0, 1.0),
+            ft(&[1.5, 2.5, 3.5], &[1.0, 1.0, 2.0], 1, 0.5),
+            ft(&[0.5, 1.25, 3.0], &[1.0, 3.0, 1.0], 2, 0.8),
+        ];
+        let ev = AttributeEvents::build(&tuples, 0, 3).unwrap();
+        for m in [Measure::Entropy, Measure::Gini, Measure::GainRatio] {
+            for i in 0..ev.n_positions() - 1 {
+                let left = ClassCounts::from_vec(ev.left_counts(i).as_slice().to_vec());
+                let right = ClassCounts::from_vec(ev.right_counts_vec(i));
+                let reference = if left.is_empty() || right.is_empty() {
+                    f64::INFINITY
+                } else {
+                    m.split_score(&left, &right)
+                };
+                let got = ev.score_at(i, m);
+                assert!(
+                    got == reference || (got - reference).abs() < 1e-15,
+                    "{m:?} at {i}: {got} vs {reference}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -330,9 +490,6 @@ mod tests {
         assert_eq!(intervals[3].kind, IntervalKind::Heterogeneous);
         // (6, 7]: only the class-0 mass at 7.
         assert_eq!(intervals[4].kind, IntervalKind::Homogeneous);
-        // A truly empty interval requires a gap with no sample points at
-        // its right end point either, e.g. between two point tuples that
-        // share no mass; synthesise one:
         let tuples2 = vec![
             ft(&[0.0, 1.0], &[1.0, 1.0], 0, 1.0),
             ft(&[1.0, 5.0], &[1.0, 0.0001], 1, 1.0),
@@ -353,11 +510,12 @@ mod tests {
         ];
         let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
         for w in ev.end_point_indices().windows(2) {
-            let mut sum = ev.counts_below(w[0]);
-            sum.add_counts(&ev.counts_in(w[0], w[1]));
-            sum.add_counts(&ev.counts_above(w[1]));
+            let below = ev.counts_below(w[0]);
+            let inside = ev.counts_in_vec(w[0], w[1]);
+            let above = ev.counts_above_vec(w[1]);
             for c in 0..2 {
-                assert!((sum.get(c) - ev.total().get(c)).abs() < 1e-9);
+                let sum = below.get(c) + inside[c] + above[c];
+                assert!((sum - ev.total().get(c)).abs() < 1e-9);
             }
         }
     }

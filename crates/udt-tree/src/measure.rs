@@ -17,7 +17,7 @@
 use serde::{Deserialize, Serialize};
 use udt_prob::stats::xlog2x;
 
-use crate::counts::ClassCounts;
+use crate::counts::{clamp_residue, ClassCounts, WEIGHT_EPSILON};
 
 /// A dispersion (impurity) measure for split selection.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -50,13 +50,11 @@ impl Measure {
             return 0.0;
         }
         match self {
-            Measure::Entropy | Measure::GainRatio => {
-                -counts
-                    .as_slice()
-                    .iter()
-                    .map(|&c| xlog2x(c / total))
-                    .sum::<f64>()
-            }
+            Measure::Entropy | Measure::GainRatio => -counts
+                .as_slice()
+                .iter()
+                .map(|&c| xlog2x(c / total))
+                .sum::<f64>(),
             Measure::Gini => {
                 1.0 - counts
                     .as_slice()
@@ -131,10 +129,7 @@ impl Measure {
                     .map(|p| (p.total() / n) * Measure::Entropy.dispersion(p))
                     .sum();
                 let gain = Measure::Entropy.dispersion(&parent) - weighted;
-                let split_info: f64 = -parts
-                    .iter()
-                    .map(|p| xlog2x(p.total() / n))
-                    .sum::<f64>();
+                let split_info: f64 = -parts.iter().map(|p| xlog2x(p.total() / n)).sum::<f64>();
                 if split_info <= 0.0 {
                     f64::INFINITY
                 } else {
@@ -149,6 +144,105 @@ impl Measure {
     /// for gain ratio (§7.4).
     pub fn supports_homogeneous_pruning(&self) -> bool {
         !matches!(self, Measure::GainRatio)
+    }
+
+    /// Zero-allocation [`split_score`](Self::split_score) over the
+    /// columnar cumulative layout: `left` is the cumulative per-class mass
+    /// row at the candidate position and `total` the final cumulative row,
+    /// so the right-side count of class `c` is `total[c] − left[c]`
+    /// (computed on the fly, with the same tiny-negative clamping as
+    /// [`ClassCounts::sub_counts`]). Splits that leave either side without
+    /// mass score `+∞`, matching the old per-candidate semantics.
+    ///
+    /// The arithmetic deliberately mirrors the counter-based path
+    /// operation for operation so the two produce bit-identical scores
+    /// (asserted by the `baseline` regression tests).
+    pub fn split_score_cum(&self, left: &[f64], total: &[f64]) -> f64 {
+        debug_assert_eq!(left.len(), total.len());
+        let right = |c: usize| clamp_residue(total[c] - left[c]);
+        let nl: f64 = left.iter().sum();
+        let nr: f64 = (0..left.len()).map(&right).sum();
+        if nl <= WEIGHT_EPSILON || nr <= WEIGHT_EPSILON {
+            return f64::INFINITY;
+        }
+        let n = nl + nr;
+        match self {
+            Measure::Entropy => {
+                let h_left = -left.iter().map(|&c| xlog2x(c / nl)).sum::<f64>();
+                let h_right = -(0..left.len()).map(|c| xlog2x(right(c) / nr)).sum::<f64>();
+                (nl / n) * h_left + (nr / n) * h_right
+            }
+            Measure::Gini => {
+                let g = |c: f64, t: f64| {
+                    let p = c / t;
+                    p * p
+                };
+                let g_left = 1.0 - left.iter().map(|&c| g(c, nl)).sum::<f64>();
+                let g_right = 1.0 - (0..left.len()).map(|c| g(right(c), nr)).sum::<f64>();
+                (nl / n) * g_left + (nr / n) * g_right
+            }
+            Measure::GainRatio => {
+                let parent = |c: usize| left[c] + right(c);
+                let h_parent = -(0..left.len()).map(|c| xlog2x(parent(c) / n)).sum::<f64>();
+                let h_left = -left.iter().map(|&c| xlog2x(c / nl)).sum::<f64>();
+                let h_right = -(0..left.len()).map(|c| xlog2x(right(c) / nr)).sum::<f64>();
+                let gain = h_parent - ((nl / n) * h_left + (nr / n) * h_right);
+                let split_info = -(xlog2x(nl / n) + xlog2x(nr / n));
+                if split_info <= 0.0 {
+                    f64::INFINITY
+                } else {
+                    -(gain / split_info)
+                }
+            }
+        }
+    }
+
+    /// Zero-allocation [`interval_lower_bound`](Self::interval_lower_bound)
+    /// over the columnar cumulative layout: given the cumulative rows at
+    /// the interval's two end points and the final (total) row, derives
+    /// the §5.2 counts on the fly — `n_c = cum_lo[c]`,
+    /// `k_c = cum_hi[c] − cum_lo[c]`, `m_c = total[c] − cum_hi[c]` — and
+    /// evaluates eq. 3 / eq. 4 without materialising any counter.
+    pub fn interval_lower_bound_cum(&self, cum_lo: &[f64], cum_hi: &[f64], total: &[f64]) -> f64 {
+        debug_assert_eq!(cum_lo.len(), total.len());
+        debug_assert_eq!(cum_hi.len(), total.len());
+        if matches!(self, Measure::GainRatio) {
+            return f64::NEG_INFINITY;
+        }
+        let classes = cum_lo.len();
+        let inside = |c: usize| clamp_residue(cum_hi[c] - cum_lo[c]);
+        let above = |c: usize| clamp_residue(total[c] - cum_hi[c]);
+        let n: f64 = cum_lo.iter().sum();
+        let m: f64 = (0..classes).map(&above).sum();
+        let k_total: f64 = (0..classes).map(&inside).sum();
+        let grand_total = n + m + k_total;
+        if grand_total <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let mut sum = 0.0;
+        for c in 0..classes {
+            let nc = cum_lo[c];
+            let mc = above(c);
+            let kc = inside(c);
+            let theta = safe_ratio(nc + kc, n + kc);
+            let phi = safe_ratio(mc + kc, m + kc);
+            match self {
+                Measure::Entropy => {
+                    sum += nc * safe_log2(theta)
+                        + mc * safe_log2(phi)
+                        + kc * safe_log2(theta.max(phi));
+                }
+                Measure::Gini => {
+                    sum += nc * theta + mc * phi + kc * theta.max(phi);
+                }
+                Measure::GainRatio => unreachable!("returned above"),
+            }
+        }
+        match self {
+            Measure::Entropy => -sum / grand_total,
+            Measure::Gini => 1.0 - sum / grand_total,
+            Measure::GainRatio => unreachable!("returned above"),
+        }
     }
 
     /// Lower bound of [`split_score`](Self::split_score) over every split
@@ -283,7 +377,10 @@ mod tests {
     #[test]
     fn gain_ratio_handles_degenerate_splits() {
         let m = Measure::GainRatio;
-        assert_eq!(m.split_score(&cc(&[0.0, 0.0]), &cc(&[1.0, 1.0])), f64::INFINITY);
+        assert_eq!(
+            m.split_score(&cc(&[0.0, 0.0]), &cc(&[1.0, 1.0])),
+            f64::INFINITY
+        );
         // A balanced informative split has a strictly negative score
         // (because the score is the negated gain ratio).
         let s = m.split_score(&cc(&[2.0, 0.0]), &cc(&[0.0, 2.0]));
@@ -321,7 +418,10 @@ mod tests {
                 for j in 0..=steps {
                     let f0 = i as f64 / steps as f64;
                     let f1 = j as f64 / steps as f64;
-                    let left = cc(&[below.get(0) + f0 * inside.get(0), below.get(1) + f1 * inside.get(1)]);
+                    let left = cc(&[
+                        below.get(0) + f0 * inside.get(0),
+                        below.get(1) + f1 * inside.get(1),
+                    ]);
                     let right = cc(&[
                         above.get(0) + (1.0 - f0) * inside.get(0),
                         above.get(1) + (1.0 - f1) * inside.get(1),

@@ -70,7 +70,10 @@ mod tests {
         let data = toy::table1_dataset().unwrap();
         for t in data.tuples() {
             assert_eq!(tree.predict(t), restored.predict(t));
-            assert_eq!(tree.predict_distribution(t), restored.predict_distribution(t));
+            assert_eq!(
+                tree.predict_distribution(t),
+                restored.predict_distribution(t)
+            );
         }
     }
 

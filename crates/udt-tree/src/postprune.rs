@@ -93,7 +93,10 @@ mod tests {
         let counts = ClassCounts::from_vec(vec![8.0, 2.0]);
         let optimistic = pessimistic_errors(&counts, 0.0);
         let pessimistic = pessimistic_errors(&counts, 1.0);
-        assert!((optimistic - 2.0).abs() < 1e-9, "z = 0 gives the raw error count");
+        assert!(
+            (optimistic - 2.0).abs() < 1e-9,
+            "z = 0 gives the raw error count"
+        );
         assert!(pessimistic > optimistic);
         // A pure leaf is charged a small positive pessimistic error (the
         // upper confidence bound on an error rate observed as zero), which

@@ -8,7 +8,7 @@
 
 use crate::events::AttributeEvents;
 use crate::measure::Measure;
-use crate::split::{SearchStats, SplitChoice, SplitSearch};
+use crate::split::{map_attributes, merge_best, SearchStats, SplitChoice, SplitSearch};
 
 /// The exhaustive (no-pruning) split search.
 #[derive(Debug, Clone, Copy, Default)]
@@ -21,27 +21,41 @@ impl SplitSearch for ExhaustiveSearch {
         measure: Measure,
         stats: &mut SearchStats,
     ) -> Option<SplitChoice> {
-        let mut best: Option<SplitChoice> = None;
-        for (attribute, ev) in events {
+        // Attributes are scanned independently (in parallel under the
+        // `parallel` feature when the node is large enough) and the
+        // per-attribute bests merged in index order, which reproduces the
+        // sequential tie-breaking exactly.
+        let total_positions: usize = events.iter().map(|(_, ev)| ev.n_positions()).sum();
+        let per_attribute = map_attributes(events.len(), total_positions, |slot| {
+            let (attribute, ev) = &events[slot];
             let n = ev.n_positions();
+            let mut local = SearchStats::default();
             // The largest position cannot be a split point (empty right
             // side), hence the paper's "m·s − 1".
-            stats.candidate_points += (n - 1) as u64;
+            local.candidate_points += (n - 1) as u64;
+            let mut best: Option<SplitChoice> = None;
             for i in 0..n - 1 {
                 let score = ev.score_at(i, measure);
-                stats.entropy_calculations += 1;
+                local.entropy_calculations += 1;
                 if !score.is_finite() {
                     continue;
                 }
-                let candidate = SplitChoice {
-                    attribute: *attribute,
-                    split: ev.xs()[i],
-                    score,
-                };
-                match &best {
-                    Some(b) if !b.is_improved_by(&candidate) => {}
-                    _ => best = Some(candidate),
-                }
+                merge_best(
+                    &mut best,
+                    SplitChoice {
+                        attribute: *attribute,
+                        split: ev.xs()[i],
+                        score,
+                    },
+                );
+            }
+            (best, local)
+        });
+        let mut best: Option<SplitChoice> = None;
+        for (candidate, local) in per_attribute {
+            stats.merge(&local);
+            if let Some(candidate) = candidate {
+                merge_best(&mut best, candidate);
             }
         }
         best

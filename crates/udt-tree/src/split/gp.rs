@@ -29,7 +29,9 @@ mod tests {
             let class = i % 2;
             let strong = class as f64 * 40.0 + i as f64;
             let weak_points: Vec<f64> = (0..20).map(|j| ((i * 3 + j) % 17) as f64).collect();
-            let noise_points: Vec<f64> = (0..20).map(|j| ((i * 7 + j * 3) % 23) as f64 * 0.5).collect();
+            let noise_points: Vec<f64> = (0..20)
+                .map(|j| ((i * 7 + j * 3) % 23) as f64 * 0.5)
+                .collect();
             let mut wp = weak_points.clone();
             wp.sort_by(|a, b| a.partial_cmp(b).unwrap());
             wp.dedup();
@@ -39,8 +41,12 @@ mod tests {
             out.push(FractionalTuple {
                 values: vec![
                     UncertainValue::point(strong),
-                    UncertainValue::Numeric(SampledPdf::new(wp.clone(), vec![1.0; wp.len()]).unwrap()),
-                    UncertainValue::Numeric(SampledPdf::new(np.clone(), vec![1.0; np.len()]).unwrap()),
+                    UncertainValue::Numeric(
+                        SampledPdf::new(wp.clone(), vec![1.0; wp.len()]).unwrap(),
+                    ),
+                    UncertainValue::Numeric(
+                        SampledPdf::new(np.clone(), vec![1.0; np.len()]).unwrap(),
+                    ),
                 ],
                 label: class,
                 weight: 1.0,

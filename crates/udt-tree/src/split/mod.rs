@@ -23,6 +23,59 @@ pub mod gp;
 pub mod lp;
 pub mod pruned;
 
+/// Minimum total candidate-position count before the `parallel` feature
+/// spawns worker threads. A thread spawn costs tens of microseconds;
+/// near the leaves of a tree a whole attribute scan covers only a
+/// handful of positions, where spawning would dominate the work.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_POSITIONS: usize = 4096;
+
+/// Maps `f` over `0..n` — on scoped worker threads when the `parallel`
+/// feature is enabled, there is more than one item, and `work` (the
+/// caller's estimate of total candidate positions) is large enough to
+/// amortise the spawns — sequentially otherwise. Results always come
+/// back in index order, so merging stays deterministic.
+///
+/// The offline build environment has no `rayon`, so the parallel path
+/// uses `std::thread::scope`, chunking the attribute slots over at most
+/// `available_parallelism()` workers so thread count never scales with
+/// attribute count.
+pub(crate) fn map_attributes<T, F>(n: usize, work: usize, f: F) -> Vec<T>
+where
+    F: Fn(usize) -> T + Sync,
+    T: Send,
+{
+    #[cfg(feature = "parallel")]
+    if n > 1 && work >= PARALLEL_MIN_POSITIONS {
+        // Cap workers at the core count and hand each a contiguous chunk
+        // of attribute slots, so thread count never scales with attribute
+        // count.
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n);
+        if workers > 1 {
+            let f = &f;
+            let chunk = n.div_ceil(workers);
+            let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || (w * chunk..((w + 1) * chunk).min(n)).map(f).collect())
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("attribute scan worker does not panic"))
+                    .collect()
+            });
+            return results.drain(..).flatten().collect();
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = work;
+    (0..n).map(f).collect()
+}
+
 use serde::{Deserialize, Serialize};
 
 use crate::events::AttributeEvents;
@@ -54,6 +107,18 @@ impl SplitChoice {
             return false;
         }
         (candidate.attribute, candidate.split) < (self.attribute, self.split)
+    }
+}
+
+/// Folds `candidate` into `best` under the deterministic tie-break
+/// ordering of [`SplitChoice::is_improved_by`]. The single merge point
+/// used by every search strategy, so the (score, attribute, split)
+/// invariant that the parallel merge and the regression tests rely on
+/// lives in one place.
+pub(crate) fn merge_best(best: &mut Option<SplitChoice>, candidate: SplitChoice) {
+    match best {
+        Some(b) if !b.is_improved_by(&candidate) => {}
+        _ => *best = Some(candidate),
     }
 }
 

@@ -23,7 +23,7 @@
 
 use crate::events::{AttributeEvents, Interval, IntervalKind};
 use crate::measure::Measure;
-use crate::split::{SearchStats, SplitChoice, SplitSearch};
+use crate::split::{map_attributes, merge_best, SearchStats, SplitChoice, SplitSearch};
 
 /// How lower-bound pruning of heterogeneous intervals is thresholded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,25 +112,20 @@ impl PrunedSearch {
             stats.end_point_evaluations += 1;
         }
         if score.is_finite() {
-            let candidate = SplitChoice {
-                attribute,
-                split: ev.xs()[idx],
-                score,
-            };
-            match best {
-                Some(b) if !b.is_improved_by(&candidate) => {}
-                _ => *best = Some(candidate),
-            }
+            merge_best(
+                best,
+                SplitChoice {
+                    attribute,
+                    split: ev.xs()[idx],
+                    score,
+                },
+            );
         }
         score
     }
 
     /// The pruning threshold applicable to `attribute` right now.
-    fn threshold(
-        &self,
-        attribute_best: Option<f64>,
-        global_best: &Option<SplitChoice>,
-    ) -> f64 {
+    fn threshold(&self, attribute_best: Option<f64>, global_best: &Option<SplitChoice>) -> f64 {
         match self.bounding {
             BoundingMode::None => f64::NEG_INFINITY,
             BoundingMode::Local => attribute_best.unwrap_or(f64::INFINITY),
@@ -215,11 +210,9 @@ impl PrunedSearch {
                 .collect();
             if !inner.is_empty() {
                 for &idx in &inner {
-                    let score =
-                        Self::evaluate(ev, attribute, idx, measure, true, best, stats);
+                    let score = Self::evaluate(ev, attribute, idx, measure, true, best, stats);
                     if score.is_finite() {
-                        *attribute_best =
-                            Some(attribute_best.map_or(score, |b: f64| b.min(score)));
+                        *attribute_best = Some(attribute_best.map_or(score, |b: f64| b.min(score)));
                     }
                 }
                 let mut boundaries = Vec::with_capacity(inner.len() + 2);
@@ -255,40 +248,103 @@ impl SplitSearch for PrunedSearch {
         stats: &mut SearchStats,
     ) -> Option<SplitChoice> {
         let mut best: Option<SplitChoice> = None;
-        // Per-attribute boundary choices and best end-point scores.
-        let mut boundaries: Vec<Vec<usize>> = Vec::with_capacity(events.len());
-        let mut attribute_best: Vec<Option<f64>> = vec![None; events.len()];
 
-        // Pass 1: evaluate (sampled) end points for every attribute. Doing
-        // this for all attributes before any interval work is what makes
-        // the Global threshold of UDT-GP/UDT-ES cross-attribute.
-        for (slot, (attribute, ev)) in events.iter().enumerate() {
-            stats.candidate_points += (ev.n_positions() - 1) as u64;
+        // Pass 1: evaluate (sampled) end points for every attribute —
+        // independently per attribute (in parallel under the `parallel`
+        // feature), merged in index order. Doing this for all attributes
+        // before any interval work is what makes the Global threshold of
+        // UDT-GP/UDT-ES cross-attribute.
+        let total_positions: usize = events.iter().map(|(_, ev)| ev.n_positions()).sum();
+        let pass1 = map_attributes(events.len(), total_positions, |slot| {
+            let (attribute, ev) = &events[slot];
+            let mut local = SearchStats::default();
+            local.candidate_points += (ev.n_positions() - 1) as u64;
             let bounds_idx = self.sampled_boundaries(ev);
+            let mut local_best: Option<SplitChoice> = None;
+            let mut attr_best: Option<f64> = None;
             for &idx in &bounds_idx {
-                let score = Self::evaluate(ev, *attribute, idx, measure, true, &mut best, stats);
+                let score = Self::evaluate(
+                    ev,
+                    *attribute,
+                    idx,
+                    measure,
+                    true,
+                    &mut local_best,
+                    &mut local,
+                );
                 if score.is_finite() {
-                    attribute_best[slot] =
-                        Some(attribute_best[slot].map_or(score, |b: f64| b.min(score)));
+                    attr_best = Some(attr_best.map_or(score, |b: f64| b.min(score)));
                 }
             }
+            (bounds_idx, attr_best, local_best, local)
+        });
+        let mut boundaries: Vec<Vec<usize>> = Vec::with_capacity(events.len());
+        let mut attribute_best: Vec<Option<f64>> = Vec::with_capacity(events.len());
+        for (bounds_idx, attr_best, local_best, local) in pass1 {
+            stats.merge(&local);
+            if let Some(candidate) = local_best {
+                merge_best(&mut best, candidate);
+            }
             boundaries.push(bounds_idx);
+            attribute_best.push(attr_best);
         }
 
         // Pass 2: interval pruning and interior evaluation.
         let refine = self.end_point_sample_rate.is_some();
-        for (slot, (attribute, ev)) in events.iter().enumerate() {
-            for interval in ev.intervals_between(&boundaries[slot]) {
-                self.process_interval(
-                    ev,
-                    *attribute,
-                    &interval,
-                    measure,
-                    refine,
-                    &mut attribute_best[slot],
-                    &mut best,
-                    stats,
-                );
+        #[cfg(not(feature = "parallel"))]
+        {
+            // Sequential: the shared best improves as attributes are
+            // processed, so later attributes prune against the tightest
+            // threshold available.
+            for (slot, (attribute, ev)) in events.iter().enumerate() {
+                for interval in ev.intervals_between(&boundaries[slot]) {
+                    self.process_interval(
+                        ev,
+                        *attribute,
+                        &interval,
+                        measure,
+                        refine,
+                        &mut attribute_best[slot],
+                        &mut best,
+                        stats,
+                    );
+                }
+            }
+        }
+        #[cfg(feature = "parallel")]
+        {
+            // Parallel: every worker starts from the merged pass-1 best (a
+            // real candidate's score, so pruning stays safe) and improves
+            // a private copy; the per-worker bests are merged in index
+            // order. Workers cannot observe each other's improvements, so
+            // they may prune slightly less than the sequential pass — but
+            // never more, and the optimal score is identical.
+            let frozen = best;
+            let pass2 = map_attributes(events.len(), total_positions, |slot| {
+                let (attribute, ev) = &events[slot];
+                let mut local = SearchStats::default();
+                let mut local_best = frozen;
+                let mut attr_best = attribute_best[slot];
+                for interval in ev.intervals_between(&boundaries[slot]) {
+                    self.process_interval(
+                        ev,
+                        *attribute,
+                        &interval,
+                        measure,
+                        refine,
+                        &mut attr_best,
+                        &mut local_best,
+                        &mut local,
+                    );
+                }
+                (local_best, local)
+            });
+            best = frozen;
+            for (local_best, local) in pass2 {
+                stats.merge(&local);
+                if let Some(candidate) = local_best {
+                    merge_best(&mut best, candidate);
+                }
             }
         }
         best
@@ -467,9 +523,7 @@ mod tests {
             tuples.push(FractionalTuple {
                 values: vec![
                     UncertainValue::point(informative),
-                    UncertainValue::Numeric(
-                        SampledPdf::new(noise_points, vec![1.0; 15]).unwrap(),
-                    ),
+                    UncertainValue::Numeric(SampledPdf::new(noise_points, vec![1.0; 15]).unwrap()),
                 ],
                 label: class,
                 weight: 1.0,

@@ -14,8 +14,8 @@
 use udt_data::noise::perturb;
 use udt_data::synthetic::SyntheticSpec;
 use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
-use udt_prob::ErrorModel;
 use udt_eval::crossval::cross_validate;
+use udt_prob::ErrorModel;
 use udt_tree::{Algorithm, UdtConfig};
 
 fn main() {
@@ -35,7 +35,10 @@ fn main() {
     let clean = spec.generate().expect("generation succeeds");
 
     println!("measurement-noise sweep (5-fold cross validation):\n");
-    println!("{:>10} {:>12} {:>12} {:>12}", "noise u", "AVG", "UDT (w=u)", "gain");
+    println!(
+        "{:>10} {:>12} {:>12} {:>12}",
+        "noise u", "AVG", "UDT (w=u)", "gain"
+    );
     for &u in &[0.05, 0.10, 0.20] {
         // The sensors add Gaussian noise of relative magnitude u.
         let noisy = perturb(&clean, u, 99).expect("perturbation succeeds");

@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Runs the split-search benchmarks and writes the measurement trajectory
+# to BENCH_split.json at the repository root.
+#
+# The criterion shim (shims/criterion) emits one JSON record per
+# benchmark when CRITERION_JSON names a file; this script points it at
+# BENCH_split.json and prints the naive-vs-columnar speedups afterwards.
+#
+# Usage: scripts/bench.sh [extra cargo bench args...]
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+# Absolute path: cargo runs bench binaries with the package directory as
+# their working directory.
+out="$(pwd)/BENCH_split.json"
+CRITERION_JSON="$out" cargo bench -p udt-bench --bench split_algorithms "$@"
+
+echo
+echo "== $out =="
+python3 - "$out" <<'EOF'
+import json
+import sys
+
+results = json.load(open(sys.argv[1]))
+by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
+
+def speedup(group, naive, fast):
+    a = by_key.get((group, naive))
+    b = by_key.get((group, fast))
+    if a and b:
+        print(f"{group}: {naive} / {fast} = {a / b:.2f}x")
+
+speedup("node_search_step", "es_naive_rebuild", "es_columnar")
+speedup("node_search_step", "exhaustive_naive_rebuild", "exhaustive_columnar")
+speedup("columnar_vs_naive", "udt_es_naive_rebuild", "udt_es_columnar")
+speedup("columnar_vs_naive", "udt_exhaustive_naive_rebuild", "udt_exhaustive_columnar")
+EOF

@@ -1,0 +1,348 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion API the workspace benches use —
+//! benchmark groups, `bench_function` / `bench_with_input`, throughput
+//! annotation, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — on top of a plain wall-clock sampling loop.
+//!
+//! Two integration points matter for the workspace:
+//!
+//! * `cargo bench -- --test` runs every benchmark exactly once (the CI
+//!   smoke mode, mirroring real criterion's behaviour);
+//! * when the `CRITERION_JSON` environment variable names a file, all
+//!   measurements are appended to it as a JSON array — this is how
+//!   `scripts/bench.sh` produces `BENCH_split.json`.
+
+use std::fmt::Display;
+use std::fs;
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One recorded measurement.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Benchmark group name.
+    pub group: String,
+    /// Benchmark id within the group.
+    pub bench: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub mean_ns: f64,
+    /// Median of the per-sample means, nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Optional throughput annotation (elements per iteration).
+    pub throughput_elements: Option<u64>,
+}
+
+/// Throughput annotation for a benchmark.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id from a single parameter, like criterion's
+    /// `BenchmarkId::from_parameter`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId(format!("{function}/{parameter}"))
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    json_path: Option<PathBuf>,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let json_path = std::env::var_os("CRITERION_JSON").map(PathBuf::from);
+        Criterion {
+            test_mode,
+            json_path,
+            results: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            throughput: None,
+        }
+    }
+
+    /// Prints the summary and writes the JSON trajectory file if
+    /// requested. Called by `criterion_main!` after all groups ran.
+    pub fn final_summary(&mut self) {
+        let Some(path) = self.json_path.clone() else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
+                 \"median_ns\": {:.1}, \"iterations\": {}, \"samples\": {}, \
+                 \"throughput_elements\": {}}}{}\n",
+                m.group,
+                m.bench,
+                m.mean_ns,
+                m.median_ns,
+                m.iterations,
+                m.samples,
+                m.throughput_elements
+                    .map_or("null".to_string(), |t| t.to_string()),
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        if let Some(parent) = path.parent() {
+            let _ = fs::create_dir_all(parent);
+        }
+        match fs::File::create(&path).and_then(|mut f| f.write_all(out.as_bytes())) {
+            Ok(()) => eprintln!(
+                "criterion: wrote {} results to {}",
+                self.results.len(),
+                path.display()
+            ),
+            Err(e) => eprintln!("criterion: could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Sets the total measurement duration budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Benchmarks a closure.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id.to_string(), |b| f(b));
+        self
+    }
+
+    /// Benchmarks a closure against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run_one(id.0.clone(), |b| f(b, input));
+        self
+    }
+
+    fn run_one(&mut self, bench: String, mut f: impl FnMut(&mut Bencher)) {
+        let mut bencher = Bencher {
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        let Some((mean_ns, median_ns, iterations, samples)) = bencher.result else {
+            return;
+        };
+        let label = format!("{}/{}", self.name, bench);
+        if self.criterion.test_mode {
+            eprintln!("{label}: ok (smoke)");
+        } else {
+            eprintln!(
+                "{label}: {:>12} per iter ({iterations} iters, {samples} samples)",
+                fmt_ns(median_ns)
+            );
+        }
+        self.criterion.results.push(Measurement {
+            group: self.name.clone(),
+            bench,
+            mean_ns,
+            median_ns,
+            iterations,
+            samples,
+            throughput_elements: match self.throughput {
+                Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+        });
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// Times a closure inside a benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    /// `(mean_ns, median_ns, total_iterations, samples)`.
+    result: Option<(f64, f64, u64, usize)>,
+}
+
+impl Bencher {
+    /// Runs the closure under the configured sampling plan and records the
+    /// per-iteration wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            self.result = Some((0.0, 0.0, 1, 1));
+            return;
+        }
+        // Warm-up, also estimating the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let per_sample_budget = self.measurement_time.as_nanos() as f64 / self.sample_size as f64;
+        let iters_per_sample = ((per_sample_budget / est_ns).round() as u64).max(1);
+        let mut sample_means = Vec::with_capacity(self.sample_size);
+        let mut total_iters = 0u64;
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            sample_means.push(elapsed / iters_per_sample as f64);
+            total_iters += iters_per_sample;
+        }
+        let mean = sample_means.iter().sum::<f64>() / sample_means.len() as f64;
+        let mut sorted = sample_means.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = sorted[sorted.len() / 2];
+        self.result = Some((mean, median, total_iters, sample_means.len()));
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_a_measurement() {
+        let mut c = Criterion {
+            test_mode: false,
+            json_path: None,
+            results: Vec::new(),
+        };
+        {
+            let mut group = c.benchmark_group("g");
+            group
+                .sample_size(3)
+                .warm_up_time(Duration::from_millis(1))
+                .measurement_time(Duration::from_millis(5));
+            group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+            group.finish();
+        }
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].mean_ns >= 0.0);
+        assert!(c.results[0].iterations >= 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(64).0, "64");
+        assert_eq!(BenchmarkId::new("f", "x").0, "f/x");
+    }
+}

@@ -1,0 +1,238 @@
+//! Offline stand-in for `rand`.
+//!
+//! Provides the exact API surface the workspace uses — [`Rng::gen`],
+//! [`Rng::gen_range`], [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`]
+//! and [`seq::SliceRandom::shuffle`] — with the same deterministic-seed
+//! discipline as the real crate. All randomness flows through
+//! [`RngCore::next_u64`], implemented by concrete generators such as the
+//! `rand_chacha` shim's `ChaCha8Rng`.
+
+/// The core source of randomness.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A type samplable uniformly from an RNG's raw bits (the shim analogue of
+/// sampling from rand's `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one value uniformly from the range.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+impl SampleRange for std::ops::Range<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty gen_range range");
+        self.start + (self.end - self.start) * f64::sample(rng)
+    }
+}
+
+impl SampleRange for std::ops::RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "empty gen_range range");
+        lo + (hi - lo) * f64::sample(rng)
+    }
+}
+
+/// Uniform integer in `[0, span)` via 128-bit widening multiply.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($ty:ty),*) => {$(
+        impl SampleRange for std::ops::Range<$ty> {
+            type Output = $ty;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                assert!(self.start < self.end, "empty gen_range range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $ty
+            }
+        }
+        impl SampleRange for std::ops::RangeInclusive<$ty> {
+            type Output = $ty;
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $ty {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range range");
+                let span = (hi as i128 - lo as i128 + 1) as u64;
+                (lo as i128 + uniform_below(rng, span) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, u16, u8, i64, i32, i16, i8, isize);
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of any [`Standard`]-samplable type.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a range.
+    fn gen_range<Range: SampleRange>(&mut self, range: Range) -> Range::Output {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministic construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64-expanded, like
+    /// the real crate).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used to expand small seeds into full key material.
+pub fn split_mix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Slice utilities.
+pub mod seq {
+    use super::{uniform_below, Rng};
+
+    /// In-place random permutations.
+    pub trait SliceRandom {
+        /// Shuffles the slice with a Fisher–Yates pass.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_below(rng, (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// A small self-contained generator for shim-internal tests.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 generator (test helper; real code uses `rand_chacha`).
+    pub struct SmallRng(u64);
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            super::split_mix64(&mut self.0)
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng(seed)
+        }
+    }
+}
+
+/// Commonly imported names, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::rngs::SmallRng;
+
+    #[test]
+    fn f64_samples_lie_in_unit_interval() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..1000 {
+            let a = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&a));
+            let b = rng.gen_range(5..=6u32);
+            assert!((5..=6).contains(&b));
+            let c = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&c));
+            let d = rng.gen_range(-5..5i32);
+            assert!((-5..5).contains(&d));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes_deterministically() {
+        let mut a: Vec<u32> = (0..50).collect();
+        let mut b: Vec<u32> = (0..50).collect();
+        let mut r1 = SmallRng::seed_from_u64(3);
+        let mut r2 = SmallRng::seed_from_u64(3);
+        a.shuffle(&mut r1);
+        b.shuffle(&mut r2);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(a, sorted, "50 elements virtually never shuffle to identity");
+    }
+}

@@ -1,0 +1,307 @@
+//! Offline stand-in for `thiserror`.
+//!
+//! Derives `Display`, `std::error::Error` and (for `#[from]` fields)
+//! `From` impls for error enums, using only the raw [`proc_macro`] API.
+//! Supports the subset the workspace uses:
+//!
+//! * enums whose variants carry named fields, one tuple field, or nothing;
+//! * `#[error("...")]` format strings with `{named}` and `{0}`
+//!   interpolation (no format specs);
+//! * `#[from]` on single-field tuple variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// The `#[error("...")]` format string.
+    format: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    /// Tuple fields: `(type_text, has_from)` per field.
+    Tuple(Vec<(String, bool)>),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    match &tokens[i] {
+        TokenTree::Ident(id) if id.to_string() == "enum" => {}
+        other => panic!("thiserror shim only supports enums, found {other}"),
+    }
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("expected enum name, found {other}"),
+    };
+    i += 1;
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("unexpected enum body for `{name}`: {other:?}"),
+    };
+    let variants = parse_variants(body);
+    generate(&name, &variants)
+        .parse()
+        .expect("generated error impls parse")
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Reads the attributes at `tokens[*i..]`, returning the `#[error("...")]`
+/// format string if present, and advancing past all attributes.
+fn read_error_attr(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut format = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(attr)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if attr.to_string() == "error" {
+                    if let Some(TokenTree::Literal(lit)) = args.stream().into_iter().next() {
+                        format = Some(unquote(&lit.to_string()));
+                    }
+                }
+            }
+        }
+        *i += 2;
+    }
+    format
+}
+
+fn unquote(literal: &str) -> String {
+    let inner = literal
+        .strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(literal);
+    // Undo the escapes that appear in the workspace's format strings.
+    inner
+        .replace("\\\"", "\"")
+        .replace("\\\\", "\\")
+        .replace("\\n", "\n")
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let format = read_error_attr(&tokens, &mut i).unwrap_or_default();
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(parse_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant {
+            name,
+            format,
+            fields,
+        });
+    }
+    variants
+}
+
+/// Parses `(#[from] Type, ...)` tuple fields into `(type_text, has_from)`.
+fn parse_tuple_fields(stream: TokenStream) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut has_from = false;
+        while let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if g.stream().to_string().contains("from") {
+                    has_from = true;
+                }
+            }
+            i += 2;
+        }
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            ty.push_str(&tokens[i].to_string());
+            i += 1;
+        }
+        if !ty.is_empty() {
+            fields.push((ty, has_from));
+        }
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        names.push(id.to_string());
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+/// Identifiers interpolated by a format string (`{name}` captures).
+fn used_names(format: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    for (start, c) in format.char_indices() {
+        if c != '{' {
+            continue;
+        }
+        if let Some(end) = format[start + 1..].find('}') {
+            let inner = &format[start + 1..start + 1 + end];
+            let name: String = inner.split(':').next().unwrap_or("").to_string();
+            if !name.is_empty() && !names.contains(&name) {
+                names.push(name);
+            }
+        }
+    }
+    names
+}
+
+fn generate(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    let mut from_impls = String::new();
+    for v in variants {
+        let vname = &v.name;
+        match &v.fields {
+            VariantFields::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => ::std::write!(__f, \"{}\"),\n",
+                    escape(&v.format)
+                ));
+            }
+            VariantFields::Named(fields) => {
+                let used = used_names(&v.format);
+                let binders: Vec<&String> = fields.iter().filter(|f| used.contains(f)).collect();
+                let pattern = if binders.is_empty() {
+                    format!("{name}::{vname} {{ .. }}")
+                } else {
+                    format!(
+                        "{name}::{vname} {{ {}, .. }}",
+                        binders
+                            .iter()
+                            .map(|b| b.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                arms.push_str(&format!(
+                    "{pattern} => ::std::write!(__f, \"{}\"),\n",
+                    escape(&v.format)
+                ));
+            }
+            VariantFields::Tuple(fields) => {
+                // Rewrite positional `{0}` captures into named binders so
+                // Rust's inline format capture picks them up.
+                let mut fmt = v.format.clone();
+                let mut binders = Vec::new();
+                for (k, _) in fields.iter().enumerate() {
+                    let positional = format!("{{{k}}}");
+                    if fmt.contains(&positional) {
+                        fmt = fmt.replace(&positional, &format!("{{__f{k}}}"));
+                        binders.push(format!("__f{k}"));
+                    } else {
+                        binders.push("_".to_string());
+                    }
+                }
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => ::std::write!(__f, \"{}\"),\n",
+                    binders.join(", "),
+                    escape(&fmt)
+                ));
+                if fields.len() == 1 && fields[0].1 {
+                    from_impls.push_str(&format!(
+                        "impl ::std::convert::From<{ty}> for {name} {{\n\
+                             fn from(source: {ty}) -> Self {{ {name}::{vname}(source) }}\n\
+                         }}\n",
+                        ty = fields[0].0
+                    ));
+                }
+            }
+        }
+    }
+    format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+             fn fmt(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}\n\
+         impl ::std::error::Error for {name} {{}}\n\
+         {from_impls}"
+    )
+}
+
+/// Escapes a format string for embedding in generated source.
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}

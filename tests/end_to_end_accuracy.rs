@@ -4,10 +4,10 @@
 use udt_data::noise::perturb;
 use udt_data::repository::by_name;
 use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
-use udt_prob::ErrorModel;
 use udt_eval::crossval::cross_validate;
 use udt_eval::experiments::settings::Settings;
 use udt_eval::experiments::table3;
+use udt_prob::ErrorModel;
 use udt_tree::{Algorithm, UdtConfig};
 
 fn smoke() -> Settings {
@@ -56,8 +56,16 @@ fn table3_smoke_run_produces_full_sweep() {
     let rows = table3::run(&smoke()).unwrap();
     assert_eq!(rows.len(), table3::W_VALUES.len());
     for r in &rows {
-        assert!(r.avg_accuracy > 0.3, "AVG should beat chance, got {}", r.avg_accuracy);
-        assert!(r.udt_accuracy > 0.3, "UDT should beat chance, got {}", r.udt_accuracy);
+        assert!(
+            r.avg_accuracy > 0.3,
+            "AVG should beat chance, got {}",
+            r.avg_accuracy
+        );
+        assert!(
+            r.udt_accuracy > 0.3,
+            "UDT should beat chance, got {}",
+            r.udt_accuracy
+        );
     }
     let summary = table3::summarise(&rows);
     assert_eq!(summary.len(), 1);

@@ -26,8 +26,15 @@ fn pruned_algorithms_build_identical_trees_on_injected_data() {
     let reference = TreeBuilder::new(UdtConfig::new(Algorithm::Udt))
         .build(&data)
         .unwrap();
-    for algorithm in [Algorithm::UdtBp, Algorithm::UdtLp, Algorithm::UdtGp, Algorithm::UdtEs] {
-        let report = TreeBuilder::new(UdtConfig::new(algorithm)).build(&data).unwrap();
+    for algorithm in [
+        Algorithm::UdtBp,
+        Algorithm::UdtLp,
+        Algorithm::UdtGp,
+        Algorithm::UdtEs,
+    ] {
+        let report = TreeBuilder::new(UdtConfig::new(algorithm))
+            .build(&data)
+            .unwrap();
         assert_eq!(
             report.tree, reference.tree,
             "{algorithm:?} must build the same tree as exhaustive UDT"
@@ -46,7 +53,9 @@ fn work_decreases_along_the_papers_algorithm_ordering() {
         Algorithm::UdtGp,
         Algorithm::UdtEs,
     ] {
-        let report = TreeBuilder::new(UdtConfig::new(algorithm)).build(&data).unwrap();
+        let report = TreeBuilder::new(UdtConfig::new(algorithm))
+            .build(&data)
+            .unwrap();
         calcs.push((algorithm, report.stats.entropy_like_calculations()));
     }
     let udt = calcs[0].1;
@@ -64,8 +73,12 @@ fn work_decreases_along_the_papers_algorithm_ordering() {
 #[test]
 fn avg_is_cheapest_but_less_informed() {
     let data = uncertain_iris(32);
-    let avg = TreeBuilder::new(UdtConfig::new(Algorithm::Avg)).build(&data).unwrap();
-    let es = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs)).build(&data).unwrap();
+    let avg = TreeBuilder::new(UdtConfig::new(Algorithm::Avg))
+        .build(&data)
+        .unwrap();
+    let es = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs))
+        .build(&data)
+        .unwrap();
     // AVG looks at one value per pdf, so its candidate pool is s times
     // smaller (§4.2) and its work strictly lower.
     assert!(avg.stats.candidate_points < es.stats.candidate_points);
@@ -85,12 +98,12 @@ fn uniform_error_model_profits_from_the_theorem3_hint() {
         },
     )
     .unwrap();
-    let plain = TreeBuilder::new(UdtConfig::new(Algorithm::UdtBp)).build(&data).unwrap();
-    let hinted = TreeBuilder::new(
-        UdtConfig::new(Algorithm::UdtBp).with_uniform_pdf_hint(true),
-    )
-    .build(&data)
-    .unwrap();
+    let plain = TreeBuilder::new(UdtConfig::new(Algorithm::UdtBp))
+        .build(&data)
+        .unwrap();
+    let hinted = TreeBuilder::new(UdtConfig::new(Algorithm::UdtBp).with_uniform_pdf_hint(true))
+        .build(&data)
+        .unwrap();
     assert!(
         hinted.stats.entropy_like_calculations() <= plain.stats.entropy_like_calculations(),
         "the hint must not increase the work"

@@ -39,7 +39,10 @@ fn distribution_based_tree_classifies_every_example_tuple() {
         let report = build(algorithm);
         let result = evaluate(&report.tree, &data);
         assert_eq!(result.accuracy(), 1.0, "{algorithm:?}");
-        assert!(report.tree.size() > 3, "{algorithm:?} uses more than a stump");
+        assert!(
+            report.tree.size() > 3,
+            "{algorithm:?} uses more than a stump"
+        );
     }
 }
 
