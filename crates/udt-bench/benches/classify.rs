@@ -22,14 +22,19 @@ fn bench_classify(c: &mut Criterion) {
         .warm_up_time(Duration::from_millis(500))
         .measurement_time(Duration::from_secs(2));
     group.bench_function("uncertain_tuples", |b| {
-        b.iter(|| data.tuples().iter().map(|t| tree.predict(t)).sum::<usize>());
+        b.iter(|| {
+            data.tuples()
+                .iter()
+                .map(|t| tree.predict(t).expect("tree has classes"))
+                .sum::<usize>()
+        });
     });
     group.bench_function("point_tuples", |b| {
         b.iter(|| {
             averaged
                 .tuples()
                 .iter()
-                .map(|t| tree.predict(t))
+                .map(|t| tree.predict(t).expect("tree has classes"))
                 .sum::<usize>()
         });
     });

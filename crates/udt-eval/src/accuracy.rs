@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 use udt_data::Dataset;
+use udt_tree::classify::{argmax_class, classify_batch, BatchScratch};
 use udt_tree::DecisionTree;
 
 /// The outcome of evaluating a tree on a test set.
@@ -60,13 +61,20 @@ impl EvalResult {
     }
 }
 
-/// Evaluates `tree` on every tuple of `test`.
+/// Evaluates `tree` on every tuple of `test`, classifying the whole set
+/// through the batch arena engine (one [`BatchScratch`] reused across all
+/// tuples — bit-for-bit identical to per-tuple `predict`, several times
+/// faster).
 pub fn evaluate(tree: &DecisionTree, test: &Dataset) -> EvalResult {
     let k = tree.n_classes().max(test.n_classes());
     let mut confusion = vec![vec![0usize; k]; k];
     let mut correct = 0;
-    for t in test.tuples() {
-        let predicted = tree.predict(t);
+    let mut scratch = BatchScratch::new();
+    let dists = classify_batch(tree, test.tuples(), &mut scratch)
+        .expect("evaluation trees declare at least one class");
+    let n_classes = tree.n_classes();
+    for (t, dist) in test.tuples().iter().zip(dists.chunks(n_classes)) {
+        let predicted = argmax_class(dist);
         if predicted == t.label() {
             correct += 1;
         }

@@ -224,7 +224,20 @@ impl SampledPdf {
     /// §3.2 / §4.2: the child pdfs are the parent pdf restricted to the
     /// sub-domain and scaled by `1 / w`.
     pub fn split_at(&self, z: f64) -> (f64, Option<SampledPdf>, Option<SampledPdf>) {
-        let p_left = self.prob_le(z);
+        self.split_at_with(z, self.prob_le(z))
+    }
+
+    /// Like [`split_at`](Self::split_at) but reuses an already-computed
+    /// `p_left`, which **must** equal `self.prob_le(z)`. Callers that have
+    /// just evaluated the CDF (e.g. the batch classification engine's
+    /// one-sided fast-path check) avoid a second binary search this way;
+    /// the arithmetic is identical to `split_at`.
+    pub fn split_at_with(
+        &self,
+        z: f64,
+        p_left: f64,
+    ) -> (f64, Option<SampledPdf>, Option<SampledPdf>) {
+        debug_assert_eq!(p_left.to_bits(), self.prob_le(z).to_bits());
         if p_left <= MASS_EPSILON {
             return (0.0, None, Some(self.clone()));
         }

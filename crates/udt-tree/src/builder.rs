@@ -1,4 +1,5 @@
-//! Recursive top-down tree construction over the columnar split engine.
+//! Top-down tree construction over the columnar split engine, emitting
+//! directly into the flat arena.
 //!
 //! [`TreeBuilder`] implements the greedy framework shared by AVG and all
 //! the UDT variants (§4.1–4.2): starting from the whole training set, each
@@ -14,6 +15,23 @@
 //! only partitions the sorted columns — stable, linear, no re-sorting —
 //! while candidate scoring runs over borrowed cumulative rows with zero
 //! per-candidate allocations (see [`crate::events`]).
+//!
+//! ## Parallel subtree construction
+//!
+//! Nodes are appended to a [`FlatTree`] in preorder. When
+//! `parallel_subtrees` is enabled (the default), the builder expands the
+//! top of the tree sequentially and **defers** every subtree whose root
+//! lies at `parallel_cutoff_depth` or deeper (and is large enough per
+//! `parallel_min_fork_tuples`) onto a work queue; the deferred
+//! [`NodeTuples`] states are independent and `Send`, so under the
+//! `parallel` feature a scoped-thread worker pool drains the queue, each
+//! worker building its subtree into a private arena fragment with its own
+//! [`Scratch`]. Fragments are grafted back in deterministic (queue) order
+//! and the arena is renumbered to canonical preorder, which makes the
+//! result **bit-for-bit identical** to a sequential build — the
+//! regression tests assert full `FlatTree` equality. Without the feature
+//! the same queue is drained inline, so the machinery is exercised by
+//! every test run.
 
 use std::collections::HashSet;
 use std::time::{Duration, Instant};
@@ -26,9 +44,10 @@ use crate::columns::{self, NodeTuples, Scratch};
 use crate::config::{Algorithm, UdtConfig};
 use crate::counts::ClassCounts;
 use crate::events::AttributeEvents;
+use crate::flat::FlatTree;
 use crate::fractional::FractionalTuple;
 use crate::measure::Measure;
-use crate::node::{DecisionTree, Node};
+use crate::node::DecisionTree;
 use crate::postprune;
 use crate::split::{SearchStats, SplitSearch};
 use crate::{Result, TreeError};
@@ -146,14 +165,55 @@ impl TreeBuilder {
             max_depth: self.config.max_depth,
             min_node_weight: self.config.min_node_weight,
             min_gain: self.config.min_gain,
+            fork_depth: self.config.parallel_cutoff_depth,
+            fork_min_tuples: self.config.parallel_min_fork_tuples,
         };
         // The single O(E log E) presorting pass; recursion below never
         // sorts again.
         let root_state = columns::build_root(&tuples, &numerical);
         let mut scratch = Scratch::new(tuples.len());
-        let root = ctx.build_node(root_state, 1, &HashSet::new(), &mut stats, &mut scratch);
-        let mut tree = DecisionTree::new(
-            root,
+        let mut flat = FlatTree::new(ctx.n_classes);
+        if self.config.parallel_subtrees {
+            let mut jobs: Vec<SubtreeJob> = Vec::new();
+            ctx.build_node(
+                &mut flat,
+                root_state,
+                1,
+                &HashSet::new(),
+                &mut stats,
+                &mut scratch,
+                Some(&mut jobs),
+            );
+            if !jobs.is_empty() {
+                let patches: Vec<usize> = jobs.iter().map(|j| j.patch).collect();
+                let results = run_subtree_jobs(
+                    &ctx,
+                    jobs,
+                    self.config.parallel_threads,
+                    tuples.len(),
+                    &mut scratch,
+                );
+                for (patch, (fragment, job_stats)) in patches.into_iter().zip(results) {
+                    let root = flat.graft(&fragment);
+                    flat.patch_child_slab(patch, root);
+                    stats.merge(&job_stats);
+                }
+                // Canonical layout: bit-identical to a sequential build.
+                flat = flat.to_preorder();
+            }
+        } else {
+            ctx.build_node(
+                &mut flat,
+                root_state,
+                1,
+                &HashSet::new(),
+                &mut stats,
+                &mut scratch,
+                None,
+            );
+        }
+        let mut tree = DecisionTree::from_flat(
+            flat,
             training.n_attributes(),
             training.class_names().to_vec(),
         );
@@ -171,7 +231,111 @@ impl TreeBuilder {
     }
 }
 
-/// Immutable context shared by the recursive construction.
+/// A deferred subtree: everything a worker needs to build it into a
+/// private arena fragment, plus the child-slab slot of the main arena to
+/// patch once the fragment is grafted back.
+struct SubtreeJob {
+    state: NodeTuples,
+    depth: usize,
+    used_categorical: HashSet<usize>,
+    patch: usize,
+}
+
+/// Drains the subtree work queue on a scoped-thread worker pool (claiming
+/// jobs through an atomic cursor), returning `(fragment, stats)` per job
+/// in queue order. Workers re-use one private [`Scratch`] each across all
+/// the jobs they claim.
+#[cfg(feature = "parallel")]
+fn run_subtree_jobs(
+    ctx: &BuildContext<'_>,
+    jobs: Vec<SubtreeJob>,
+    threads: usize,
+    n_tuples: usize,
+    _scratch: &mut Scratch,
+) -> Vec<(FlatTree, SearchStats)> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Mutex;
+
+    let n_jobs = jobs.len();
+    let auto = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let workers = if threads == 0 { auto } else { threads }.min(n_jobs).max(1);
+    let queue: Vec<Mutex<Option<SubtreeJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let done: Vec<Mutex<Option<(FlatTree, SearchStats)>>> =
+        (0..n_jobs).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| {
+                let mut scratch = Scratch::new(n_tuples);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_jobs {
+                        break;
+                    }
+                    let job = queue[i]
+                        .lock()
+                        .expect("job queue lock poisoned")
+                        .take()
+                        .expect("each job is claimed exactly once");
+                    let mut fragment = FlatTree::new(ctx.n_classes);
+                    let mut job_stats = SearchStats::default();
+                    ctx.build_node(
+                        &mut fragment,
+                        job.state,
+                        job.depth,
+                        &job.used_categorical,
+                        &mut job_stats,
+                        &mut scratch,
+                        None,
+                    );
+                    *done[i].lock().expect("result lock poisoned") = Some((fragment, job_stats));
+                }
+            });
+        }
+    });
+    done.into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result lock poisoned")
+                .expect("every job produced a fragment")
+        })
+        .collect()
+}
+
+/// Inline drain of the subtree work queue (no `parallel` feature): same
+/// queue, same deterministic order, same grafting — so the parallel
+/// machinery is exercised by every default-feature test run.
+#[cfg(not(feature = "parallel"))]
+fn run_subtree_jobs(
+    ctx: &BuildContext<'_>,
+    jobs: Vec<SubtreeJob>,
+    _threads: usize,
+    _n_tuples: usize,
+    scratch: &mut Scratch,
+) -> Vec<(FlatTree, SearchStats)> {
+    jobs.into_iter()
+        .map(|job| {
+            let mut fragment = FlatTree::new(ctx.n_classes);
+            let mut job_stats = SearchStats::default();
+            ctx.build_node(
+                &mut fragment,
+                job.state,
+                job.depth,
+                &job.used_categorical,
+                &mut job_stats,
+                scratch,
+                None,
+            );
+            (fragment, job_stats)
+        })
+        .collect()
+}
+
+/// Immutable context shared by the recursive construction (and, under the
+/// `parallel` feature, by the subtree workers — every field is `Sync`).
 struct BuildContext<'a> {
     /// The root fractional tuples (never mutated; categorical
     /// distributions and labels are read through them).
@@ -186,6 +350,10 @@ struct BuildContext<'a> {
     max_depth: usize,
     min_node_weight: f64,
     min_gain: f64,
+    /// Children at this depth or deeper become work-queue jobs.
+    fork_depth: usize,
+    /// Minimum alive tuples for a child to be worth deferring.
+    fork_min_tuples: usize,
 }
 
 /// The best action available at a node.
@@ -220,14 +388,22 @@ impl BuildContext<'_> {
         counts
     }
 
+    /// Builds the subtree for `state` into `arena`, returning its root
+    /// index. With `jobs` present, large-enough children at or below the
+    /// fork depth are deferred onto the queue instead of being built
+    /// inline. (The argument count mirrors the recursion state one-to-one;
+    /// bundling it into a struct would just move the same names around.)
+    #[allow(clippy::too_many_arguments)]
     fn build_node(
         &self,
+        arena: &mut FlatTree,
         state: NodeTuples,
         depth: usize,
         used_categorical: &HashSet<usize>,
         stats: &mut SearchStats,
         scratch: &mut Scratch,
-    ) -> Node {
+        mut jobs: Option<&mut Vec<SubtreeJob>>,
+    ) -> usize {
         let counts = self.node_counts(&state);
         // Stopping conditions (§4.1): purity, depth cap, insufficient
         // weight.
@@ -236,11 +412,11 @@ impl BuildContext<'_> {
             || counts.total() < self.min_node_weight
             || state.alive.is_empty()
         {
-            return Node::leaf(counts);
+            return arena.push_leaf(&counts);
         }
 
         let Some(best) = self.best_split(&state, used_categorical, stats, scratch) else {
-            return Node::leaf(counts);
+            return arena.push_leaf(&counts);
         };
 
         // Pre-pruning on the dispersion reduction. For entropy/Gini the
@@ -254,7 +430,7 @@ impl BuildContext<'_> {
             Measure::GainRatio => -best.score() >= self.min_gain,
         };
         if !worthwhile {
-            return Node::leaf(counts);
+            return arena.push_leaf(&counts);
         }
 
         match best {
@@ -268,19 +444,24 @@ impl BuildContext<'_> {
                     .expect("numeric split attribute has a column");
                 let (left, right) = columns::partition_numeric(&state, slot, split, scratch);
                 if left.alive.is_empty() || right.alive.is_empty() {
-                    return Node::leaf(counts);
+                    return arena.push_leaf(&counts);
                 }
                 drop(state);
-                let left_node = self.build_node(left, depth + 1, used_categorical, stats, scratch);
-                let right_node =
-                    self.build_node(right, depth + 1, used_categorical, stats, scratch);
-                Node::Split {
-                    attribute,
-                    split,
-                    counts,
-                    left: Box::new(left_node),
-                    right: Box::new(right_node),
+                let id = arena.push_split(attribute, split, &counts);
+                for (child_slot, child_state) in [left, right].into_iter().enumerate() {
+                    self.build_child(
+                        arena,
+                        id,
+                        child_slot,
+                        child_state,
+                        depth + 1,
+                        used_categorical,
+                        stats,
+                        scratch,
+                        jobs.as_deref_mut(),
+                    );
                 }
+                id
             }
             NodeSplit::Categorical {
                 attribute,
@@ -290,26 +471,72 @@ impl BuildContext<'_> {
                 let buckets =
                     columns::partition_categorical(&state, self.tuples, attribute, cardinality);
                 drop(state);
+                let id = arena.push_categorical(attribute, cardinality, &counts);
                 let mut used = used_categorical.clone();
                 used.insert(attribute);
-                let children: Vec<Node> = buckets
-                    .into_iter()
-                    .map(|bucket| {
-                        if bucket.alive.is_empty() {
-                            // Unseen category: fall back to the parent's
-                            // class distribution.
-                            Node::leaf(counts.clone())
-                        } else {
-                            self.build_node(bucket, depth + 1, &used, stats, scratch)
-                        }
-                    })
-                    .collect();
-                Node::CategoricalSplit {
-                    attribute,
-                    counts,
-                    children,
+                for (v, bucket) in buckets.into_iter().enumerate() {
+                    if bucket.alive.is_empty() {
+                        // Unseen category: fall back to the parent's
+                        // class distribution.
+                        let leaf = arena.push_leaf(&counts);
+                        arena.set_child(id, v, leaf);
+                    } else {
+                        self.build_child(
+                            arena,
+                            id,
+                            v,
+                            bucket,
+                            depth + 1,
+                            &used,
+                            stats,
+                            scratch,
+                            jobs.as_deref_mut(),
+                        );
+                    }
                 }
+                id
             }
+        }
+    }
+
+    /// Builds (or defers) one child subtree and wires it into the parent.
+    #[allow(clippy::too_many_arguments)]
+    fn build_child(
+        &self,
+        arena: &mut FlatTree,
+        parent: usize,
+        slot: usize,
+        state: NodeTuples,
+        depth: usize,
+        used_categorical: &HashSet<usize>,
+        stats: &mut SearchStats,
+        scratch: &mut Scratch,
+        jobs: Option<&mut Vec<SubtreeJob>>,
+    ) {
+        if let Some(jobs) = jobs {
+            if depth >= self.fork_depth && state.alive.len() >= self.fork_min_tuples {
+                let patch = arena.child_slab_slot(parent, slot);
+                jobs.push(SubtreeJob {
+                    state,
+                    depth,
+                    used_categorical: used_categorical.clone(),
+                    patch,
+                });
+                return;
+            }
+            let id = self.build_node(
+                arena,
+                state,
+                depth,
+                used_categorical,
+                stats,
+                scratch,
+                Some(jobs),
+            );
+            arena.set_child(parent, slot, id);
+        } else {
+            let id = self.build_node(arena, state, depth, used_categorical, stats, scratch, None);
+            arena.set_child(parent, slot, id);
         }
     }
 
@@ -386,6 +613,7 @@ impl BuildContext<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::node::Node;
     use udt_data::{toy, Attribute, Schema, Tuple, UncertainValue};
     use udt_prob::DiscreteDist;
 
@@ -408,12 +636,13 @@ mod tests {
                 .unwrap();
             let tree = &report.tree;
             assert!(tree.size() >= 3, "{algorithm:?} must split at least once");
+            tree.flat().validate().unwrap();
             // Training accuracy is perfect on this separable data.
             let ds = separable_point_dataset();
             let correct = ds
                 .tuples()
                 .iter()
-                .filter(|t| tree.predict(t) == t.label())
+                .filter(|t| tree.predict(t).unwrap() == t.label())
                 .count();
             assert_eq!(correct, ds.len(), "{algorithm:?}");
             assert!(report.stats.nodes_searched > 0);
@@ -440,12 +669,12 @@ mod tests {
         let avg_correct = data
             .tuples()
             .iter()
-            .filter(|t| avg.tree.predict(t) == t.label())
+            .filter(|t| avg.tree.predict(t).unwrap() == t.label())
             .count();
         let udt_correct = data
             .tuples()
             .iter()
-            .filter(|t| udt.tree.predict(t) == t.label())
+            .filter(|t| udt.tree.predict(t).unwrap() == t.label())
             .count();
         assert!(
             avg_correct <= 4,
@@ -497,6 +726,51 @@ mod tests {
                 report.stats.entropy_calculations <= reference.stats.entropy_calculations,
                 "{algorithm:?}"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_subtree_build_is_bit_identical_to_sequential() {
+        // The tentpole regression: the work-queue build (with forced-low
+        // fork thresholds so real jobs are created) must produce the same
+        // arena, bit for bit, as the plain sequential recursion — under
+        // both feature modes, since the queue is drained inline without
+        // `parallel`.
+        use udt_data::synthetic::SyntheticSpec;
+        use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+        let mut spec = SyntheticSpec::small(33);
+        spec.tuples = 120;
+        spec.attributes = 4;
+        let point_data = spec.generate().unwrap();
+        let data =
+            inject_uncertainty(&point_data, &UncertaintySpec::baseline().with_s(12)).unwrap();
+        for algorithm in [Algorithm::Udt, Algorithm::UdtEs] {
+            let sequential = TreeBuilder::new(
+                UdtConfig::new(algorithm)
+                    .with_postprune(false)
+                    .with_parallel_subtrees(false),
+            )
+            .build(&data)
+            .unwrap();
+            let parallel = TreeBuilder::new(
+                UdtConfig::new(algorithm)
+                    .with_postprune(false)
+                    .with_parallel_cutoff_depth(2)
+                    .with_parallel_min_fork_tuples(1),
+            )
+            .build(&data)
+            .unwrap();
+            assert_eq!(
+                parallel.tree.flat(),
+                sequential.tree.flat(),
+                "{algorithm:?}: arenas must be bit-identical"
+            );
+            assert_eq!(
+                parallel.stats.entropy_like_calculations(),
+                sequential.stats.entropy_like_calculations(),
+                "{algorithm:?}: stats must aggregate identically"
+            );
+            parallel.tree.flat().validate().unwrap();
         }
     }
 
@@ -565,13 +839,13 @@ mod tests {
         let report = TreeBuilder::new(UdtConfig::new(Algorithm::UdtGp).with_postprune(false))
             .build(&ds)
             .unwrap();
-        match report.tree.root() {
+        match report.tree.root_node() {
             Node::CategoricalSplit {
                 attribute,
                 children,
                 ..
             } => {
-                assert_eq!(*attribute, 0);
+                assert_eq!(attribute, 0);
                 assert_eq!(children.len(), 3);
             }
             other => panic!("expected a categorical root split, got {other:?}"),
@@ -579,7 +853,7 @@ mod tests {
         let correct = ds
             .tuples()
             .iter()
-            .filter(|t| report.tree.predict(t) == t.label())
+            .filter(|t| report.tree.predict(t).unwrap() == t.label())
             .count();
         assert_eq!(correct, 30);
     }

@@ -97,6 +97,21 @@ pub struct UdtConfig {
     /// Theorem 3 hint: set when every pdf is known to be uniform, allowing
     /// UDT-BP to consider only interval end points.
     pub uniform_pdf_hint: bool,
+    /// Whether to build sibling subtrees through the work queue (the
+    /// arena layout is canonicalised afterwards, so the resulting tree is
+    /// bit-identical either way). With the `parallel` feature the queue
+    /// is drained by scoped worker threads; without it, inline.
+    pub parallel_subtrees: bool,
+    /// Subtrees rooted at this depth or deeper are deferred onto the work
+    /// queue (the root has depth 1). Shallower levels are expanded
+    /// sequentially to create enough independent jobs.
+    pub parallel_cutoff_depth: usize,
+    /// Minimum number of alive tuples for a subtree to be worth deferring;
+    /// smaller subtrees are built inline where they are.
+    pub parallel_min_fork_tuples: usize,
+    /// Worker-thread cap for the subtree queue (0 = one per available
+    /// core). Only consulted when the `parallel` feature is enabled.
+    pub parallel_threads: usize,
 }
 
 impl UdtConfig {
@@ -114,6 +129,10 @@ impl UdtConfig {
             postprune_z: 0.6745,
             es_sample_rate: es::DEFAULT_SAMPLE_RATE,
             uniform_pdf_hint: false,
+            parallel_subtrees: true,
+            parallel_cutoff_depth: 4,
+            parallel_min_fork_tuples: 8,
+            parallel_threads: 0,
         }
     }
 
@@ -144,6 +163,31 @@ impl UdtConfig {
     /// Returns a copy with the Theorem 3 uniform-pdf hint set.
     pub fn with_uniform_pdf_hint(mut self, hint: bool) -> Self {
         self.uniform_pdf_hint = hint;
+        self
+    }
+
+    /// Returns a copy with work-queue subtree construction switched on or
+    /// off.
+    pub fn with_parallel_subtrees(mut self, parallel_subtrees: bool) -> Self {
+        self.parallel_subtrees = parallel_subtrees;
+        self
+    }
+
+    /// Returns a copy with a different subtree fork depth.
+    pub fn with_parallel_cutoff_depth(mut self, depth: usize) -> Self {
+        self.parallel_cutoff_depth = depth;
+        self
+    }
+
+    /// Returns a copy with a different minimum subtree size for forking.
+    pub fn with_parallel_min_fork_tuples(mut self, tuples: usize) -> Self {
+        self.parallel_min_fork_tuples = tuples;
+        self
+    }
+
+    /// Returns a copy with a different worker-thread cap (0 = auto).
+    pub fn with_parallel_threads(mut self, threads: usize) -> Self {
+        self.parallel_threads = threads;
         self
     }
 
@@ -270,11 +314,20 @@ mod tests {
             .with_postprune(false)
             .with_max_depth(5)
             .with_min_node_weight(4.0)
-            .with_uniform_pdf_hint(true);
+            .with_uniform_pdf_hint(true)
+            .with_parallel_subtrees(false)
+            .with_parallel_cutoff_depth(6)
+            .with_parallel_min_fork_tuples(32)
+            .with_parallel_threads(2);
         assert_eq!(c.measure, Measure::Gini);
         assert!(!c.postprune);
         assert_eq!(c.max_depth, 5);
         assert_eq!(c.min_node_weight, 4.0);
         assert!(c.uniform_pdf_hint);
+        assert!(!c.parallel_subtrees);
+        assert_eq!(c.parallel_cutoff_depth, 6);
+        assert_eq!(c.parallel_min_fork_tuples, 32);
+        assert_eq!(c.parallel_threads, 2);
+        assert!(c.validate().is_ok());
     }
 }

@@ -79,6 +79,22 @@ impl<'a> CountsView<'a> {
         self.0.iter().filter(|&&c| c > total * 1e-9).count()
     }
 
+    /// The class with the largest weight (lowest index wins ties).
+    /// [`ClassCounts::majority`] delegates here, so arena-based consumers
+    /// (post-pruning) and the boxed-node reference paths agree
+    /// structurally.
+    pub fn majority(&self) -> usize {
+        let mut best = 0;
+        let mut best_w = f64::NEG_INFINITY;
+        for (c, &w) in self.0.iter().enumerate() {
+            if w > best_w {
+                best = c;
+                best_w = w;
+            }
+        }
+        best
+    }
+
     /// Copies the view into an owned counter.
     pub fn to_counts(&self) -> ClassCounts {
         ClassCounts::from_vec(self.0.to_vec())
@@ -162,15 +178,7 @@ impl ClassCounts {
 
     /// The class with the largest weight (lowest index wins ties).
     pub fn majority(&self) -> usize {
-        let mut best = 0;
-        let mut best_w = f64::NEG_INFINITY;
-        for (c, &w) in self.counts.iter().enumerate() {
-            if w > best_w {
-                best = c;
-                best_w = w;
-            }
-        }
-        best
+        self.as_view().majority()
     }
 
     /// Normalised class distribution (`P_n(c)` of a leaf node, §4.1). For

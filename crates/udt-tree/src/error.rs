@@ -23,6 +23,14 @@ pub enum TreeError {
         value: f64,
     },
 
+    /// A serialised or hand-assembled tree model failed structural
+    /// validation (dangling child indices, slab length mismatches, …).
+    #[error("invalid tree model: {reason}")]
+    InvalidModel {
+        /// What failed to validate.
+        reason: &'static str,
+    },
+
     /// A tuple presented for classification does not match the tree's
     /// schema arity.
     #[error("test tuple has {found} attributes but the tree was trained on {expected}")]

@@ -47,6 +47,29 @@
 //!   `split_algorithms` criterion bench, where the per-node split-search
 //!   step runs ~7× faster columnar than naive.
 //!
+//! ## The flat arena
+//!
+//! Trees are stored in a flat structure-of-arrays arena
+//! ([`flat::FlatTree`]): node kinds, attributes, split points, a child
+//! index slab, a per-node class-count slab and a leaf-distribution slab,
+//! root at index 0, children always after their parent. The arena is the
+//! canonical build **and** serve format — [`TreeBuilder`] emits preorder
+//! directly into it, post-pruning runs bottom-up over it with one reverse
+//! index loop, and persistence serialises it (with a transparent loader
+//! for the legacy boxed format). The recursive [`Node`] enum remains as a
+//! conversion target for structural tests and legacy interop.
+//!
+//! ## Serving: batch classification
+//!
+//! [`classify::classify_batch`] classifies a whole slice of tuples with
+//! an explicit-stack walk over the arena, reusing every per-tuple buffer
+//! (frame stack, pdf-override delta chain, accumulator) in a
+//! [`classify::BatchScratch`] and skipping pdf materialisation whenever a
+//! split is one-sided. Results are bit-for-bit identical to the
+//! per-tuple recursive path ([`DecisionTree::predict_distribution`]) —
+//! asserted by regression tests — at a multiple of its throughput (see
+//! the `classify_throughput` bench).
+//!
 //! ## The `parallel` feature
 //!
 //! With the optional `parallel` feature, [`split::SplitSearch::find_best`]
@@ -58,6 +81,13 @@
 //! deterministically in attribute order. The optimal split score is
 //! identical to the sequential scan; workers may evaluate a few more
 //! candidates because they cannot observe each other's improvements.
+//!
+//! Tree construction itself is also parallel: sibling subtrees below a
+//! configurable fork depth are deferred onto a work queue and built by
+//! scoped worker threads into private arena fragments, which are grafted
+//! back in deterministic order and renumbered to canonical preorder — so
+//! a parallel build is bit-identical to a sequential one (see
+//! [`builder`]). Without the feature the same queue is drained inline.
 //!
 //! ## Typical use
 //!
@@ -71,8 +101,14 @@
 //! let tree = report.tree;
 //! // Classify an uncertain test tuple; the result is a distribution over
 //! // class labels (§3.2).
-//! let dist = tree.predict_distribution(&data.tuples()[2]);
+//! let dist = tree.predict_distribution(&data.tuples()[2]).unwrap();
 //! assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+//!
+//! // Serving batches: classify a whole slice with reusable scratch.
+//! use udt_tree::{classify_batch, BatchScratch};
+//! let mut scratch = BatchScratch::new();
+//! let dists = classify_batch(&tree, data.tuples(), &mut scratch).unwrap();
+//! assert_eq!(dists.len(), data.tuples().len() * tree.n_classes());
 //! ```
 
 // Negated float comparisons (`!(x > 0.0)`) are deliberate NaN guards
@@ -93,6 +129,7 @@ pub mod config;
 pub mod counts;
 pub mod error;
 pub mod events;
+pub mod flat;
 pub mod fractional;
 pub mod measure;
 pub mod node;
@@ -102,9 +139,11 @@ pub mod postprune;
 pub mod split;
 
 pub use builder::{BuildReport, TreeBuilder};
+pub use classify::{classify_batch, BatchScratch};
 pub use config::{Algorithm, UdtConfig};
 pub use counts::ClassCounts;
 pub use error::TreeError;
+pub use flat::{FlatTree, NodeKind};
 pub use measure::Measure;
 pub use node::{DecisionTree, Node};
 pub use split::{SearchStats, SplitChoice};

@@ -4,16 +4,28 @@
 //! carries a crisp binary test `v ≤ z` on one numerical attribute (or a
 //! multi-way test on a categorical attribute, §7.2); each leaf carries a
 //! probability distribution over class labels derived from the (fractional)
-//! training tuples that reached it. Classification of an uncertain test
-//! tuple is implemented in [`crate::classify`] and surfaced here as
-//! [`DecisionTree::predict_distribution`].
+//! training tuples that reached it.
+//!
+//! Since the arena refactor, [`DecisionTree`] stores its nodes in the flat
+//! SoA arena [`FlatTree`] — the canonical build/serve format. The recursive
+//! [`Node`] enum remains as a conversion target: tests pattern-match on it
+//! via [`DecisionTree::root_node`], and the legacy persistence format in
+//! [`crate::persist`] is its serde projection. Classification of an
+//! uncertain test tuple is implemented in [`crate::classify`] and surfaced
+//! here as [`DecisionTree::predict_distribution`] (single tuple) and
+//! [`DecisionTree::predict_batch`] (serving batches).
 
 use serde::{Deserialize, Serialize};
 use udt_data::Tuple;
 
 use crate::counts::ClassCounts;
+use crate::flat::FlatTree;
+use crate::Result;
 
-/// One node of a decision tree.
+/// One node of a decision tree in recursive (boxed) form.
+///
+/// This is the conversion target kept for structural tests and the legacy
+/// persistence format; the canonical representation is [`FlatTree`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Node {
     /// A leaf node carrying a class distribution.
@@ -90,9 +102,7 @@ impl Node {
         match self {
             Node::Leaf { .. } => 1,
             Node::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
-            Node::CategoricalSplit { children, .. } => {
-                children.iter().map(Node::n_leaves).sum::<usize>()
-            }
+            Node::CategoricalSplit { children, .. } => children.iter().map(Node::n_leaves).sum(),
         }
     }
 
@@ -156,32 +166,51 @@ impl Node {
     }
 }
 
-/// A trained decision tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// A trained decision tree, stored as a flat arena.
+#[derive(Debug, Clone, PartialEq)]
 pub struct DecisionTree {
-    root: Node,
+    flat: FlatTree,
     n_attributes: usize,
     class_names: Vec<String>,
 }
 
 impl DecisionTree {
-    /// Assembles a tree from its root node and metadata.
+    /// Assembles a tree from a recursive root node and metadata,
+    /// converting it into the canonical arena form.
     pub fn new(root: Node, n_attributes: usize, class_names: Vec<String>) -> Self {
+        let flat = FlatTree::from_node(&root, class_names.len());
         DecisionTree {
-            root,
+            flat,
             n_attributes,
             class_names,
         }
     }
 
-    /// The root node.
-    pub fn root(&self) -> &Node {
-        &self.root
+    /// Assembles a tree directly from its arena and metadata (the builder
+    /// and the persistence loader use this).
+    pub fn from_flat(flat: FlatTree, n_attributes: usize, class_names: Vec<String>) -> Self {
+        debug_assert_eq!(flat.n_classes(), class_names.len());
+        DecisionTree {
+            flat,
+            n_attributes,
+            class_names,
+        }
     }
 
-    /// Mutable access to the root node (used by post-pruning).
-    pub fn root_mut(&mut self) -> &mut Node {
-        &mut self.root
+    /// The tree's arena.
+    pub fn flat(&self) -> &FlatTree {
+        &self.flat
+    }
+
+    /// Mutable access to the arena (used by post-pruning).
+    pub fn flat_mut(&mut self) -> &mut FlatTree {
+        &mut self.flat
+    }
+
+    /// Materialises the tree in recursive (boxed) form — a conversion for
+    /// structural tests and the legacy persistence format.
+    pub fn root_node(&self) -> Node {
+        self.flat.to_root_node()
     }
 
     /// Number of attributes the tree was trained on.
@@ -201,41 +230,58 @@ impl DecisionTree {
 
     /// Total node count.
     pub fn size(&self) -> usize {
-        self.root.size()
+        self.flat.len()
     }
 
     /// Leaf count.
     pub fn n_leaves(&self) -> usize {
-        self.root.n_leaves()
+        self.flat.n_leaves()
     }
 
     /// Tree depth.
     pub fn depth(&self) -> usize {
-        self.root.depth()
+        self.flat.depth()
     }
 
     /// Classifies an uncertain test tuple, returning the probability
     /// distribution over class labels (§3.2).
-    pub fn predict_distribution(&self, tuple: &Tuple) -> Vec<f64> {
+    ///
+    /// Returns [`crate::TreeError::NoClasses`] for a (hand-assembled) tree
+    /// that distinguishes zero classes — there is no distribution to
+    /// return, and the previous behaviour of silently yielding an empty
+    /// vector masked real construction bugs.
+    pub fn predict_distribution(&self, tuple: &Tuple) -> Result<Vec<f64>> {
         crate::classify::predict_distribution(self, tuple)
     }
 
     /// Classifies an uncertain test tuple and returns the single most
     /// probable class label, as the paper does when "a single result is
     /// desired".
-    pub fn predict(&self, tuple: &Tuple) -> usize {
-        let dist = self.predict_distribution(tuple);
-        dist.iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite probabilities"))
-            .map(|(i, _)| i)
-            .unwrap_or(0)
+    pub fn predict(&self, tuple: &Tuple) -> Result<usize> {
+        Ok(crate::classify::argmax_class(
+            &self.predict_distribution(tuple)?,
+        ))
+    }
+
+    /// Classifies a batch of tuples with the arena engine, returning the
+    /// most probable class label per tuple. Convenience wrapper over
+    /// [`crate::classify::classify_batch`] that manages its own scratch;
+    /// serving loops that call this repeatedly should hold a
+    /// [`crate::classify::BatchScratch`] and call `classify_batch`
+    /// directly to reuse the buffers.
+    pub fn predict_batch(&self, tuples: &[Tuple]) -> Result<Vec<usize>> {
+        let mut scratch = crate::classify::BatchScratch::new();
+        let dists = crate::classify::classify_batch(self, tuples, &mut scratch)?;
+        Ok(dists
+            .chunks(self.n_classes())
+            .map(crate::classify::argmax_class)
+            .collect())
     }
 
     /// A human-readable rendering of the tree (one line per node).
     pub fn render(&self) -> String {
         let mut out = String::new();
-        self.root.render(&self.class_names, 0, &mut out);
+        self.root_node().render(&self.class_names, 0, &mut out);
         out
     }
 }
@@ -273,7 +319,8 @@ mod tests {
         assert_eq!(tree.depth(), 2);
         assert_eq!(tree.n_attributes(), 1);
         assert_eq!(tree.n_classes(), 2);
-        assert!(!tree.root().is_leaf());
+        assert!(!tree.root_node().is_leaf());
+        tree.flat().validate().unwrap();
     }
 
     #[test]
@@ -294,8 +341,20 @@ mod tests {
         let tree = sample_tree();
         let left_tuple = Tuple::from_points(&[-5.0], 0);
         let right_tuple = Tuple::from_points(&[5.0], 0);
-        assert_eq!(tree.predict(&left_tuple), 1, "left leaf favours class B");
-        assert_eq!(tree.predict(&right_tuple), 0, "right leaf favours class A");
+        assert_eq!(
+            tree.predict(&left_tuple).unwrap(),
+            1,
+            "left leaf favours class B"
+        );
+        assert_eq!(
+            tree.predict(&right_tuple).unwrap(),
+            0,
+            "right leaf favours class A"
+        );
+        assert_eq!(
+            tree.predict_batch(&[left_tuple, right_tuple]).unwrap(),
+            vec![1, 0]
+        );
     }
 
     #[test]
@@ -305,6 +364,13 @@ mod tests {
         assert!(text.contains("A0"));
         assert!(text.contains("leaf"));
         assert!(text.contains("else"));
+    }
+
+    #[test]
+    fn boxed_conversion_round_trips() {
+        let tree = sample_tree();
+        let rebuilt = DecisionTree::new(tree.root_node(), 1, tree.class_names().to_vec());
+        assert_eq!(tree, rebuilt);
     }
 
     #[test]

@@ -1,32 +1,124 @@
 //! Model persistence.
 //!
-//! Trained trees are plain serde-serialisable data, so they can be stored
-//! and shipped as JSON — useful for the experiment harness (caching a tree
-//! across runs) and for downstream users who train offline and classify
-//! online. The format is the straightforward serde projection of
-//! [`DecisionTree`]; it is stable as long as the node structure is.
+//! Trained trees are stored as JSON — useful for the experiment harness
+//! (caching a tree across runs) and for downstream users who train
+//! offline and classify online.
+//!
+//! ## Formats
+//!
+//! * **Version 2** (current): the serde projection of the flat arena
+//!   ([`crate::flat::FlatTree`]) plus metadata, tagged with an explicit
+//!   `format_version` field. Written by [`to_json`] / [`save`]; every
+//!   loaded arena passes structural validation before it is served.
+//! * **Legacy** (pre-arena): the serde projection of the recursive
+//!   [`Node`] tree (`{"root": …, "n_attributes": …, "class_names": …}`).
+//!   [`from_json`] / [`load`] detect and convert it transparently, so
+//!   models written before the arena refactor keep loading;
+//!   [`to_legacy_json`] still writes it for interop with old readers.
 
-use crate::node::DecisionTree;
+use serde::{Deserialize, Serialize};
+
+use crate::flat::FlatTree;
+use crate::node::{DecisionTree, Node};
 use crate::Result;
 use crate::TreeError;
 
-/// Serialises a tree to a JSON string.
+/// The current on-disk format version.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// The version-2 on-disk projection of a [`DecisionTree`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct PersistedModel {
+    format_version: u32,
+    n_attributes: usize,
+    class_names: Vec<String>,
+    tree: FlatTree,
+}
+
+/// The legacy (pre-arena) on-disk projection: the old `DecisionTree`
+/// struct serialised field for field.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct LegacyModel {
+    root: Node,
+    n_attributes: usize,
+    class_names: Vec<String>,
+}
+
+/// Serialises a tree to a JSON string in the current (version 2, flat
+/// arena) format.
 pub fn to_json(tree: &DecisionTree) -> Result<String> {
-    serde_json::to_string(tree).map_err(|e| TreeError::InvalidConfig {
+    let model = PersistedModel {
+        format_version: FORMAT_VERSION,
+        n_attributes: tree.n_attributes(),
+        class_names: tree.class_names().to_vec(),
+        tree: tree.flat().clone(),
+    };
+    serde_json::to_string(&model).map_err(|e| TreeError::InvalidConfig {
         name: "serialisation failed (unrepresentable float?)",
         value: e.line() as f64,
     })
 }
 
-/// Deserialises a tree from a JSON string produced by [`to_json`].
-pub fn from_json(json: &str) -> Result<DecisionTree> {
-    serde_json::from_str(json).map_err(|e| TreeError::InvalidConfig {
-        name: "deserialisation failed",
+/// Serialises a tree to the legacy (boxed-node) JSON format, for interop
+/// with pre-arena readers.
+pub fn to_legacy_json(tree: &DecisionTree) -> Result<String> {
+    let model = LegacyModel {
+        root: tree.root_node(),
+        n_attributes: tree.n_attributes(),
+        class_names: tree.class_names().to_vec(),
+    };
+    serde_json::to_string(&model).map_err(|e| TreeError::InvalidConfig {
+        name: "serialisation failed (unrepresentable float?)",
         value: e.line() as f64,
     })
 }
 
-/// Writes a tree to a JSON file.
+/// Deserialises a tree from a JSON string in either the current or the
+/// legacy format. Version-2 arenas are structurally validated before
+/// being accepted.
+pub fn from_json(json: &str) -> Result<DecisionTree> {
+    match serde_json::from_str::<PersistedModel>(json) {
+        Ok(model) => {
+            if model.format_version > FORMAT_VERSION {
+                return Err(TreeError::InvalidModel {
+                    reason: "model was written by a newer format version",
+                });
+            }
+            if model.tree.n_classes() != model.class_names.len() {
+                return Err(TreeError::InvalidModel {
+                    reason: "class name count does not match the arena",
+                });
+            }
+            model.tree.validate()?;
+            return Ok(DecisionTree::from_flat(
+                model.tree,
+                model.n_attributes,
+                model.class_names,
+            ));
+        }
+        // A file carrying the version tag *is* a v2 model; surface its
+        // parse failure instead of a misleading legacy-format error.
+        Err(e) if json.contains("\"format_version\"") => {
+            return Err(TreeError::InvalidConfig {
+                name: "version-2 model deserialisation failed",
+                value: e.line() as f64,
+            });
+        }
+        Err(_) => {}
+    }
+    // Fall back to the legacy boxed format.
+    let legacy: LegacyModel = serde_json::from_str(json).map_err(|e| TreeError::InvalidConfig {
+        name: "deserialisation failed",
+        value: e.line() as f64,
+    })?;
+    Ok(DecisionTree::new(
+        legacy.root,
+        legacy.n_attributes,
+        legacy.class_names,
+    ))
+}
+
+/// Writes a tree to a JSON file in the current format.
 pub fn save(tree: &DecisionTree, path: &std::path::Path) -> Result<()> {
     let json = to_json(tree)?;
     std::fs::write(path, json).map_err(|_| TreeError::InvalidConfig {
@@ -35,7 +127,8 @@ pub fn save(tree: &DecisionTree, path: &std::path::Path) -> Result<()> {
     })
 }
 
-/// Reads a tree from a JSON file written by [`save`].
+/// Reads a tree from a JSON file written by [`save`] — or by the
+/// pre-arena `save`, whose legacy format is converted transparently.
 pub fn load(path: &std::path::Path) -> Result<DecisionTree> {
     let json = std::fs::read_to_string(path).map_err(|_| TreeError::InvalidConfig {
         name: "could not read model file",
@@ -65,14 +158,34 @@ mod tests {
     fn json_roundtrip_preserves_the_tree_and_its_predictions() {
         let tree = trained();
         let json = to_json(&tree).unwrap();
+        assert!(json.contains("format_version"));
         let restored = from_json(&json).unwrap();
         assert_eq!(tree, restored);
         let data = toy::table1_dataset().unwrap();
         for t in data.tuples() {
-            assert_eq!(tree.predict(t), restored.predict(t));
+            assert_eq!(tree.predict(t).unwrap(), restored.predict(t).unwrap());
             assert_eq!(
-                tree.predict_distribution(t),
-                restored.predict_distribution(t)
+                tree.predict_distribution(t).unwrap(),
+                restored.predict_distribution(t).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_boxed_models_still_load() {
+        // A model written in the pre-arena format (boxed `Node` tree under
+        // a "root" key) loads transparently and predicts identically.
+        let tree = trained();
+        let legacy_json = to_legacy_json(&tree).unwrap();
+        assert!(legacy_json.contains("\"root\""));
+        assert!(!legacy_json.contains("format_version"));
+        let restored = from_json(&legacy_json).unwrap();
+        assert_eq!(tree, restored);
+        let data = toy::table1_dataset().unwrap();
+        for t in data.tuples() {
+            assert_eq!(
+                tree.predict_distribution(t).unwrap(),
+                restored.predict_distribution(t).unwrap()
             );
         }
     }
@@ -90,6 +203,25 @@ mod tests {
     #[test]
     fn malformed_input_is_rejected() {
         assert!(from_json("{not json").is_err());
+        assert!(from_json("{\"format_version\": 2}").is_err());
         assert!(load(std::path::Path::new("/no/such/model.json")).is_err());
+        // A truncated v2 file reports a v2 parse failure, not a confusing
+        // legacy-format one.
+        let json = to_json(&trained()).unwrap();
+        let err = from_json(&json[..json.len() / 2]).unwrap_err();
+        assert!(err.to_string().contains("version-2"), "got: {err}");
+    }
+
+    #[test]
+    fn corrupted_arenas_are_rejected_on_load() {
+        let tree = trained();
+        let json = to_json(&tree).unwrap();
+        // Point a child at a nonexistent node: validation must refuse it.
+        let corrupted = json.replacen("\"children\":[", "\"children\":[999999,", 1);
+        assert_ne!(json, corrupted);
+        assert!(from_json(&corrupted).is_err());
+        // A future format version is refused rather than misread.
+        let future = json.replace("\"format_version\":2", "\"format_version\":99");
+        assert!(from_json(&future).is_err());
     }
 }

@@ -47,14 +47,14 @@ mod tests {
         let reference_acc = ds
             .tuples()
             .iter()
-            .filter(|t| reference.tree.predict(t) == t.label())
+            .filter(|t| reference.tree.predict(t).unwrap() == t.label())
             .count();
         for algorithm in [Algorithm::UdtBp, Algorithm::UdtGp, Algorithm::UdtEs] {
             let report = build_point_tree(&ds, algorithm).unwrap();
             let acc = ds
                 .tuples()
                 .iter()
-                .filter(|t| report.tree.predict(t) == t.label())
+                .filter(|t| report.tree.predict(t).unwrap() == t.label())
                 .count();
             assert_eq!(acc, reference_acc, "{algorithm:?}");
         }
@@ -85,7 +85,7 @@ mod tests {
             let acc = |r: &crate::builder::BuildReport| {
                 ds.tuples()
                     .iter()
-                    .filter(|t| r.tree.predict(t) == t.label())
+                    .filter(|t| r.tree.predict(t).unwrap() == t.label())
                     .count()
             };
             assert_eq!(acc(&udt), acc(&es));

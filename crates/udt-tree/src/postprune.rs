@@ -8,8 +8,17 @@
 //! pessimistic estimate inflates the observed error rate by `z` standard
 //! errors of a binomial proportion (C4.5's 25 % confidence level
 //! corresponds to `z ≈ 0.6745`).
+//!
+//! Pruning operates **directly on the arena**: because children always
+//! carry larger indices than their parent (see [`FlatTree`]'s layout
+//! invariants), one reverse index loop visits every node after all of its
+//! descendants — the same bottom-up order as the old boxed recursion,
+//! with the per-subtree error sums memoised instead of recomputed. The
+//! old recursive path over boxed [`Node`]s is retained as
+//! [`prune_boxed`], and an equivalence test pins the two to each other.
 
-use crate::counts::ClassCounts;
+use crate::counts::CountsView;
+use crate::flat::{FlatTree, NodeKind};
 use crate::node::{DecisionTree, Node};
 
 /// Pessimistic (upper-confidence) number of errors for a leaf holding
@@ -24,7 +33,7 @@ use crate::node::{DecisionTree, Node};
 /// weight at the leaf. Unlike a plain normal approximation this bound is
 /// strictly positive even for error-free leaves, which is what makes the
 /// pruning favour fewer leaves when a split adds no real information.
-fn pessimistic_errors(counts: &ClassCounts, z: f64) -> f64 {
+fn pessimistic_errors(counts: CountsView<'_>, z: f64) -> f64 {
     let n = counts.total();
     if n <= 0.0 {
         return 0.0;
@@ -37,10 +46,96 @@ fn pessimistic_errors(counts: &ClassCounts, z: f64) -> f64 {
     n * rate
 }
 
+/// Applies pessimistic post-pruning to the arena of `tree`, returning the
+/// number of nodes removed.
+pub fn prune(tree: &mut DecisionTree, z: f64) -> usize {
+    prune_flat(tree.flat_mut(), z)
+}
+
+/// Prunes a [`FlatTree`] in place: one reverse pass memoises per-subtree
+/// pessimistic errors and marks collapsing nodes, then a single preorder
+/// compaction rebuilds the arena without the removed descendants.
+pub fn prune_flat(flat: &mut FlatTree, z: f64) -> usize {
+    let n = flat.len();
+    // err[i]: pessimistic error of the (already pruned) subtree at i.
+    let mut err = vec![0.0f64; n];
+    // sizes[i]: node count of the (already pruned) subtree at i.
+    let mut sizes = vec![1usize; n];
+    let mut collapsed = vec![false; n];
+    let mut removed = 0usize;
+    for i in (0..n).rev() {
+        let view = flat.counts_of(i);
+        if flat.kind(i) == NodeKind::Leaf {
+            err[i] = pessimistic_errors(view, z);
+            continue;
+        }
+        let mut as_subtree = 0.0f64;
+        let mut size = 1usize;
+        for &c in flat.children_of(i) {
+            debug_assert!(c as usize > i, "children must follow their parent");
+            as_subtree += err[c as usize];
+            size += sizes[c as usize];
+        }
+        let as_leaf = pessimistic_errors(view, z);
+        if as_leaf <= as_subtree + 1e-9 {
+            collapsed[i] = true;
+            err[i] = as_leaf;
+            removed += size - 1;
+        } else {
+            err[i] = as_subtree;
+            sizes[i] = size;
+        }
+    }
+    if removed > 0 {
+        *flat = compact(flat, &collapsed);
+    }
+    removed
+}
+
+/// Rebuilds the arena in preorder, replacing every collapsed node by a
+/// leaf derived from its training counts (exactly like [`Node::leaf`])
+/// and dropping its descendants. Surviving leaves are copied verbatim.
+fn compact(flat: &FlatTree, collapsed: &[bool]) -> FlatTree {
+    fn copy(flat: &FlatTree, id: usize, collapsed: &[bool], out: &mut FlatTree) -> usize {
+        if collapsed[id] {
+            return out.push_leaf(&flat.counts_of(id).to_counts());
+        }
+        match flat.kind(id) {
+            NodeKind::Leaf => {
+                out.push_leaf_raw(flat.counts_of(id).as_slice(), flat.distribution_of(id))
+            }
+            NodeKind::Split => {
+                let counts = flat.counts_of(id).to_counts();
+                let nid = out.push_split(flat.attribute(id), flat.split_point(id), &counts);
+                for slot in 0..2 {
+                    let c = copy(flat, flat.child(id, slot), collapsed, out);
+                    out.set_child(nid, slot, c);
+                }
+                nid
+            }
+            NodeKind::CategoricalSplit => {
+                let counts = flat.counts_of(id).to_counts();
+                let n_children = flat.children_of(id).len();
+                let nid = out.push_categorical(flat.attribute(id), n_children, &counts);
+                for slot in 0..n_children {
+                    let c = copy(flat, flat.child(id, slot), collapsed, out);
+                    out.set_child(nid, slot, c);
+                }
+                nid
+            }
+        }
+    }
+    let mut out = FlatTree::new(flat.n_classes());
+    copy(flat, FlatTree::ROOT, collapsed, &mut out);
+    out
+}
+
+// ----------------------------------------------------- boxed reference
+
 /// Pessimistic error of the subtree rooted at `node` (sum over its leaves).
 fn subtree_errors(node: &Node, z: f64) -> f64 {
     match node {
-        Node::Leaf { counts, .. } => pessimistic_errors(counts, z),
+        Node::Leaf { counts, .. } => pessimistic_errors(counts.as_view(), z),
         Node::Split { left, right, .. } => subtree_errors(left, z) + subtree_errors(right, z),
         Node::CategoricalSplit { children, .. } => {
             children.iter().map(|c| subtree_errors(c, z)).sum()
@@ -48,24 +143,25 @@ fn subtree_errors(node: &Node, z: f64) -> f64 {
     }
 }
 
-/// Recursively prunes `node` bottom-up; returns the number of nodes
+/// The pre-arena recursive pruning over boxed [`Node`]s, retained as the
+/// regression reference for [`prune_flat`]; returns the number of nodes
 /// removed.
-fn prune_node(node: &mut Node, z: f64) -> usize {
+pub fn prune_boxed(node: &mut Node, z: f64) -> usize {
     let mut removed = 0;
     match node {
         Node::Leaf { .. } => return 0,
         Node::Split { left, right, .. } => {
-            removed += prune_node(left, z);
-            removed += prune_node(right, z);
+            removed += prune_boxed(left, z);
+            removed += prune_boxed(right, z);
         }
         Node::CategoricalSplit { children, .. } => {
             for child in children.iter_mut() {
-                removed += prune_node(child, z);
+                removed += prune_boxed(child, z);
             }
         }
     }
     let as_subtree = subtree_errors(node, z);
-    let as_leaf = pessimistic_errors(node.counts(), z);
+    let as_leaf = pessimistic_errors(node.counts().as_view(), z);
     if as_leaf <= as_subtree + 1e-9 {
         let size_before = node.size();
         *node = Node::leaf(node.counts().clone());
@@ -74,15 +170,10 @@ fn prune_node(node: &mut Node, z: f64) -> usize {
     removed
 }
 
-/// Applies pessimistic post-pruning to `tree`, returning the number of
-/// nodes removed.
-pub fn prune(tree: &mut DecisionTree, z: f64) -> usize {
-    prune_node(tree.root_mut(), z)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::counts::ClassCounts;
 
     fn leaf(counts: Vec<f64>) -> Node {
         Node::leaf(ClassCounts::from_vec(counts))
@@ -91,8 +182,8 @@ mod tests {
     #[test]
     fn pessimistic_errors_increase_with_z_and_errors() {
         let counts = ClassCounts::from_vec(vec![8.0, 2.0]);
-        let optimistic = pessimistic_errors(&counts, 0.0);
-        let pessimistic = pessimistic_errors(&counts, 1.0);
+        let optimistic = pessimistic_errors(counts.as_view(), 0.0);
+        let pessimistic = pessimistic_errors(counts.as_view(), 1.0);
         assert!(
             (optimistic - 2.0).abs() < 1e-9,
             "z = 0 gives the raw error count"
@@ -102,10 +193,10 @@ mod tests {
         // upper confidence bound on an error rate observed as zero), which
         // is what penalises gratuitous extra leaves.
         let pure = ClassCounts::from_vec(vec![5.0, 0.0]);
-        let pure_err = pessimistic_errors(&pure, 1.0);
+        let pure_err = pessimistic_errors(pure.as_view(), 1.0);
         assert!(pure_err > 0.0 && pure_err < 1.0);
-        assert_eq!(pessimistic_errors(&pure, 0.0), 0.0);
-        assert_eq!(pessimistic_errors(&ClassCounts::new(2), 1.0), 0.0);
+        assert_eq!(pessimistic_errors(pure.as_view(), 0.0), 0.0);
+        assert_eq!(pessimistic_errors(ClassCounts::new(2).as_view(), 1.0), 0.0);
     }
 
     #[test]
@@ -125,7 +216,8 @@ mod tests {
         );
         let removed = prune(&mut tree, 0.6745);
         assert_eq!(removed, 2);
-        assert!(tree.root().is_leaf());
+        assert!(tree.root_node().is_leaf());
+        tree.flat().validate().unwrap();
     }
 
     #[test]
@@ -172,7 +264,8 @@ mod tests {
         let removed = prune(&mut tree, 0.6745);
         assert_eq!(removed, 2);
         assert_eq!(tree.size(), 3);
-        assert!(!tree.root().is_leaf());
+        assert!(!tree.root_node().is_leaf());
+        tree.flat().validate().unwrap();
     }
 
     #[test]
@@ -188,6 +281,39 @@ mod tests {
         );
         let removed = prune(&mut tree, 0.6745);
         assert_eq!(removed, 2);
-        assert!(tree.root().is_leaf());
+        assert!(tree.root_node().is_leaf());
+    }
+
+    #[test]
+    fn arena_pruning_is_equivalent_to_the_boxed_reference() {
+        // Train an unpruned tree on realistic uncertain data, then prune
+        // it along both paths: the arena pass and the boxed recursion must
+        // remove the same number of nodes and produce identical trees, at
+        // several confidence levels.
+        use crate::config::{Algorithm, UdtConfig};
+        use crate::TreeBuilder;
+        use udt_data::synthetic::SyntheticSpec;
+        use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+        let mut spec = SyntheticSpec::small(7);
+        spec.tuples = 80;
+        spec.attributes = 3;
+        let data = inject_uncertainty(
+            &spec.generate().unwrap(),
+            &UncertaintySpec::baseline().with_s(10),
+        )
+        .unwrap();
+        let unpruned = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs).with_postprune(false))
+            .build(&data)
+            .unwrap()
+            .tree;
+        for z in [0.0, 0.6745, 1.5] {
+            let mut arena_tree = unpruned.clone();
+            let arena_removed = prune(&mut arena_tree, z);
+            let mut boxed_root = unpruned.root_node();
+            let boxed_removed = prune_boxed(&mut boxed_root, z);
+            assert_eq!(arena_removed, boxed_removed, "z = {z}");
+            assert_eq!(arena_tree.root_node(), boxed_root, "z = {z}");
+            arena_tree.flat().validate().unwrap();
+        }
     }
 }

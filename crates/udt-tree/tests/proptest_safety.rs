@@ -177,12 +177,12 @@ fn classification_yields_probability_distributions() {
                 .build(&ds)
                 .expect("build succeeds on valid data");
             for t in ds.tuples() {
-                let dist = report.tree.predict_distribution(t);
+                let dist = report.tree.predict_distribution(t).unwrap();
                 assert_eq!(dist.len(), ds.n_classes());
                 let total: f64 = dist.iter().sum();
                 assert!((total - 1.0).abs() < 1e-6);
                 assert!(dist.iter().all(|&p| (0.0..=1.0 + 1e-9).contains(&p)));
-                assert!(report.tree.predict(t) < ds.n_classes());
+                assert!(report.tree.predict(t).unwrap() < ds.n_classes());
             }
         }
     }

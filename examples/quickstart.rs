@@ -11,7 +11,7 @@
 
 use udt_data::toy;
 use udt_eval::accuracy::evaluate;
-use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+use udt_tree::{classify_batch, Algorithm, BatchScratch, TreeBuilder, UdtConfig};
 
 fn main() {
     // 1. The Table 1 training data: one uncertain numerical attribute, two
@@ -65,13 +65,32 @@ fn main() {
     //    probability distribution over the class labels, obtained by
     //    fractionally propagating the tuple's pdf down the tree.
     let test = toy::fig1_test_tuple().expect("example tuple is valid");
-    let dist = udt.tree.predict_distribution(&test);
+    let dist = udt
+        .tree
+        .predict_distribution(&test)
+        .expect("tree has classes");
     println!("\nclassifying the Fig. 1 test tuple (pdf over [-2.5, 2]):");
     for (c, p) in dist.iter().enumerate() {
         println!("  P({}) = {:.3}", data.class_names()[c], p);
     }
     println!(
         "predicted class: {}",
-        data.class_names()[udt.tree.predict(&test)]
+        data.class_names()[udt.tree.predict(&test).expect("tree has classes")]
     );
+
+    // 5. Serving: classify whole batches through the arena engine. One
+    //    BatchScratch is reused across every call, so steady-state
+    //    classification does not allocate per tuple — this is the path a
+    //    server handling classification traffic should use.
+    let mut scratch = BatchScratch::new();
+    let batch = classify_batch(&udt.tree, data.tuples(), &mut scratch).expect("tree has classes");
+    let n_classes = udt.tree.n_classes();
+    println!(
+        "\nbatch classification of all {} training tuples:",
+        data.len()
+    );
+    for (i, dist) in batch.chunks(n_classes).enumerate() {
+        let probs: Vec<String> = dist.iter().map(|p| format!("{p:.3}")).collect();
+        println!("  tuple {}: [{}]", i + 1, probs.join(", "));
+    }
 }

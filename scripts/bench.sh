@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Runs the split-search benchmarks and writes the measurement trajectory
-# to BENCH_split.json at the repository root.
+# Runs the split-search and classification benchmarks and writes the
+# measurement trajectories to BENCH_split.json and BENCH_classify.json at
+# the repository root.
 #
 # The criterion shim (shims/criterion) emits one JSON record per
 # benchmark when CRITERION_JSON names a file; this script points it at
-# BENCH_split.json and prints the naive-vs-columnar speedups afterwards.
+# the respective output file and prints the headline speedups afterwards:
+# naive-vs-columnar for split search, single-vs-batch for classification.
 #
 # Usage: scripts/bench.sh [extra cargo bench args...]
 
@@ -12,14 +14,16 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-# Absolute path: cargo runs bench binaries with the package directory as
+# Absolute paths: cargo runs bench binaries with the package directory as
 # their working directory.
-out="$(pwd)/BENCH_split.json"
-CRITERION_JSON="$out" cargo bench -p udt-bench --bench split_algorithms "$@"
+split_out="$(pwd)/BENCH_split.json"
+classify_out="$(pwd)/BENCH_classify.json"
+CRITERION_JSON="$split_out" cargo bench -p udt-bench --bench split_algorithms "$@"
+CRITERION_JSON="$classify_out" cargo bench -p udt-bench --bench classify_throughput "$@"
 
 echo
-echo "== $out =="
-python3 - "$out" <<'EOF'
+echo "== $split_out =="
+python3 - "$split_out" <<'EOF'
 import json
 import sys
 
@@ -36,4 +40,23 @@ speedup("node_search_step", "es_naive_rebuild", "es_columnar")
 speedup("node_search_step", "exhaustive_naive_rebuild", "exhaustive_columnar")
 speedup("columnar_vs_naive", "udt_es_naive_rebuild", "udt_es_columnar")
 speedup("columnar_vs_naive", "udt_exhaustive_naive_rebuild", "udt_exhaustive_columnar")
+EOF
+
+echo
+echo "== $classify_out =="
+python3 - "$classify_out" <<'EOF'
+import json
+import sys
+
+results = json.load(open(sys.argv[1]))
+by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
+
+def speedup(group, single, batch):
+    a = by_key.get((group, single))
+    b = by_key.get((group, batch))
+    if a and b:
+        print(f"{group}: {single} / {batch} = {a / b:.2f}x batch throughput")
+
+speedup("classify_throughput", "single_uncertain", "batch_uncertain")
+speedup("classify_throughput", "single_point", "batch_point")
 EOF

@@ -61,7 +61,8 @@ fn every_leaf_distribution_is_normalised() {
             Node::CategoricalSplit { children, .. } => children.iter().for_each(check),
         }
     }
-    check(report.tree.root());
+    let root = report.tree.root_node();
+    check(&root);
 }
 
 #[test]
@@ -69,7 +70,7 @@ fn fig1_test_tuple_classification_is_a_distribution() {
     let data = toy::table1_dataset().unwrap();
     let tree = build(Algorithm::UdtEs).tree;
     let test = toy::fig1_test_tuple().unwrap();
-    let dist = tree.predict_distribution(&test);
+    let dist = tree.predict_distribution(&test).expect("tree has classes");
     assert_eq!(dist.len(), data.n_classes());
     assert!((dist.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     assert!(dist.iter().all(|&p| (0.0..=1.0).contains(&p)));
