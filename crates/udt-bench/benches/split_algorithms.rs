@@ -117,7 +117,9 @@ fn bench_node_search_step(c: &mut Criterion) {
     let numerical: Vec<usize> = data.schema().numerical_indices();
     let n_classes = data.n_classes();
     let root = columns::build_root(&tuples, &numerical);
+    let root_state = columns::root_state(&tuples, &root, udt_tree::PartitionMode::View);
     let mut scratch = Scratch::new(tuples.len());
+    scratch.load_weights(&root_state);
 
     let mut group = c.benchmark_group("node_search_step");
     group
@@ -135,18 +137,13 @@ fn bench_node_search_step(c: &mut Criterion) {
     });
     group.bench_function("es_columnar", |b| {
         b.iter(|| {
-            let events: Vec<(usize, udt_tree::events::AttributeEvents)> = root
+            let events: Vec<(usize, udt_tree::events::AttributeEvents)> = root_state
                 .columns
                 .iter()
-                .filter_map(|col| {
-                    columns::events_from_column(
-                        col,
-                        &root.weights,
-                        &labels,
-                        n_classes,
-                        &mut scratch,
-                    )
-                    .map(|e| (col.attribute, e))
+                .zip(&root.columns)
+                .filter_map(|(col, root_col)| {
+                    columns::events_from_column(col, root_col, &labels, n_classes, &mut scratch)
+                        .map(|e| (root_col.attribute, e))
                 })
                 .collect();
             let mut stats = SearchStats::default();
@@ -164,18 +161,13 @@ fn bench_node_search_step(c: &mut Criterion) {
     });
     group.bench_function("exhaustive_columnar", |b| {
         b.iter(|| {
-            let events: Vec<(usize, udt_tree::events::AttributeEvents)> = root
+            let events: Vec<(usize, udt_tree::events::AttributeEvents)> = root_state
                 .columns
                 .iter()
-                .filter_map(|col| {
-                    columns::events_from_column(
-                        col,
-                        &root.weights,
-                        &labels,
-                        n_classes,
-                        &mut scratch,
-                    )
-                    .map(|e| (col.attribute, e))
+                .zip(&root.columns)
+                .filter_map(|(col, root_col)| {
+                    columns::events_from_column(col, root_col, &labels, n_classes, &mut scratch)
+                        .map(|e| (root_col.attribute, e))
                 })
                 .collect();
             let mut stats = SearchStats::default();

@@ -5,7 +5,7 @@ use std::path::Path;
 
 use udt_eval::experiments::settings::Settings;
 use udt_eval::experiments::sweeps;
-use udt_eval::report::write_json;
+use udt_eval::report::{write_csv, write_json};
 
 fn main() {
     let settings = Settings::from_env();
@@ -18,5 +18,13 @@ fn main() {
     match write_json(Path::new("results/fig8_effect_s.json"), &rows) {
         Ok(_) => println!("(results written to results/fig8_effect_s.json)"),
         Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+    match write_csv(
+        Path::new("results/fig8_effect_s.csv"),
+        &sweeps::CSV_HEADER,
+        &sweeps::csv_rows(&rows),
+    ) {
+        Ok(_) => println!("(engine-cost columns written to results/fig8_effect_s.csv)"),
+        Err(e) => eprintln!("warning: could not write CSV results: {e}"),
     }
 }

@@ -5,7 +5,7 @@ use std::path::Path;
 
 use udt_eval::experiments::settings::Settings;
 use udt_eval::experiments::sweeps;
-use udt_eval::report::write_json;
+use udt_eval::report::{write_csv, write_json};
 
 fn main() {
     let settings = Settings::from_env();
@@ -21,5 +21,13 @@ fn main() {
     match write_json(Path::new("results/fig9_effect_w.json"), &rows) {
         Ok(_) => println!("(results written to results/fig9_effect_w.json)"),
         Err(e) => eprintln!("warning: could not write JSON results: {e}"),
+    }
+    match write_csv(
+        Path::new("results/fig9_effect_w.csv"),
+        &sweeps::CSV_HEADER,
+        &sweeps::csv_rows(&rows),
+    ) {
+        Ok(_) => println!("(engine-cost columns written to results/fig9_effect_w.csv)"),
+        Err(e) => eprintln!("warning: could not write CSV results: {e}"),
     }
 }

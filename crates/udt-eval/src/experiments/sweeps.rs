@@ -22,17 +22,24 @@ pub const S_VALUES: [usize; 4] = [50, 100, 150, 200];
 /// The `w` values swept by Fig. 9.
 pub const W_VALUES: [f64; 5] = [0.025, 0.05, 0.10, 0.20, 0.30];
 
-/// One sweep measurement.
+/// One sweep measurement. Alongside the paper's quantities (time,
+/// entropy-like calculations) every row records the engine's own cost —
+/// build wall-clock and partition allocation traffic — so the `s`/`w`
+/// sweeps can chart engine cost, not just accuracy.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepRow {
     /// Data set name.
     pub dataset: String,
     /// The swept parameter's value (`s` or `w`).
     pub value: f64,
-    /// UDT-ES construction time in seconds.
+    /// UDT-ES construction time in seconds (build wall-clock).
     pub seconds: f64,
     /// Entropy-like calculations performed.
     pub entropy_like_calculations: u64,
+    /// Total bytes the partition layer allocated during the build.
+    pub partition_bytes: u64,
+    /// Largest single partition call's allocation, in bytes.
+    pub partition_peak_bytes: u64,
 }
 
 fn injectable_specs(settings: &Settings) -> Vec<udt_data::repository::DatasetSpec> {
@@ -47,7 +54,13 @@ fn injectable_specs(settings: &Settings) -> Vec<udt_data::repository::DatasetSpe
         .collect()
 }
 
-fn measure(point_data: &udt_data::Dataset, w: f64, s: usize) -> udt_data::Result<(f64, u64)> {
+fn measure(
+    point_data: &udt_data::Dataset,
+    dataset: &str,
+    value: f64,
+    w: f64,
+    s: usize,
+) -> udt_data::Result<SweepRow> {
     let data = inject_uncertainty(
         point_data,
         &UncertaintySpec {
@@ -59,10 +72,14 @@ fn measure(point_data: &udt_data::Dataset, w: f64, s: usize) -> udt_data::Result
     let report = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs))
         .build(&data)
         .expect("non-empty data set");
-    Ok((
-        report.elapsed.as_secs_f64(),
-        report.stats.entropy_like_calculations(),
-    ))
+    Ok(SweepRow {
+        dataset: dataset.to_string(),
+        value,
+        seconds: report.elapsed.as_secs_f64(),
+        entropy_like_calculations: report.stats.entropy_like_calculations(),
+        partition_bytes: report.stats.partition_bytes,
+        partition_peak_bytes: report.stats.partition_peak_bytes,
+    })
 }
 
 /// Fig. 8: sweep `s` with `w` fixed at the 10 % baseline. `s_values`
@@ -77,13 +94,7 @@ pub fn sweep_s(settings: &Settings, s_values: &[usize]) -> udt_data::Result<Vec<
     for spec in injectable_specs(settings) {
         let point_data = spec.generate(settings.scale)?;
         for &s in &s_values {
-            let (seconds, calcs) = measure(&point_data, 0.10, s)?;
-            rows.push(SweepRow {
-                dataset: spec.name.to_string(),
-                value: s as f64,
-                seconds,
-                entropy_like_calculations: calcs,
-            });
+            rows.push(measure(&point_data, spec.name, s as f64, 0.10, s)?);
         }
     }
     Ok(rows)
@@ -101,39 +112,74 @@ pub fn sweep_w(settings: &Settings, w_values: &[f64]) -> udt_data::Result<Vec<Sw
     for spec in injectable_specs(settings) {
         let point_data = spec.generate(settings.scale)?;
         for &w in &w_values {
-            let (seconds, calcs) = measure(&point_data, w, settings.s)?;
-            rows.push(SweepRow {
-                dataset: spec.name.to_string(),
-                value: w,
-                seconds,
-                entropy_like_calculations: calcs,
-            });
+            rows.push(measure(&point_data, spec.name, w, w, settings.s)?);
         }
     }
     Ok(rows)
+}
+
+fn format_value(parameter: &str, value: f64) -> String {
+    if parameter == "s" {
+        format!("{}", value as usize)
+    } else {
+        format!("{:.1}%", value * 100.0)
+    }
 }
 
 /// Renders sweep rows; `parameter` is "s" or "w".
 pub fn render(title: &str, parameter: &str, rows: &[SweepRow]) -> String {
     render_table(
         title,
-        &["data set", parameter, "UDT-ES time", "entropy calcs"],
+        &[
+            "data set",
+            parameter,
+            "UDT-ES time",
+            "entropy calcs",
+            "partition bytes",
+        ],
         &rows
             .iter()
             .map(|r| {
                 vec![
                     r.dataset.clone(),
-                    if parameter == "s" {
-                        format!("{}", r.value as usize)
-                    } else {
-                        format!("{:.1}%", r.value * 100.0)
-                    },
+                    format_value(parameter, r.value),
                     secs(r.seconds),
                     r.entropy_like_calculations.to_string(),
+                    r.partition_bytes.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),
     )
+}
+
+/// The CSV header matching [`csv_rows`].
+pub const CSV_HEADER: [&str; 6] = [
+    "dataset",
+    "value",
+    "build_seconds",
+    "entropy_like_calculations",
+    "partition_bytes",
+    "partition_peak_bytes",
+];
+
+/// Flattens sweep rows into CSV cells (pair with [`CSV_HEADER`] and
+/// [`crate::report::write_csv`]). The swept value is emitted as a raw
+/// number (`s` as a count, `w` as a fraction) so charting tools can use
+/// the column directly; the `%`-style pretty-printing is reserved for
+/// the text table.
+pub fn csv_rows(rows: &[SweepRow]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                format!("{}", r.value),
+                format!("{:.6}", r.seconds),
+                r.entropy_like_calculations.to_string(),
+                r.partition_bytes.to_string(),
+                r.partition_peak_bytes.to_string(),
+            ]
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -165,6 +211,29 @@ mod tests {
         let rows = sweep_w(&tiny_settings(), &[0.05, 0.2]).unwrap();
         assert_eq!(rows.len(), 2);
         assert!(rows.iter().all(|r| r.entropy_like_calculations > 0));
+        // Engine-cost columns are populated.
+        assert!(rows.iter().all(|r| r.partition_bytes > 0));
+        assert!(rows
+            .iter()
+            .all(|r| r.partition_peak_bytes <= r.partition_bytes));
+    }
+
+    #[test]
+    fn csv_rows_match_the_header_and_stay_numeric() {
+        let rows = sweep_s(&tiny_settings(), &[10]).unwrap();
+        let cells = csv_rows(&rows);
+        assert_eq!(cells.len(), rows.len());
+        assert!(cells.iter().all(|r| r.len() == CSV_HEADER.len()));
+        // Every cell after the dataset name parses as a number, so the
+        // CSV charts without string munging.
+        for row in &cells {
+            for cell in &row[1..] {
+                assert!(cell.parse::<f64>().is_ok(), "non-numeric cell {cell:?}");
+            }
+        }
+        let csv = crate::report::render_csv(&CSV_HEADER, &cells);
+        assert!(csv.starts_with("dataset,value,build_seconds"));
+        assert!(csv.lines().count() == rows.len() + 1);
     }
 
     #[test]

@@ -11,9 +11,11 @@
 //! configured.
 //!
 //! The hot path is columnar: every numerical attribute's events are
-//! sorted **once at the root** (see [`crate::columns`]) and recursion
-//! only partitions the sorted columns — stable, linear, no re-sorting —
-//! while candidate scoring runs over borrowed cumulative rows with zero
+//! sorted **once at the root** (see [`crate::columns`]) into immutable
+//! root columns, and recursion only narrows event-id views over them —
+//! stable, linear, no re-sorting, and (in the default
+//! [`crate::config::PartitionMode::View`]) no mass copying — while
+//! candidate scoring runs over borrowed cumulative rows with zero
 //! per-candidate allocations (see [`crate::events`]).
 //!
 //! ## Parallel subtree construction
@@ -23,10 +25,11 @@
 //! top of the tree sequentially and **defers** every subtree whose root
 //! lies at `parallel_cutoff_depth` or deeper (and is large enough per
 //! `parallel_min_fork_tuples`) onto a work queue; the deferred
-//! [`NodeTuples`] states are independent and `Send`, so under the
-//! `parallel` feature a scoped-thread worker pool drains the queue, each
-//! worker building its subtree into a private arena fragment with its own
-//! [`Scratch`]. Fragments are grafted back in deterministic (queue) order
+//! [`NodeTuples`] states are independent and `Send` (in view mode they
+//! are just event-id lists and scale factors over the shared immutable
+//! root columns), so under the `parallel` feature a scoped-thread worker
+//! pool drains the queue, each worker building its subtree into a
+//! private arena fragment with its own [`Scratch`]. Fragments are grafted back in deterministic (queue) order
 //! and the arena is renumbered to canonical preorder, which makes the
 //! result **bit-for-bit identical** to a sequential build — the
 //! regression tests assert full `FlatTree` equality. Without the feature
@@ -40,7 +43,7 @@ use serde::{Deserialize, Serialize};
 use udt_data::{AttributeKind, Dataset};
 
 use crate::categorical;
-use crate::columns::{self, NodeTuples, Scratch};
+use crate::columns::{self, NodeTuples, RootColumns, Scratch};
 use crate::config::{Algorithm, UdtConfig};
 use crate::counts::ClassCounts;
 use crate::events::AttributeEvents;
@@ -80,6 +83,10 @@ pub struct BuildSummary {
     pub entropy_like_calculations: u64,
     /// Wall-clock construction time in seconds.
     pub seconds: f64,
+    /// Total bytes allocated for child node state while partitioning.
+    pub partition_bytes: u64,
+    /// Largest single partition call's allocation, in bytes.
+    pub partition_peak_bytes: u64,
 }
 
 impl BuildReport {
@@ -91,6 +98,8 @@ impl BuildReport {
             depth: self.tree.depth(),
             entropy_like_calculations: self.stats.entropy_like_calculations(),
             seconds: self.elapsed.as_secs_f64(),
+            partition_bytes: self.stats.partition_bytes,
+            partition_peak_bytes: self.stats.partition_peak_bytes,
         }
     }
 }
@@ -154,9 +163,15 @@ impl TreeBuilder {
                 (j, cardinality)
             })
             .collect();
+        // The single O(E log E) presorting pass; the root columns are
+        // immutable from here on and recursion below never sorts again —
+        // child nodes reference them through event-id views (or copy
+        // them, in the owned A/B mode).
+        let root_columns = columns::build_root(&tuples, &numerical);
         let ctx = BuildContext {
             tuples: &tuples,
             labels: &labels,
+            root: &root_columns,
             n_classes: training.n_classes(),
             measure: self.config.measure,
             search: search.as_ref(),
@@ -168,9 +183,9 @@ impl TreeBuilder {
             fork_depth: self.config.parallel_cutoff_depth,
             fork_min_tuples: self.config.parallel_min_fork_tuples,
         };
-        // The single O(E log E) presorting pass; recursion below never
-        // sorts again.
-        let root_state = columns::build_root(&tuples, &numerical);
+        let root_state = columns::root_state(&tuples, &root_columns, self.config.partition_mode);
+        stats.partition_bytes += root_state.heap_bytes();
+        stats.partition_peak_bytes = stats.partition_peak_bytes.max(root_state.heap_bytes());
         let mut scratch = Scratch::new(tuples.len());
         let mut flat = FlatTree::new(ctx.n_classes);
         if self.config.parallel_subtrees {
@@ -342,6 +357,9 @@ struct BuildContext<'a> {
     tuples: &'a [FractionalTuple],
     /// Per-tuple class labels.
     labels: &'a [u32],
+    /// The immutable presorted root event columns, shared by the whole
+    /// recursion (and by every subtree worker — no mass cloning).
+    root: &'a RootColumns,
     n_classes: usize,
     measure: Measure,
     search: &'a dyn SplitSearch,
@@ -382,8 +400,8 @@ impl BuildContext<'_> {
     /// Class counts of the node's alive tuples.
     fn node_counts(&self, state: &NodeTuples) -> ClassCounts {
         let mut counts = ClassCounts::new(self.n_classes);
-        for &t in &state.alive {
-            counts.add(self.labels[t as usize] as usize, state.weights[t as usize]);
+        for (&t, &w) in state.alive.iter().zip(&state.weights) {
+            counts.add(self.labels[t as usize] as usize, w);
         }
         counts
     }
@@ -415,7 +433,12 @@ impl BuildContext<'_> {
             return arena.push_leaf(&counts);
         }
 
+        // The dense per-tuple weight lookup for this node: loaded once,
+        // used by scoring and partitioning, and released before recursing
+        // (children load their own).
+        scratch.load_weights(&state);
         let Some(best) = self.best_split(&state, used_categorical, stats, scratch) else {
+            scratch.unload_weights(&state);
             return arena.push_leaf(&counts);
         };
 
@@ -430,6 +453,7 @@ impl BuildContext<'_> {
             Measure::GainRatio => -best.score() >= self.min_gain,
         };
         if !worthwhile {
+            scratch.unload_weights(&state);
             return arena.push_leaf(&counts);
         }
 
@@ -442,7 +466,9 @@ impl BuildContext<'_> {
                     .iter()
                     .position(|&j| j == attribute)
                     .expect("numeric split attribute has a column");
-                let (left, right) = columns::partition_numeric(&state, slot, split, scratch);
+                let (left, right) =
+                    columns::partition_numeric(self.root, &state, slot, split, scratch, stats);
+                scratch.unload_weights(&state);
                 if left.alive.is_empty() || right.alive.is_empty() {
                     return arena.push_leaf(&counts);
                 }
@@ -468,8 +494,16 @@ impl BuildContext<'_> {
                 cardinality,
                 ..
             } => {
-                let buckets =
-                    columns::partition_categorical(&state, self.tuples, attribute, cardinality);
+                let buckets = columns::partition_categorical(
+                    self.root,
+                    &state,
+                    self.tuples,
+                    attribute,
+                    cardinality,
+                    scratch,
+                    stats,
+                );
+                scratch.unload_weights(&state);
                 drop(state);
                 let id = arena.push_categorical(attribute, cardinality, &counts);
                 let mut used = used_categorical.clone();
@@ -554,15 +588,10 @@ impl BuildContext<'_> {
         let events: Vec<(usize, AttributeEvents)> = state
             .columns
             .iter()
-            .filter_map(|col| {
-                columns::events_from_column(
-                    col,
-                    &state.weights,
-                    self.labels,
-                    self.n_classes,
-                    scratch,
-                )
-                .map(|e| (col.attribute, e))
+            .zip(&self.root.columns)
+            .filter_map(|(col, root_col)| {
+                columns::events_from_column(col, root_col, self.labels, self.n_classes, scratch)
+                    .map(|e| (root_col.attribute, e))
             })
             .collect();
         let numeric = self

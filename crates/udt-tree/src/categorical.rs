@@ -17,9 +17,10 @@ use crate::fractional::FractionalTuple;
 use crate::measure::Measure;
 
 /// The per-category class counts over the columnar node representation:
-/// `alive` lists the tuple indices present at the node and `weights` their
-/// current fractional weights. Avoids materialising per-node tuple
-/// vectors.
+/// `alive` lists the tuple indices present at the node and `weights`
+/// (parallel to `alive`) their current fractional weights. Avoids
+/// materialising per-node tuple vectors — and, being sparse, never
+/// touches a root-sized array.
 pub fn bucket_counts_weighted(
     tuples: &[FractionalTuple],
     alive: &[u32],
@@ -29,12 +30,11 @@ pub fn bucket_counts_weighted(
     n_classes: usize,
 ) -> Vec<ClassCounts> {
     let mut buckets = vec![ClassCounts::new(n_classes); cardinality];
-    for &t in alive {
+    for (&t, &weight) in alive.iter().zip(weights) {
         let tuple = &tuples[t as usize];
         let Some(dist) = tuple.values[attribute].as_categorical() else {
             continue;
         };
-        let weight = weights[t as usize];
         for v in 0..cardinality.min(dist.cardinality()) {
             let w = weight * dist.prob(v);
             if w > 0.0 {
@@ -46,8 +46,9 @@ pub fn bucket_counts_weighted(
 }
 
 /// Evaluates the multi-way dispersion score (lower is better) of splitting
-/// on categorical attribute `attribute`. Returns `None` when the attribute
-/// cannot discriminate (fewer than two buckets receive mass).
+/// on categorical attribute `attribute`, over the node's sparse
+/// `alive`/`weights` pairs. Returns `None` when the attribute cannot
+/// discriminate (fewer than two buckets receive mass).
 pub fn evaluate_weighted(
     tuples: &[FractionalTuple],
     alive: &[u32],

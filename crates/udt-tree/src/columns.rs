@@ -1,38 +1,58 @@
-//! Root-presorted event columns for the split-search engine.
+//! Root-presorted event columns and zero-copy view partitioning.
 //!
 //! The classic SPRINT/C4.5 presorting idea applied to UDT's fractional
 //! tuples: every numerical attribute's pdf sample points are flattened
 //! into one sorted column **once at the root** (`O(n log n)` per
-//! attribute), and tree recursion only *partitions* those columns — a
-//! stable linear filter that preserves sort order — instead of rebuilding
-//! and re-sorting per node.
+//! attribute, [`build_root`]), and those [`RootColumns`] are **immutable**
+//! for the rest of the build. Tree recursion never rewrites them; a node
+//! is described by
 //!
-//! The fractional-tuple semantics of §3.2/§4.2 map onto columns like
-//! this: a node is described by a dense per-tuple weight vector plus, per
-//! attribute, the list of events still inside the node's domain for that
-//! attribute. Splitting on attribute `a` at `z`
+//! * a sparse list of alive tuples with their fractional weights
+//!   ([`NodeTuples::alive`] / [`NodeTuples::weights`]), and
+//! * per attribute, a [`ColumnState`]: the surviving events plus a sparse
+//!   per-tuple *pdf scale factor* — the reciprocal of the kept pdf
+//!   fraction accumulated over every ancestor split on that attribute.
 //!
-//! * sends each event of column `a` to the side its position lies on,
-//!   rescaling its mass by the tuple's kept fraction (the pdf
-//!   renormalisation of [`udt_prob::SampledPdf::split_at`], done in
-//!   place);
-//! * copies each event of every other column to every side where its
-//!   tuple retains weight (the tuple is fractionally present on both
-//!   sides, pdf unchanged);
-//! * multiplies tuple weights by their side fractions `p` / `1 − p`.
+//! An event's current mass is reconstructed on the fly as
+//! `root_mass[e] * scale[tuple_of[e]]` (the renormalisation of
+//! [`udt_prob::SampledPdf::split_at`], deferred to consumption time).
+//! Because both partition modes evaluate exactly this product in exactly
+//! this order, a [`PartitionMode::View`] build is **bit-for-bit
+//! identical** to a [`PartitionMode::Owned`] build:
 //!
-//! Per-node work is `O(events at the node)` for the column walks —
-//! no sorting, no per-candidate allocation — plus `O(root tuple count)`
-//! for the dense child weight vectors each split materialises (the
-//! per-*tuple* scratch arrays themselves live in a [`Scratch`] reused
-//! across the whole recursion). Replacing the dense weight vectors with
-//! a sparse representation for deep trees is tracked in ROADMAP.md.
+//! * [`PartitionMode::View`] — a child's column is just the list of
+//!   surviving root event ids (`4` bytes per event); positions, owner
+//!   tuples and masses are read through the shared root columns. This is
+//!   the production default: a depth-`d` build moves `O(d)` *event ids*
+//!   per root event instead of `O(d)` copies of the full
+//!   `(x, tuple, mass)` triple, and parallel subtree workers share the
+//!   immutable root instead of cloning mass vectors.
+//! * [`PartitionMode::Owned`] — a child's column owns copied
+//!   `(x, tuple, root_mass)` arrays (`20` bytes per event), the
+//!   pre-view memory-traffic profile kept for A/B regression and the
+//!   `partition` bench.
+//!
+//! Splitting on attribute `a` at `z` sends each event of column `a` to
+//! the side its position lies on, divides the per-tuple scale by the
+//! tuple's kept fraction `p` / `1 − p`, keeps every other column's events
+//! wherever the tuple retains weight (scales unchanged), and multiplies
+//! tuple weights by their side fractions.
+//!
+//! Per-node work is `O(events at the node)` for the column walks and
+//! `O(alive tuples)` for the weight bookkeeping — no sorting, no dense
+//! root-sized child vectors: the per-*tuple* working arrays live in a
+//! [`Scratch`] reused across the whole recursion, and child weight
+//! vectors are sparse `(tuple, weight)` pairs over the node's live
+//! tuples, so deep narrow nodes no longer pay root-sized zeroing costs.
 
+use crate::config::PartitionMode;
 use crate::counts::WEIGHT_EPSILON;
 use crate::events::AttributeEvents;
 use crate::fractional::FractionalTuple;
+use crate::split::SearchStats;
 
-/// One attribute's event column: parallel arrays sorted by position.
+/// One attribute's root event column: parallel arrays sorted by position,
+/// built once and immutable thereafter.
 #[derive(Debug, Clone)]
 pub struct AttrColumn {
     /// The attribute index this column belongs to.
@@ -41,8 +61,9 @@ pub struct AttrColumn {
     pub xs: Vec<f64>,
     /// Event owner tuples (indices into the root tuple array).
     pub tuple: Vec<u32>,
-    /// Event pdf masses, renormalised to the column's current domain
-    /// restriction (they sum to ≈1 per surviving tuple).
+    /// Event pdf masses as sampled at the root (they sum to ≈1 per
+    /// tuple). Never rescaled — domain restrictions are carried by the
+    /// per-node [`ColumnState::scales`] instead.
     pub mass: Vec<f64>,
 }
 
@@ -58,28 +79,196 @@ impl AttrColumn {
     }
 }
 
-/// The per-node tuple state threaded through recursion.
+/// The immutable per-attribute root columns shared by every node of a
+/// build (and, under the `parallel` feature, by every subtree worker).
+#[derive(Debug, Clone)]
+pub struct RootColumns {
+    /// One column per numerical attribute, in the builder's numerical
+    /// attribute order.
+    pub columns: Vec<AttrColumn>,
+}
+
+/// A node's per-attribute event set: either borrowed from the root by id
+/// (view mode) or materialised copies (owned mode).
+#[derive(Debug, Clone)]
+pub enum ColumnData {
+    /// Materialised copies of the surviving events' root values
+    /// ([`PartitionMode::Owned`]).
+    Owned {
+        /// Event positions, ascending.
+        xs: Vec<f64>,
+        /// Event owner tuples.
+        tuple: Vec<u32>,
+        /// Root pdf masses (unscaled — see [`ColumnState::scales`]).
+        mass: Vec<f64>,
+    },
+    /// Surviving root event ids, ascending ([`PartitionMode::View`]).
+    View {
+        /// Indices into the root column's arrays.
+        events: Vec<u32>,
+    },
+}
+
+impl ColumnData {
+    /// Number of surviving events.
+    pub fn len(&self) -> usize {
+        match self {
+            ColumnData::Owned { xs, .. } => xs.len(),
+            ColumnData::View { events } => events.len(),
+        }
+    }
+
+    /// Whether no events survive.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Visits every surviving event in ascending position order as
+    /// `(position, owner tuple, root mass)`. The mass is the **root**
+    /// mass; callers apply the per-tuple scale themselves.
+    #[inline]
+    pub fn for_each_event(&self, root: &AttrColumn, mut f: impl FnMut(f64, u32, f64)) {
+        match self {
+            ColumnData::Owned { xs, tuple, mass } => {
+                for e in 0..xs.len() {
+                    f(xs[e], tuple[e], mass[e]);
+                }
+            }
+            ColumnData::View { events } => {
+                for &e in events {
+                    let e = e as usize;
+                    f(root.xs[e], root.tuple[e], root.mass[e]);
+                }
+            }
+        }
+    }
+
+    /// Heap bytes backing this column data (capacities, i.e. what the
+    /// allocator actually handed out).
+    pub fn heap_bytes(&self) -> u64 {
+        match self {
+            ColumnData::Owned { xs, tuple, mass } => {
+                (xs.capacity() * std::mem::size_of::<f64>()
+                    + tuple.capacity() * std::mem::size_of::<u32>()
+                    + mass.capacity() * std::mem::size_of::<f64>()) as u64
+            }
+            ColumnData::View { events } => (events.capacity() * std::mem::size_of::<u32>()) as u64,
+        }
+    }
+}
+
+/// One attribute's state at one node: the surviving events plus the
+/// sparse per-tuple pdf scale factors accumulated by ancestor splits on
+/// this attribute.
+#[derive(Debug, Clone)]
+pub struct ColumnState {
+    /// `(tuple, scale)` pairs, ascending by tuple; tuples absent from the
+    /// list have scale exactly 1. An event's current mass is
+    /// `root_mass * scale`.
+    pub scales: Vec<(u32, f64)>,
+    /// The surviving events.
+    pub data: ColumnData,
+}
+
+impl ColumnState {
+    /// The scale factor of tuple `t` (1 when the tuple's pdf has not been
+    /// restricted on this attribute). Binary search — intended for tests
+    /// and diagnostics; the hot paths load the scales into a dense
+    /// [`Scratch`] array instead.
+    pub fn scale_of(&self, t: u32) -> f64 {
+        match self.scales.binary_search_by_key(&t, |&(tuple, _)| tuple) {
+            Ok(i) => self.scales[i].1,
+            Err(_) => 1.0,
+        }
+    }
+
+    /// Visits every surviving event as `(position, owner tuple, scaled
+    /// mass)` — the node-local view of the column, for tests and
+    /// diagnostics.
+    pub fn for_each_scaled(&self, root: &AttrColumn, mut f: impl FnMut(f64, u32, f64)) {
+        self.data
+            .for_each_event(root, |x, t, m| f(x, t, m * self.scale_of(t)));
+    }
+
+    /// Heap bytes backing this column state.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.scales.capacity() * std::mem::size_of::<(u32, f64)>()) as u64 + self.data.heap_bytes()
+    }
+}
+
+/// The per-node tuple state threaded through recursion. All vectors are
+/// sparse over the node's live tuples — nothing here is sized to the
+/// root tuple count.
 #[derive(Debug, Clone)]
 pub struct NodeTuples {
-    /// Dense per-tuple weights (0 for tuples absent from this node).
-    pub weights: Vec<f64>,
     /// Tuples with non-negligible weight, ascending.
     pub alive: Vec<u32>,
-    /// One column per numerical attribute (same order as the builder's
-    /// numerical attribute list).
-    pub columns: Vec<AttrColumn>,
+    /// Fractional weights, parallel to `alive`.
+    pub weights: Vec<f64>,
+    /// One state per numerical attribute (same order as the builder's
+    /// numerical attribute list / the [`RootColumns`]).
+    pub columns: Vec<ColumnState>,
+}
+
+impl NodeTuples {
+    /// Heap bytes backing this node's partition state (capacities) — the
+    /// quantity the partition-traffic instrumentation accumulates. The
+    /// partition functions shrink every child vector to fit before
+    /// accounting, so this reflects surviving data, not the parent-sized
+    /// buffers the filters started from.
+    pub fn heap_bytes(&self) -> u64 {
+        (self.alive.capacity() * std::mem::size_of::<u32>()
+            + self.weights.capacity() * std::mem::size_of::<f64>()) as u64
+            + self
+                .columns
+                .iter()
+                .map(ColumnState::heap_bytes)
+                .sum::<u64>()
+    }
+
+    /// Shrinks every backing vector to its length. Child states are
+    /// built by filtering parent-capacity buffers; without this, a
+    /// skewed split would pin a parent-sized buffer for the whole
+    /// lifetime of a nearly-empty subtree, making worst-case resident
+    /// memory O(depth × root events) instead of O(Σ node sizes).
+    fn shrink_to_fit(&mut self) {
+        self.alive.shrink_to_fit();
+        self.weights.shrink_to_fit();
+        for column in &mut self.columns {
+            column.scales.shrink_to_fit();
+            match &mut column.data {
+                ColumnData::Owned { xs, tuple, mass } => {
+                    xs.shrink_to_fit();
+                    tuple.shrink_to_fit();
+                    mass.shrink_to_fit();
+                }
+                ColumnData::View { events } => events.shrink_to_fit(),
+            }
+        }
+    }
 }
 
 /// Reusable per-tuple scratch buffers (all sized to the root tuple
 /// count), so the recursion's *working* passes never allocate per-tuple
-/// arrays per node. (Child [`NodeTuples::weights`] vectors are the one
-/// per-node dense allocation; see the module docs.)
+/// arrays per node. Dense arrays obey a load/use/unload discipline: they
+/// are all-zero (or all-one for `scale`) between uses, and resets walk
+/// only the entries that were touched.
 #[derive(Debug)]
 pub struct Scratch {
-    /// Mass at or below the split point, per tuple.
+    /// Mass at or below the split point per tuple (pass 1), then the
+    /// tuple's left kept-fraction `p` (pass 2 onward).
     left_mass: Vec<f64>,
-    /// Mass above the split point, per tuple.
+    /// Mass above the split point per tuple, then the right fraction.
     right_mass: Vec<f64>,
+    /// Left-child tuple weights during one partition call.
+    left_w: Vec<f64>,
+    /// Right-child tuple weights during one partition call.
+    right_w: Vec<f64>,
+    /// The current node's tuple weights, loaded from the sparse
+    /// [`NodeTuples`] lists (0 for tuples absent from the node).
+    weight: Vec<f64>,
+    /// The current column's per-tuple pdf scale (default 1).
+    scale: Vec<f64>,
     /// Position index (into the structure being built) of the first
     /// surviving event per tuple in the current column.
     lo_idx: Vec<u32>,
@@ -99,6 +288,10 @@ impl Scratch {
         Scratch {
             left_mass: vec![0.0; n_tuples],
             right_mass: vec![0.0; n_tuples],
+            left_w: vec![0.0; n_tuples],
+            right_w: vec![0.0; n_tuples],
+            weight: vec![0.0; n_tuples],
+            scale: vec![1.0; n_tuples],
             lo_idx: vec![0; n_tuples],
             hi_idx: vec![0; n_tuples],
             seen: vec![false; n_tuples],
@@ -107,27 +300,58 @@ impl Scratch {
         }
     }
 
+    /// Loads the node's sparse weights into the dense `weight` array.
+    /// Callers must pair this with [`unload_weights`](Self::unload_weights)
+    /// on the same node before reusing the scratch for another node.
+    pub fn load_weights(&mut self, node: &NodeTuples) {
+        for (&t, &w) in node.alive.iter().zip(&node.weights) {
+            self.weight[t as usize] = w;
+        }
+    }
+
+    /// Clears the dense weights loaded from `node`.
+    pub fn unload_weights(&mut self, node: &NodeTuples) {
+        for &t in &node.alive {
+            self.weight[t as usize] = 0.0;
+        }
+    }
+
+    /// Loads a column's sparse scales into the dense `scale` array.
+    fn load_scales(&mut self, scales: &[(u32, f64)]) {
+        for &(t, s) in scales {
+            self.scale[t as usize] = s;
+        }
+    }
+
+    /// Resets the dense scales loaded from `scales` back to 1.
+    fn unload_scales(&mut self, scales: &[(u32, f64)]) {
+        for &(t, _) in scales {
+            self.scale[t as usize] = 1.0;
+        }
+    }
+
     fn reset_touched(&mut self) {
         for &t in &self.touched {
             self.seen[t as usize] = false;
             self.left_mass[t as usize] = 0.0;
             self.right_mass[t as usize] = 0.0;
+            self.left_w[t as usize] = 0.0;
+            self.right_w[t as usize] = 0.0;
         }
         self.touched.clear();
     }
 }
 
-/// Builds the root [`NodeTuples`]: per-attribute columns sorted once, all
-/// tuple weights taken from the fractional tuples (1 for whole tuples).
-pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> NodeTuples {
-    let mut weights = vec![0.0f64; tuples.len()];
-    let mut alive = Vec::with_capacity(tuples.len());
-    for (t, tuple) in tuples.iter().enumerate() {
-        if tuple.weight > WEIGHT_EPSILON {
-            weights[t] = tuple.weight;
-            alive.push(t as u32);
-        }
-    }
+/// Builds the immutable [`RootColumns`]: per-attribute event columns
+/// sorted once — the single `O(E log E)` pass; recursion below only
+/// partitions.
+pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> RootColumns {
+    let alive: Vec<u32> = tuples
+        .iter()
+        .enumerate()
+        .filter(|(_, tuple)| tuple.weight > WEIGHT_EPSILON)
+        .map(|(t, _)| t as u32)
+        .collect();
     let columns = numerical
         .iter()
         .map(|&attribute| {
@@ -140,7 +364,6 @@ pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> NodeTuples
                     order.push((x, t, m));
                 }
             }
-            // The one O(E log E) sort; recursion below only partitions.
             order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sample points"));
             let mut xs = Vec::with_capacity(order.len());
             let mut tuple = Vec::with_capacity(order.len());
@@ -158,20 +381,66 @@ pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> NodeTuples
             }
         })
         .collect();
-    NodeTuples {
-        weights,
-        alive,
-        columns,
+    RootColumns { columns }
+}
+
+/// Builds the root [`NodeTuples`] over the given root columns: every
+/// tuple with non-negligible weight is alive, no scales, and each column
+/// is either the identity view or (owned mode) a materialised copy of
+/// the root arrays.
+pub fn root_state(
+    tuples: &[FractionalTuple],
+    root: &RootColumns,
+    mode: PartitionMode,
+) -> NodeTuples {
+    let mut alive = Vec::with_capacity(tuples.len());
+    let mut weights = Vec::with_capacity(tuples.len());
+    for (t, tuple) in tuples.iter().enumerate() {
+        if tuple.weight > WEIGHT_EPSILON {
+            alive.push(t as u32);
+            weights.push(tuple.weight);
+        }
     }
+    let columns = root
+        .columns
+        .iter()
+        .map(|col| ColumnState {
+            scales: Vec::new(),
+            data: match mode {
+                PartitionMode::Owned => ColumnData::Owned {
+                    xs: col.xs.clone(),
+                    tuple: col.tuple.clone(),
+                    mass: col.mass.clone(),
+                },
+                PartitionMode::View => ColumnData::View {
+                    events: (0..col.len() as u32).collect(),
+                },
+            },
+        })
+        .collect();
+    let mut state = NodeTuples {
+        alive,
+        weights,
+        columns,
+    };
+    state.shrink_to_fit();
+    state
 }
 
 /// Builds the scoring structure for one column at one node. Returns
 /// `None` when fewer than two distinct positions carry mass (no split
 /// possible). Linear in the column length; the only allocations are the
 /// output structure's own arrays.
+///
+/// The caller must have loaded the node's weights into `scratch` via
+/// [`Scratch::load_weights`]. Event masses are reconstructed as
+/// `root_mass * scale` and multiplied into the tuple weight here, at
+/// consumption time — the single place the kept-fraction chain meets the
+/// event weight, which is what keeps owned- and view-mode scores
+/// bit-for-bit identical.
 pub fn events_from_column(
-    col: &AttrColumn,
-    weights: &[f64],
+    col: &ColumnState,
+    root_col: &AttrColumn,
     labels: &[u32],
     n_classes: usize,
     scratch: &mut Scratch,
@@ -179,35 +448,41 @@ pub fn events_from_column(
     scratch.reset_touched();
     scratch.running.clear();
     scratch.running.resize(n_classes, 0.0);
-    let mut xs: Vec<f64> = Vec::with_capacity(col.len());
-    let mut cum: Vec<f64> = Vec::with_capacity(col.len() * n_classes);
-    for e in 0..col.len() {
-        let t = col.tuple[e] as usize;
-        let w = weights[t];
-        if w <= WEIGHT_EPSILON {
-            continue;
-        }
-        let x = col.xs[e];
-        let event_weight = w * col.mass[e];
-        if event_weight <= WEIGHT_EPSILON {
-            // Same denormal gate as AttributeEvents::build.
-            continue;
-        }
-        if xs.last() != Some(&x) {
-            if !xs.is_empty() {
-                cum.extend_from_slice(&scratch.running);
+    scratch.load_scales(&col.scales);
+    let mut xs: Vec<f64> = Vec::with_capacity(col.data.len());
+    let mut cum: Vec<f64> = Vec::with_capacity(col.data.len() * n_classes);
+    {
+        let scratch = &mut *scratch;
+        let xs = &mut xs;
+        let cum = &mut cum;
+        col.data.for_each_event(root_col, |x, t, m_root| {
+            let t = t as usize;
+            let w = scratch.weight[t];
+            if w <= WEIGHT_EPSILON {
+                return;
             }
-            xs.push(x);
-        }
-        scratch.running[labels[t] as usize] += event_weight;
-        let pos = (xs.len() - 1) as u32;
-        if !scratch.seen[t] {
-            scratch.seen[t] = true;
-            scratch.touched.push(t as u32);
-            scratch.lo_idx[t] = pos;
-        }
-        scratch.hi_idx[t] = pos;
+            let event_weight = w * (m_root * scratch.scale[t]);
+            if event_weight <= WEIGHT_EPSILON {
+                // Same denormal gate as AttributeEvents::build.
+                return;
+            }
+            if xs.last() != Some(&x) {
+                if !xs.is_empty() {
+                    cum.extend_from_slice(&scratch.running);
+                }
+                xs.push(x);
+            }
+            scratch.running[labels[t] as usize] += event_weight;
+            let pos = (xs.len() - 1) as u32;
+            if !scratch.seen[t] {
+                scratch.seen[t] = true;
+                scratch.touched.push(t as u32);
+                scratch.lo_idx[t] = pos;
+            }
+            scratch.hi_idx[t] = pos;
+        });
     }
+    scratch.unload_scales(&col.scales);
     if xs.is_empty() {
         return None;
     }
@@ -227,196 +502,317 @@ pub fn events_from_column(
     AttributeEvents::from_parts(xs, cum, n_classes, end_point_idx)
 }
 
-/// Copies the events of `column` whose tuples keep weight, in order —
-/// the shared filter used for every column a split does not rescale
-/// (numeric non-split attributes and all columns of a categorical
-/// partition).
-fn filter_column(column: &AttrColumn, weights: &[f64]) -> AttrColumn {
-    let mut xs = Vec::with_capacity(column.len());
-    let mut tuple = Vec::with_capacity(column.len());
-    let mut mass = Vec::with_capacity(column.len());
-    for e in 0..column.len() {
-        let t = column.tuple[e] as usize;
-        if weights[t] <= WEIGHT_EPSILON {
-            continue;
+/// Copies the events of `column` whose tuples keep weight (per the dense
+/// `survive` lookup), in order — the shared filter used for every column
+/// a split does not rescale (numeric non-split attributes and all
+/// columns of a categorical partition). Scales pass through unchanged.
+fn filter_column(column: &ColumnState, root_col: &AttrColumn, survive: &[f64]) -> ColumnState {
+    let scales = column
+        .scales
+        .iter()
+        .filter(|&&(t, _)| survive[t as usize] > WEIGHT_EPSILON)
+        .copied()
+        .collect();
+    let data = match &column.data {
+        ColumnData::Owned { xs, tuple, mass } => {
+            let mut out_xs = Vec::with_capacity(xs.len());
+            let mut out_tuple = Vec::with_capacity(xs.len());
+            let mut out_mass = Vec::with_capacity(xs.len());
+            for e in 0..xs.len() {
+                if survive[tuple[e] as usize] <= WEIGHT_EPSILON {
+                    continue;
+                }
+                out_xs.push(xs[e]);
+                out_tuple.push(tuple[e]);
+                out_mass.push(mass[e]);
+            }
+            ColumnData::Owned {
+                xs: out_xs,
+                tuple: out_tuple,
+                mass: out_mass,
+            }
         }
-        xs.push(column.xs[e]);
-        tuple.push(t as u32);
-        mass.push(column.mass[e]);
-    }
-    AttrColumn {
-        attribute: column.attribute,
-        xs,
-        tuple,
-        mass,
-    }
+        ColumnData::View { events } => {
+            let mut out = Vec::with_capacity(events.len());
+            for &e in events {
+                if survive[root_col.tuple[e as usize] as usize] > WEIGHT_EPSILON {
+                    out.push(e);
+                }
+            }
+            ColumnData::View { events: out }
+        }
+    };
+    ColumnState { scales, data }
 }
 
 /// Splits a node's tuples on `(attribute slot, z)`, producing the left
 /// and right children. Implements the fractional-tuple split of §3.2
 /// against the columnar layout: linear in the node's event count,
-/// stable, no re-sorting.
+/// stable, no re-sorting, no dense root-sized child vectors. Partition
+/// allocation traffic is recorded in `stats`.
 pub fn partition_numeric(
+    root: &RootColumns,
     node: &NodeTuples,
     slot: usize,
     z: f64,
     scratch: &mut Scratch,
+    stats: &mut SearchStats,
 ) -> (NodeTuples, NodeTuples) {
-    let n = node.weights.len();
     let col = &node.columns[slot];
+    let root_col = &root.columns[slot];
+
+    // The split column's scales stay loaded across all three passes: the
+    // side masses below and the child scale chain both read them.
+    scratch.load_scales(&col.scales);
 
     // Pass 1: per-tuple mass on each side of the split.
     scratch.reset_touched();
-    for e in 0..col.len() {
-        let t = col.tuple[e] as usize;
-        if node.weights[t] <= WEIGHT_EPSILON {
-            continue;
-        }
-        if !scratch.seen[t] {
-            scratch.seen[t] = true;
-            scratch.touched.push(t as u32);
-        }
-        if col.xs[e] <= z {
-            scratch.left_mass[t] += col.mass[e];
-        } else {
-            scratch.right_mass[t] += col.mass[e];
-        }
+    {
+        let scratch = &mut *scratch;
+        col.data.for_each_event(root_col, |x, t, m_root| {
+            let t = t as usize;
+            if scratch.weight[t] <= WEIGHT_EPSILON {
+                return;
+            }
+            if !scratch.seen[t] {
+                scratch.seen[t] = true;
+                scratch.touched.push(t as u32);
+            }
+            let m = m_root * scratch.scale[t];
+            if x <= z {
+                scratch.left_mass[t] += m;
+            } else {
+                scratch.right_mass[t] += m;
+            }
+        });
     }
 
-    // Pass 2: child weights; stash each tuple's left fraction p in
-    // `left_mass` and its right fraction in `right_mass` for the mass
-    // renormalisation below.
-    let mut left_weights = vec![0.0f64; n];
-    let mut right_weights = vec![0.0f64; n];
-    let mut left_alive = Vec::new();
-    let mut right_alive = Vec::new();
-    for &t in &scratch.touched {
-        let t = t as usize;
+    // Pass 2: sparse child weights; stash each tuple's left fraction p in
+    // `left_mass` and its right fraction in `right_mass` for the scale
+    // chain below, and the child weights in `left_w` / `right_w` for the
+    // column filters.
+    let mut left_pairs: Vec<(u32, f64)> = Vec::new();
+    let mut right_pairs: Vec<(u32, f64)> = Vec::new();
+    for i in 0..scratch.touched.len() {
+        let t = scratch.touched[i] as usize;
         let lm = scratch.left_mass[t];
         let rm = scratch.right_mass[t];
         let total = lm + rm;
         if total <= 0.0 {
+            scratch.left_mass[t] = 0.0;
+            scratch.right_mass[t] = 0.0;
             continue;
         }
         let p = lm / total;
-        let w = node.weights[t];
+        let w = scratch.weight[t];
         let wl = w * p;
         let wr = w * (1.0 - p);
         if wl > WEIGHT_EPSILON {
-            left_weights[t] = wl;
-            left_alive.push(t as u32);
+            scratch.left_w[t] = wl;
+            left_pairs.push((t as u32, wl));
         }
         if wr > WEIGHT_EPSILON {
-            right_weights[t] = wr;
-            right_alive.push(t as u32);
+            scratch.right_w[t] = wr;
+            right_pairs.push((t as u32, wr));
         }
         scratch.left_mass[t] = p;
         scratch.right_mass[t] = 1.0 - p;
     }
-    left_alive.sort_unstable();
-    right_alive.sort_unstable();
+    left_pairs.sort_unstable_by_key(|&(t, _)| t);
+    right_pairs.sort_unstable_by_key(|&(t, _)| t);
+    let (left_alive, left_weights): (Vec<u32>, Vec<f64>) = left_pairs.into_iter().unzip();
+    let (right_alive, right_weights): (Vec<u32>, Vec<f64>) = right_pairs.into_iter().unzip();
 
     // Pass 3: partition every column. The split attribute's events go to
-    // the side their position lies on with mass rescaled by 1/p (the pdf
-    // renormalisation of the fractional split); all other columns are
-    // copied to each side where the tuple survives, masses unchanged.
-    let partition_columns = |keep: &dyn Fn(f64) -> bool, weights: &[f64], fractions: &[f64]| {
-        node.columns
-            .iter()
-            .enumerate()
-            .map(|(j, column)| {
-                if j != slot {
-                    return filter_column(column, weights);
-                }
-                let mut xs = Vec::with_capacity(column.len());
-                let mut tuple = Vec::with_capacity(column.len());
-                let mut mass = Vec::with_capacity(column.len());
-                for e in 0..column.len() {
-                    let t = column.tuple[e] as usize;
-                    if weights[t] <= WEIGHT_EPSILON {
-                        continue;
-                    }
-                    let x = column.xs[e];
-                    if !keep(x) {
-                        continue;
-                    }
-                    let fraction = fractions[t];
-                    if fraction <= 0.0 {
-                        continue;
-                    }
-                    xs.push(x);
-                    tuple.push(t as u32);
-                    mass.push(column.mass[e] / fraction);
-                }
-                AttrColumn {
-                    attribute: column.attribute,
-                    xs,
-                    tuple,
-                    mass,
-                }
-            })
-            .collect::<Vec<_>>()
+    // the side their position lies on with the tuple's scale divided by
+    // its kept fraction (the pdf renormalisation of the fractional
+    // split, deferred to consumption time); all other columns keep their
+    // events wherever the tuple survives, scales unchanged.
+    let left_columns = partition_columns(node, root, slot, true, z, scratch);
+    let right_columns = partition_columns(node, root, slot, false, z, scratch);
+
+    scratch.unload_scales(&col.scales);
+
+    let mut left = NodeTuples {
+        alive: left_alive,
+        weights: left_weights,
+        columns: left_columns,
     };
+    let mut right = NodeTuples {
+        alive: right_alive,
+        weights: right_weights,
+        columns: right_columns,
+    };
+    // Release the slack the parent-capacity filter buffers carry, so a
+    // skewed split does not pin parent-sized memory under a small
+    // subtree — and so the byte accounting reflects surviving data.
+    left.shrink_to_fit();
+    right.shrink_to_fit();
+    let bytes = left.heap_bytes() + right.heap_bytes();
+    stats.partition_bytes += bytes;
+    stats.partition_peak_bytes = stats.partition_peak_bytes.max(bytes);
+    (left, right)
+}
 
-    // Shared reborrows of the scratch fraction buffers; partition_columns
-    // only reads them.
-    let left_columns = partition_columns(&|x| x <= z, &left_weights, &scratch.left_mass);
-    let right_columns = partition_columns(&|x| x > z, &right_weights, &scratch.right_mass);
-
-    (
-        NodeTuples {
-            weights: left_weights,
-            alive: left_alive,
-            columns: left_columns,
-        },
-        NodeTuples {
-            weights: right_weights,
-            alive: right_alive,
-            columns: right_columns,
-        },
-    )
+/// Builds one side's child columns for [`partition_numeric`]. Reads the
+/// side fractions from `scratch.left_mass` / `scratch.right_mass` and
+/// the child weights from `scratch.left_w` / `scratch.right_w`; the
+/// split column's parent scales must be loaded in `scratch.scale`.
+fn partition_columns(
+    node: &NodeTuples,
+    root: &RootColumns,
+    slot: usize,
+    left_side: bool,
+    z: f64,
+    scratch: &Scratch,
+) -> Vec<ColumnState> {
+    let survive: &[f64] = if left_side {
+        &scratch.left_w
+    } else {
+        &scratch.right_w
+    };
+    let fractions: &[f64] = if left_side {
+        &scratch.left_mass
+    } else {
+        &scratch.right_mass
+    };
+    node.columns
+        .iter()
+        .enumerate()
+        .map(|(j, column)| {
+            let root_col = &root.columns[j];
+            if j != slot {
+                return filter_column(column, root_col, survive);
+            }
+            // The split column: keep the side's events and extend the
+            // per-tuple scale chain by dividing out the kept fraction.
+            let mut scales: Vec<(u32, f64)> = Vec::new();
+            let keep = |t: usize| survive[t] > WEIGHT_EPSILON;
+            let data = match &column.data {
+                ColumnData::Owned { xs, tuple, mass } => {
+                    let mut out_xs = Vec::with_capacity(xs.len());
+                    let mut out_tuple = Vec::with_capacity(xs.len());
+                    let mut out_mass = Vec::with_capacity(xs.len());
+                    for e in 0..xs.len() {
+                        let t = tuple[e] as usize;
+                        if !keep(t) {
+                            continue;
+                        }
+                        let x = xs[e];
+                        if left_side != (x <= z) {
+                            continue;
+                        }
+                        out_xs.push(x);
+                        out_tuple.push(tuple[e]);
+                        out_mass.push(mass[e]);
+                    }
+                    ColumnData::Owned {
+                        xs: out_xs,
+                        tuple: out_tuple,
+                        mass: out_mass,
+                    }
+                }
+                ColumnData::View { events } => {
+                    let mut out = Vec::with_capacity(events.len());
+                    for &e in events {
+                        let t = root_col.tuple[e as usize] as usize;
+                        if !keep(t) {
+                            continue;
+                        }
+                        let x = root_col.xs[e as usize];
+                        if left_side != (x <= z) {
+                            continue;
+                        }
+                        out.push(e);
+                    }
+                    ColumnData::View { events: out }
+                }
+            };
+            // One scale entry per surviving tuple whose chain is not 1,
+            // in ascending tuple order (the parent's alive list covers
+            // every survivor).
+            for &t in node.alive.iter() {
+                let t = t as usize;
+                if !keep(t) {
+                    continue;
+                }
+                let f = fractions[t];
+                if f <= 0.0 {
+                    continue;
+                }
+                let s = scratch.scale[t] / f;
+                if s != 1.0 {
+                    scales.push((t as u32, s));
+                }
+            }
+            ColumnState { scales, data }
+        })
+        .collect()
 }
 
 /// Splits a node's tuples over the categories of categorical attribute
 /// `attribute` (§7.2): bucket `v` receives every tuple with weight
-/// `w · f(v)`; numerical columns are filtered to surviving tuples, masses
-/// unchanged.
+/// `w · f(v)`; numerical columns are filtered to surviving tuples,
+/// scales and masses unchanged. Partition allocation traffic is recorded
+/// in `stats`.
 pub fn partition_categorical(
+    root: &RootColumns,
     node: &NodeTuples,
     tuples: &[FractionalTuple],
     attribute: usize,
     cardinality: usize,
+    scratch: &mut Scratch,
+    stats: &mut SearchStats,
 ) -> Vec<NodeTuples> {
-    let n = node.weights.len();
-    (0..cardinality)
+    // Clear any state a preceding partition left behind: the bucket
+    // filters below repurpose `left_w` as a dense survival lookup, and
+    // this makes the all-zero precondition enforced here rather than
+    // relying on an intervening `events_from_column` having reset it.
+    scratch.reset_touched();
+    let buckets: Vec<NodeTuples> = (0..cardinality)
         .map(|v| {
-            let mut weights = vec![0.0f64; n];
             let mut alive = Vec::new();
-            for &t in &node.alive {
+            let mut weights = Vec::new();
+            for (&t, &weight) in node.alive.iter().zip(&node.weights) {
                 let Some(dist) = tuples[t as usize].values[attribute].as_categorical() else {
                     continue;
                 };
                 if v >= dist.cardinality() {
                     continue;
                 }
-                let w = node.weights[t as usize] * dist.prob(v);
+                let w = weight * dist.prob(v);
                 if w > WEIGHT_EPSILON {
-                    weights[t as usize] = w;
                     alive.push(t);
+                    weights.push(w);
                 }
+            }
+            // Dense survival lookup for the column filters (reusing the
+            // left-child weight scratch; reset right after).
+            for (&t, &w) in alive.iter().zip(&weights) {
+                scratch.left_w[t as usize] = w;
             }
             let columns = node
                 .columns
                 .iter()
-                .map(|column| filter_column(column, &weights))
+                .zip(&root.columns)
+                .map(|(column, root_col)| filter_column(column, root_col, &scratch.left_w))
                 .collect();
-            NodeTuples {
-                weights,
-                alive,
-                columns,
+            for &t in &alive {
+                scratch.left_w[t as usize] = 0.0;
             }
+            let mut bucket = NodeTuples {
+                alive,
+                weights,
+                columns,
+            };
+            bucket.shrink_to_fit();
+            bucket
         })
-        .collect()
+        .collect();
+    let bytes: u64 = buckets.iter().map(NodeTuples::heap_bytes).sum();
+    stats.partition_bytes += bytes;
+    stats.partition_peak_bytes = stats.partition_peak_bytes.max(bytes);
+    buckets
 }
 
 #[cfg(test)]
@@ -440,38 +836,53 @@ mod tests {
         tuples.iter().map(|t| t.label as u32).collect()
     }
 
+    /// Sum of a tuple's scaled masses in one column.
+    fn per_tuple_mass(state: &ColumnState, root: &AttrColumn, t: u32) -> f64 {
+        let mut total = 0.0;
+        state.for_each_scaled(root, |_, owner, m| {
+            if owner == t {
+                total += m;
+            }
+        });
+        total
+    }
+
     #[test]
-    fn root_events_match_direct_build() {
+    fn root_events_match_direct_build_in_both_modes() {
         let tuples = vec![
             ft(&[0.0, 1.0, 2.0], &[1.0, 2.0, 1.0], 0),
             ft(&[1.5, 2.5, 3.5], &[1.0, 1.0, 2.0], 1),
         ];
         let root = build_root(&tuples, &[0]);
-        let mut scratch = Scratch::new(tuples.len());
-        let from_col = events_from_column(
-            &root.columns[0],
-            &root.weights,
-            &labels(&tuples),
-            2,
-            &mut scratch,
-        )
-        .unwrap();
         let direct = AttributeEvents::build(&tuples, 0, 2).unwrap();
-        assert_eq!(from_col.xs(), direct.xs());
-        assert_eq!(from_col.end_point_indices(), direct.end_point_indices());
-        for i in 0..direct.n_positions() {
-            assert_eq!(
-                from_col.left_counts(i).as_slice(),
-                direct.left_counts(i).as_slice(),
-                "row {i}"
-            );
-        }
-        for i in 0..direct.n_positions() - 1 {
-            assert_eq!(
-                from_col.score_at(i, Measure::Entropy).to_bits(),
-                direct.score_at(i, Measure::Entropy).to_bits(),
-                "score {i}"
-            );
+        for mode in [PartitionMode::Owned, PartitionMode::View] {
+            let state = root_state(&tuples, &root, mode);
+            let mut scratch = Scratch::new(tuples.len());
+            scratch.load_weights(&state);
+            let from_col = events_from_column(
+                &state.columns[0],
+                &root.columns[0],
+                &labels(&tuples),
+                2,
+                &mut scratch,
+            )
+            .unwrap();
+            assert_eq!(from_col.xs(), direct.xs());
+            assert_eq!(from_col.end_point_indices(), direct.end_point_indices());
+            for i in 0..direct.n_positions() {
+                assert_eq!(
+                    from_col.left_counts(i).as_slice(),
+                    direct.left_counts(i).as_slice(),
+                    "{mode:?} row {i}"
+                );
+            }
+            for i in 0..direct.n_positions() - 1 {
+                assert_eq!(
+                    from_col.score_at(i, Measure::Entropy).to_bits(),
+                    direct.score_at(i, Measure::Entropy).to_bits(),
+                    "{mode:?} score {i}"
+                );
+            }
         }
     }
 
@@ -482,38 +893,102 @@ mod tests {
             ft(&[2.0, 3.0, 4.0, 5.0], &[0.25, 0.25, 0.25, 0.25], 1),
         ];
         let root = build_root(&tuples, &[0]);
-        let mut scratch = Scratch::new(tuples.len());
-        let (left, right) = partition_numeric(&root, 0, 2.0, &mut scratch);
-        // Tuple 0 keeps 3/4 of its mass left, tuple 1 keeps 1/4 left.
-        assert!((left.weights[0] - 0.75).abs() < 1e-12);
-        assert!((left.weights[1] - 0.25).abs() < 1e-12);
-        assert!((right.weights[0] - 0.25).abs() < 1e-12);
-        assert!((right.weights[1] - 0.75).abs() < 1e-12);
-        // The split column's masses are renormalised per tuple.
-        let per_tuple_mass = |node: &NodeTuples, t: u32| -> f64 {
-            node.columns[0]
-                .tuple
-                .iter()
-                .zip(&node.columns[0].mass)
-                .filter(|(&owner, _)| owner == t)
-                .map(|(_, &m)| m)
-                .sum()
-        };
-        for node in [&left, &right] {
-            for t in [0u32, 1] {
-                let total = per_tuple_mass(node, t);
-                assert!((total - 1.0).abs() < 1e-9, "mass {total} for tuple {t}");
+        for mode in [PartitionMode::Owned, PartitionMode::View] {
+            let state = root_state(&tuples, &root, mode);
+            let mut scratch = Scratch::new(tuples.len());
+            let mut stats = SearchStats::default();
+            scratch.load_weights(&state);
+            let (left, right) = partition_numeric(&root, &state, 0, 2.0, &mut scratch, &mut stats);
+            scratch.unload_weights(&state);
+            // Tuple 0 keeps 3/4 of its mass left, tuple 1 keeps 1/4 left.
+            let weight_of = |node: &NodeTuples, t: u32| -> f64 {
+                node.alive
+                    .iter()
+                    .position(|&a| a == t)
+                    .map_or(0.0, |i| node.weights[i])
+            };
+            assert!((weight_of(&left, 0) - 0.75).abs() < 1e-12, "{mode:?}");
+            assert!((weight_of(&left, 1) - 0.25).abs() < 1e-12, "{mode:?}");
+            assert!((weight_of(&right, 0) - 0.25).abs() < 1e-12, "{mode:?}");
+            assert!((weight_of(&right, 1) - 0.75).abs() < 1e-12, "{mode:?}");
+            // The split column's scaled masses are renormalised per tuple.
+            for node in [&left, &right] {
+                for t in [0u32, 1] {
+                    let total = per_tuple_mass(&node.columns[0], &root.columns[0], t);
+                    assert!(
+                        (total - 1.0).abs() < 1e-9,
+                        "{mode:?}: mass {total} for tuple {t}"
+                    );
+                }
             }
+            // Columns stay sorted.
+            for node in [&left, &right] {
+                let mut prev = f64::NEG_INFINITY;
+                node.columns[0]
+                    .data
+                    .for_each_event(&root.columns[0], |x, _, _| {
+                        assert!(prev <= x);
+                        prev = x;
+                    });
+            }
+            // Reference: the same split through the fractional-tuple path.
+            for (t, tuple) in tuples.iter().enumerate() {
+                let (l, r) = tuple.split_numeric(0, 2.0);
+                assert!((l.map_or(0.0, |x| x.weight) - weight_of(&left, t as u32)).abs() < 1e-12);
+                assert!((r.map_or(0.0, |x| x.weight) - weight_of(&right, t as u32)).abs() < 1e-12);
+            }
+            // Partition traffic was recorded.
+            assert!(stats.partition_bytes > 0);
+            assert_eq!(stats.partition_peak_bytes, stats.partition_bytes);
         }
-        // Columns stay sorted.
-        for node in [&left, &right] {
-            assert!(node.columns[0].xs.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn view_and_owned_partitions_agree_bit_for_bit() {
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0, 3.0], &[1.0, 2.0, 2.0, 1.0], 0),
+            ft(&[1.0, 2.0, 3.0, 4.0], &[1.0, 1.0, 1.0, 1.0], 1),
+            ft(&[2.0, 3.0, 4.0, 5.0], &[2.0, 1.0, 1.0, 2.0], 0),
+        ];
+        let root = build_root(&tuples, &[0]);
+        let mut children: Vec<Vec<NodeTuples>> = Vec::new();
+        for mode in [PartitionMode::Owned, PartitionMode::View] {
+            let state = root_state(&tuples, &root, mode);
+            let mut scratch = Scratch::new(tuples.len());
+            let mut stats = SearchStats::default();
+            scratch.load_weights(&state);
+            let (left, right) = partition_numeric(&root, &state, 0, 2.0, &mut scratch, &mut stats);
+            scratch.unload_weights(&state);
+            // Split the left child again on the same attribute to chain
+            // a second scale factor.
+            scratch.load_weights(&left);
+            let (ll, lr) = partition_numeric(&root, &left, 0, 1.0, &mut scratch, &mut stats);
+            scratch.unload_weights(&left);
+            children.push(vec![ll, lr, right]);
         }
-        // Reference: the same split through the fractional-tuple path.
-        for (t, tuple) in tuples.iter().enumerate() {
-            let (l, r) = tuple.split_numeric(0, 2.0);
-            assert!((l.map_or(0.0, |x| x.weight) - left.weights[t]).abs() < 1e-12);
-            assert!((r.map_or(0.0, |x| x.weight) - right.weights[t]).abs() < 1e-12);
+        let (owned, view) = (&children[0], &children[1]);
+        for (o, v) in owned.iter().zip(view) {
+            assert_eq!(o.alive, v.alive);
+            for (ow, vw) in o.weights.iter().zip(&v.weights) {
+                assert_eq!(ow.to_bits(), vw.to_bits());
+            }
+            for (oc, vc) in o.columns.iter().zip(&v.columns) {
+                assert_eq!(oc.scales.len(), vc.scales.len());
+                for (&(ot, os), &(vt, vs)) in oc.scales.iter().zip(&vc.scales) {
+                    assert_eq!(ot, vt);
+                    assert_eq!(os.to_bits(), vs.to_bits());
+                }
+                let mut o_events = Vec::new();
+                oc.for_each_scaled(&root.columns[0], |x, t, m| o_events.push((x, t, m)));
+                let mut v_events = Vec::new();
+                vc.for_each_scaled(&root.columns[0], |x, t, m| v_events.push((x, t, m)));
+                assert_eq!(o_events.len(), v_events.len());
+                for (&(ox, ot, om), &(vx, vt, vm)) in o_events.iter().zip(&v_events) {
+                    assert_eq!(ox.to_bits(), vx.to_bits());
+                    assert_eq!(ot, vt);
+                    assert_eq!(om.to_bits(), vm.to_bits());
+                }
+            }
         }
     }
 
@@ -527,37 +1002,75 @@ mod tests {
             ft(&[2.0, 3.0, 4.0, 5.0], &[2.0, 1.0, 1.0, 2.0], 0),
         ];
         let root = build_root(&tuples, &[0]);
-        let mut scratch = Scratch::new(tuples.len());
         let z = 2.0;
-        let (left, _right) = partition_numeric(&root, 0, z, &mut scratch);
-
         // Reference: split every tuple fractionally, rebuild from scratch.
         let left_tuples: Vec<FractionalTuple> = tuples
             .iter()
             .filter_map(|t| t.split_numeric(0, z).0)
             .collect();
         let reference = AttributeEvents::build(&left_tuples, 0, 2).unwrap();
-        let got = events_from_column(
-            &left.columns[0],
-            &left.weights,
-            &labels(&tuples),
-            2,
-            &mut scratch,
-        )
-        .unwrap();
-        assert_eq!(got.xs(), reference.xs());
-        for i in 0..reference.n_positions() {
-            let g = got.left_counts(i);
-            let r = reference.left_counts(i);
-            for c in 0..2 {
-                assert!(
-                    (g.get(c) - r.get(c)).abs() < 1e-12,
-                    "row {i} class {c}: {} vs {}",
-                    g.get(c),
-                    r.get(c)
-                );
+        for mode in [PartitionMode::Owned, PartitionMode::View] {
+            let state = root_state(&tuples, &root, mode);
+            let mut scratch = Scratch::new(tuples.len());
+            let mut stats = SearchStats::default();
+            scratch.load_weights(&state);
+            let (left, _right) = partition_numeric(&root, &state, 0, z, &mut scratch, &mut stats);
+            scratch.unload_weights(&state);
+            scratch.load_weights(&left);
+            let got = events_from_column(
+                &left.columns[0],
+                &root.columns[0],
+                &labels(&tuples),
+                2,
+                &mut scratch,
+            )
+            .unwrap();
+            scratch.unload_weights(&left);
+            assert_eq!(got.xs(), reference.xs(), "{mode:?}");
+            for i in 0..reference.n_positions() {
+                let g = got.left_counts(i);
+                let r = reference.left_counts(i);
+                for c in 0..2 {
+                    assert!(
+                        (g.get(c) - r.get(c)).abs() < 1e-12,
+                        "{mode:?} row {i} class {c}: {} vs {}",
+                        g.get(c),
+                        r.get(c)
+                    );
+                }
             }
         }
+    }
+
+    #[test]
+    fn view_partitions_allocate_less_than_owned() {
+        let tuples: Vec<FractionalTuple> = (0..16)
+            .map(|i| {
+                let lo = i as f64 * 0.5;
+                ft(
+                    &[lo, lo + 1.0, lo + 2.0, lo + 3.0],
+                    &[0.25, 0.25, 0.25, 0.25],
+                    i % 2,
+                )
+            })
+            .collect();
+        let root = build_root(&tuples, &[0]);
+        let mut bytes = Vec::new();
+        for mode in [PartitionMode::Owned, PartitionMode::View] {
+            let state = root_state(&tuples, &root, mode);
+            let mut scratch = Scratch::new(tuples.len());
+            let mut stats = SearchStats::default();
+            scratch.load_weights(&state);
+            let _ = partition_numeric(&root, &state, 0, 5.0, &mut scratch, &mut stats);
+            scratch.unload_weights(&state);
+            bytes.push(stats.partition_bytes);
+        }
+        assert!(
+            bytes[1] * 2 <= bytes[0],
+            "view partitions ({}) must allocate at most half of owned ({})",
+            bytes[1],
+            bytes[0]
+        );
     }
 
     #[test]
@@ -571,15 +1084,22 @@ mod tests {
             label: 0,
             weight: 0.8,
         }];
-        let mut root = build_root(&tuples, &[1]);
-        root.weights[0] = 0.8;
-        let buckets = partition_categorical(&root, &tuples, 0, 3);
-        assert_eq!(buckets.len(), 3);
-        assert!((buckets[0].weights[0] - 0.4).abs() < 1e-12);
-        assert!(buckets[1].alive.is_empty());
-        assert!((buckets[2].weights[0] - 0.4).abs() < 1e-12);
-        // Numerical columns follow the surviving tuples.
-        assert_eq!(buckets[0].columns[0].len(), 1);
-        assert_eq!(buckets[1].columns[0].len(), 0);
+        for mode in [PartitionMode::Owned, PartitionMode::View] {
+            let root = build_root(&tuples, &[1]);
+            let state = root_state(&tuples, &root, mode);
+            assert_eq!(state.weights, vec![0.8]);
+            let mut scratch = Scratch::new(tuples.len());
+            let mut stats = SearchStats::default();
+            let buckets =
+                partition_categorical(&root, &state, &tuples, 0, 3, &mut scratch, &mut stats);
+            assert_eq!(buckets.len(), 3);
+            assert!((buckets[0].weights[0] - 0.4).abs() < 1e-12, "{mode:?}");
+            assert!(buckets[1].alive.is_empty(), "{mode:?}");
+            assert!((buckets[2].weights[0] - 0.4).abs() < 1e-12, "{mode:?}");
+            // Numerical columns follow the surviving tuples.
+            assert_eq!(buckets[0].columns[0].data.len(), 1, "{mode:?}");
+            assert_eq!(buckets[1].columns[0].data.len(), 0, "{mode:?}");
+            assert!(stats.partition_bytes > 0);
+        }
     }
 }

@@ -72,6 +72,59 @@ impl Algorithm {
     }
 }
 
+/// How tree recursion materialises child node state (see
+/// [`crate::columns`]).
+///
+/// Both modes perform bit-for-bit identical arithmetic — the resulting
+/// trees are identical — and differ only in memory traffic, which is
+/// what the `partition` bench measures.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PartitionMode {
+    /// Children own copied `(position, tuple, mass)` column arrays — the
+    /// pre-view memory profile, kept for A/B regression.
+    Owned,
+    /// Children borrow the immutable root columns through surviving
+    /// event-id lists plus per-tuple scale factors (the default).
+    #[default]
+    View,
+}
+
+impl PartitionMode {
+    /// The default mode, overridable through the `UDT_PARTITION_MODE`
+    /// environment variable (`owned` / `view`, case-insensitive) so CI
+    /// can run the whole test suite in either mode.
+    ///
+    /// Any other value falls back to the [`PartitionMode::View`] default
+    /// with a one-time warning on stderr — loud enough that a typo'd A/B
+    /// run is visible in its logs, without letting ambient process state
+    /// abort library users inside a plain [`UdtConfig::new`].
+    pub fn from_env() -> PartitionMode {
+        match std::env::var("UDT_PARTITION_MODE") {
+            Ok(v) if v.eq_ignore_ascii_case("owned") => PartitionMode::Owned,
+            Ok(v) if v.eq_ignore_ascii_case("view") => PartitionMode::View,
+            Ok(v) => {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: UDT_PARTITION_MODE must be 'owned' or 'view', \
+                         got {v:?}; using the default (view)"
+                    );
+                });
+                PartitionMode::View
+            }
+            Err(_) => PartitionMode::View,
+        }
+    }
+
+    /// Lower-case name for reports and bench labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PartitionMode::Owned => "owned",
+            PartitionMode::View => "view",
+        }
+    }
+}
+
 /// Configuration for [`crate::TreeBuilder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UdtConfig {
@@ -112,6 +165,9 @@ pub struct UdtConfig {
     /// Worker-thread cap for the subtree queue (0 = one per available
     /// core). Only consulted when the `parallel` feature is enabled.
     pub parallel_threads: usize,
+    /// How recursion materialises child node state (owned column copies
+    /// vs zero-copy root views). Builds are bit-identical either way.
+    pub partition_mode: PartitionMode,
 }
 
 impl UdtConfig {
@@ -133,6 +189,7 @@ impl UdtConfig {
             parallel_cutoff_depth: 4,
             parallel_min_fork_tuples: 8,
             parallel_threads: 0,
+            partition_mode: PartitionMode::from_env(),
         }
     }
 
@@ -188,6 +245,12 @@ impl UdtConfig {
     /// Returns a copy with a different worker-thread cap (0 = auto).
     pub fn with_parallel_threads(mut self, threads: usize) -> Self {
         self.parallel_threads = threads;
+        self
+    }
+
+    /// Returns a copy with a different partition mode.
+    pub fn with_partition_mode(mut self, mode: PartitionMode) -> Self {
+        self.partition_mode = mode;
         self
     }
 
@@ -318,7 +381,8 @@ mod tests {
             .with_parallel_subtrees(false)
             .with_parallel_cutoff_depth(6)
             .with_parallel_min_fork_tuples(32)
-            .with_parallel_threads(2);
+            .with_parallel_threads(2)
+            .with_partition_mode(PartitionMode::Owned);
         assert_eq!(c.measure, Measure::Gini);
         assert!(!c.postprune);
         assert_eq!(c.max_depth, 5);
@@ -328,6 +392,18 @@ mod tests {
         assert_eq!(c.parallel_cutoff_depth, 6);
         assert_eq!(c.parallel_min_fork_tuples, 32);
         assert_eq!(c.parallel_threads, 2);
+        assert_eq!(c.partition_mode, PartitionMode::Owned);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn partition_mode_names_and_default() {
+        assert_eq!(PartitionMode::Owned.name(), "owned");
+        assert_eq!(PartitionMode::View.name(), "view");
+        assert_eq!(PartitionMode::default(), PartitionMode::View);
+        // Without the env override the config default is the view mode.
+        if std::env::var("UDT_PARTITION_MODE").is_err() {
+            assert_eq!(UdtConfig::default().partition_mode, PartitionMode::View);
+        }
     }
 }

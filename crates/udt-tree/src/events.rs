@@ -242,16 +242,38 @@ impl AttributeEvents {
     }
 
     /// The per-class counts of mass at positions `> xs[i]` — the "right"
-    /// counts of a split at `xs[i]`. Allocates a fresh vector; intended
-    /// for tests and diagnostics only — the scoring loop derives right
-    /// counts in place via [`Measure::split_score_cum`].
+    /// counts of a split at `xs[i]` — written into `scratch`
+    /// (allocation-free once the scratch has warmed up to `n_classes`
+    /// capacity). The scoring loop itself derives right counts in place
+    /// via [`Measure::split_score_cum`]; this is for callers that need
+    /// the materialised counts repeatedly, without a fresh vector per
+    /// call.
+    pub fn right_counts_into<'a>(&self, i: usize, scratch: &'a mut Vec<f64>) -> CountsView<'a> {
+        self.diff_into(i, self.xs.len() - 1, scratch)
+    }
+
+    /// The per-class counts of mass at positions `> xs[i]` — the "right"
+    /// counts of a split at `xs[i]`. Allocates a fresh vector per call;
+    /// prefer [`right_counts_into`](Self::right_counts_into) with a
+    /// reused scratch on any repeated path.
     pub fn right_counts_vec(&self, i: usize) -> Vec<f64> {
-        let total = self.row(self.xs.len() - 1);
-        self.row(i)
-            .iter()
-            .zip(total)
-            .map(|(&l, &t)| clamp_residue(t - l))
-            .collect()
+        let mut out = Vec::new();
+        self.right_counts_into(i, &mut out);
+        out
+    }
+
+    /// Writes `row(hi) − row(lo)` (clamped) into `scratch` and returns a
+    /// view of it. The shared kernel behind every materialised count
+    /// helper, so all of them clamp drift identically.
+    fn diff_into<'a>(&self, lo: usize, hi: usize, scratch: &'a mut Vec<f64>) -> CountsView<'a> {
+        scratch.clear();
+        scratch.extend(
+            self.row(hi)
+                .iter()
+                .zip(self.row(lo))
+                .map(|(&h, &l)| clamp_residue(h - l)),
+        );
+        CountsView::new(scratch)
     }
 
     /// Dispersion score (eq. 1) of splitting at `xs[i]`. Splits that leave
@@ -320,20 +342,38 @@ impl AttributeEvents {
         CountsView::new(self.row(i))
     }
 
+    /// Per-class mass in `(xs[lo], xs[hi]]` (the `k_c` of §5.2), written
+    /// into `scratch`. The bound path derives these counts in place
+    /// ([`Measure::interval_lower_bound_cum`]); this materialised variant
+    /// serves callers that inspect the counts themselves.
+    pub fn counts_in_into<'a>(
+        &self,
+        lo: usize,
+        hi: usize,
+        scratch: &'a mut Vec<f64>,
+    ) -> CountsView<'a> {
+        self.diff_into(lo, hi, scratch)
+    }
+
     /// Per-class mass in `(xs[lo], xs[hi]]` (the `k_c` of §5.2).
-    /// Allocates; intended for tests and diagnostics — the bound path
-    /// derives these counts in place.
+    /// Allocates a fresh vector per call; prefer
+    /// [`counts_in_into`](Self::counts_in_into) with a reused scratch.
     pub fn counts_in_vec(&self, lo: usize, hi: usize) -> Vec<f64> {
-        self.row(hi)
-            .iter()
-            .zip(self.row(lo))
-            .map(|(&h, &l)| clamp_residue(h - l))
-            .collect()
+        let mut out = Vec::new();
+        self.counts_in_into(lo, hi, &mut out);
+        out
     }
 
     /// Per-class mass at positions `> xs[i]` (the `m_c` of §5.2 when `i`
-    /// is an interval's right end point). Allocates; intended for tests
-    /// and diagnostics.
+    /// is an interval's right end point), written into `scratch`.
+    pub fn counts_above_into<'a>(&self, i: usize, scratch: &'a mut Vec<f64>) -> CountsView<'a> {
+        self.right_counts_into(i, scratch)
+    }
+
+    /// Per-class mass at positions `> xs[i]` (the `m_c` of §5.2).
+    /// Allocates a fresh vector per call; prefer
+    /// [`counts_above_into`](Self::counts_above_into) with a reused
+    /// scratch.
     pub fn counts_above_vec(&self, i: usize) -> Vec<f64> {
         self.right_counts_vec(i)
     }
@@ -448,10 +488,11 @@ mod tests {
             ft(&[0.5, 1.25, 3.0], &[1.0, 3.0, 1.0], 2, 0.8),
         ];
         let ev = AttributeEvents::build(&tuples, 0, 3).unwrap();
+        let mut right_scratch = Vec::new();
         for m in [Measure::Entropy, Measure::Gini, Measure::GainRatio] {
             for i in 0..ev.n_positions() - 1 {
                 let left = ClassCounts::from_vec(ev.left_counts(i).as_slice().to_vec());
-                let right = ClassCounts::from_vec(ev.right_counts_vec(i));
+                let right = ev.right_counts_into(i, &mut right_scratch).to_counts();
                 let reference = if left.is_empty() || right.is_empty() {
                     f64::INFINITY
                 } else {
@@ -509,14 +550,19 @@ mod tests {
             ft(&[1.5, 2.5, 3.5], &[1.0, 1.0, 2.0], 1, 0.5),
         ];
         let ev = AttributeEvents::build(&tuples, 0, 2).unwrap();
+        let mut inside_scratch = Vec::new();
+        let mut above_scratch = Vec::new();
         for w in ev.end_point_indices().windows(2) {
             let below = ev.counts_below(w[0]);
-            let inside = ev.counts_in_vec(w[0], w[1]);
-            let above = ev.counts_above_vec(w[1]);
+            let inside = ev.counts_in_into(w[0], w[1], &mut inside_scratch);
+            let above = ev.counts_above_into(w[1], &mut above_scratch);
             for c in 0..2 {
-                let sum = below.get(c) + inside[c] + above[c];
+                let sum = below.get(c) + inside.get(c) + above.get(c);
                 assert!((sum - ev.total().get(c)).abs() < 1e-9);
             }
+            // The allocating variants agree with the scratch variants.
+            assert_eq!(ev.counts_in_vec(w[0], w[1]), inside.as_slice());
+            assert_eq!(ev.counts_above_vec(w[1]), above.as_slice());
         }
     }
 

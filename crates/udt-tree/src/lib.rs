@@ -25,12 +25,15 @@
 //!
 //! The split-search hot path is columnar and allocation-free:
 //!
-//! * **Presorting** ([`columns`]): every numerical attribute's pdf sample
-//!   points are flattened into one sorted event column *once at the
-//!   root*; tree recursion partitions those columns stably (linear, no
-//!   re-sorting), carrying fractional tuple weights and in-place pdf
-//!   renormalisation — the SPRINT/C4.5 presorting idea applied to §3.2's
-//!   fractional tuples.
+//! * **Presorting + zero-copy views** ([`columns`]): every numerical
+//!   attribute's pdf sample points are flattened into one sorted event
+//!   column *once at the root*, and those root columns are **immutable**
+//!   thereafter. Tree recursion narrows per-attribute *views* — surviving
+//!   event ids plus sparse per-tuple scale factors (the kept-pdf-fraction
+//!   chain of §3.2's fractional splits) — reconstructing event mass on
+//!   the fly as `root_mass * scale`. The copying engine survives as
+//!   [`config::PartitionMode::Owned`] for A/B regression; both modes are
+//!   arena-bit-identical by construction.
 //! * **Flat cumulative rows** ([`events::AttributeEvents`]): per-position
 //!   per-class masses live in a single row-major `Vec<f64>` matrix whose
 //!   final row is the total, so the "left" counts of any candidate are a
@@ -140,7 +143,7 @@ pub mod split;
 
 pub use builder::{BuildReport, TreeBuilder};
 pub use classify::{classify_batch, BatchScratch};
-pub use config::{Algorithm, UdtConfig};
+pub use config::{Algorithm, PartitionMode, UdtConfig};
 pub use counts::ClassCounts;
 pub use error::TreeError;
 pub use flat::{FlatTree, NodeKind};

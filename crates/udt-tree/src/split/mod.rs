@@ -145,6 +145,12 @@ pub struct SearchStats {
     pub intervals_pruned: u64,
     /// Tree nodes for which a split search was run.
     pub nodes_searched: u64,
+    /// Total bytes allocated for child node state by the partition layer
+    /// (see [`crate::columns`]) — the data-movement constant the view
+    /// partitioning shrinks.
+    pub partition_bytes: u64,
+    /// Largest single partition call's allocation, in bytes.
+    pub partition_peak_bytes: u64,
 }
 
 impl SearchStats {
@@ -162,6 +168,8 @@ impl SearchStats {
         self.intervals_examined += other.intervals_examined;
         self.intervals_pruned += other.intervals_pruned;
         self.nodes_searched += other.nodes_searched;
+        self.partition_bytes += other.partition_bytes;
+        self.partition_peak_bytes = self.partition_peak_bytes.max(other.partition_peak_bytes);
     }
 }
 
@@ -229,6 +237,8 @@ mod tests {
             intervals_examined: 5,
             intervals_pruned: 3,
             nodes_searched: 1,
+            partition_bytes: 64,
+            partition_peak_bytes: 48,
         };
         let b = a;
         a.merge(&b);
@@ -236,5 +246,8 @@ mod tests {
         assert_eq!(a.bound_calculations, 4);
         assert_eq!(a.entropy_like_calculations(), 24);
         assert_eq!(a.nodes_searched, 2);
+        // Totals add; the peak is the max across merged stats.
+        assert_eq!(a.partition_bytes, 128);
+        assert_eq!(a.partition_peak_bytes, 48);
     }
 }

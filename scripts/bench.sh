@@ -1,12 +1,13 @@
 #!/usr/bin/env bash
-# Runs the split-search and classification benchmarks and writes the
-# measurement trajectories to BENCH_split.json and BENCH_classify.json at
-# the repository root.
+# Runs the split-search, classification and partition-traffic benchmarks
+# and writes the measurement trajectories to BENCH_split.json,
+# BENCH_classify.json and BENCH_partition.json at the repository root.
 #
 # The criterion shim (shims/criterion) emits one JSON record per
 # benchmark when CRITERION_JSON names a file; this script points it at
-# the respective output file and prints the headline speedups afterwards:
-# naive-vs-columnar for split search, single-vs-batch for classification.
+# the respective output file and prints the headline numbers afterwards:
+# naive-vs-columnar for split search, single-vs-batch for classification,
+# and owned-vs-view wall-clock + bytes-allocated for partitioning.
 #
 # Usage: scripts/bench.sh [extra cargo bench args...]
 
@@ -18,8 +19,10 @@ cd "$(dirname "$0")/.."
 # their working directory.
 split_out="$(pwd)/BENCH_split.json"
 classify_out="$(pwd)/BENCH_classify.json"
+partition_out="$(pwd)/BENCH_partition.json"
 CRITERION_JSON="$split_out" cargo bench -p udt-bench --bench split_algorithms "$@"
 CRITERION_JSON="$classify_out" cargo bench -p udt-bench --bench classify_throughput "$@"
+CRITERION_JSON="$partition_out" cargo bench -p udt-bench --bench partition "$@"
 
 echo
 echo "== $split_out =="
@@ -59,4 +62,27 @@ def speedup(group, single, batch):
 
 speedup("classify_throughput", "single_uncertain", "batch_uncertain")
 speedup("classify_throughput", "single_point", "batch_point")
+EOF
+
+echo
+echo "== $partition_out =="
+python3 - "$partition_out" <<'EOF'
+import json
+import sys
+
+results = json.load(open(sys.argv[1]))
+by_bench = {r["bench"]: r for r in results if r["group"] == "partition_traffic"}
+
+for depth in ("04", "08", "12"):
+    owned = by_bench.get(f"depth{depth}_owned")
+    view = by_bench.get(f"depth{depth}_view")
+    if not owned or not view:
+        continue
+    line = f"depth {int(depth)}: "
+    ob, vb = owned.get("throughput_bytes"), view.get("throughput_bytes")
+    if ob and vb:
+        line += f"partition bytes owned/view = {ob}/{vb} = {ob / vb:.2f}x"
+    if owned["median_ns"] and view["median_ns"]:
+        line += f", wall-clock owned/view = {owned['median_ns'] / view['median_ns']:.2f}x"
+    print(line)
 EOF

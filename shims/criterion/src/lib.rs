@@ -38,6 +38,9 @@ pub struct Measurement {
     pub samples: usize,
     /// Optional throughput annotation (elements per iteration).
     pub throughput_elements: Option<u64>,
+    /// Optional throughput annotation (bytes per iteration) — used by the
+    /// partition-traffic bench to record bytes allocated per build.
+    pub throughput_bytes: Option<u64>,
 }
 
 /// Throughput annotation for a benchmark.
@@ -109,7 +112,7 @@ impl Criterion {
             out.push_str(&format!(
                 "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
                  \"median_ns\": {:.1}, \"iterations\": {}, \"samples\": {}, \
-                 \"throughput_elements\": {}}}{}\n",
+                 \"throughput_elements\": {}, \"throughput_bytes\": {}}}{}\n",
                 m.group,
                 m.bench,
                 m.mean_ns,
@@ -117,6 +120,8 @@ impl Criterion {
                 m.iterations,
                 m.samples,
                 m.throughput_elements
+                    .map_or("null".to_string(), |t| t.to_string()),
+                m.throughput_bytes
                     .map_or("null".to_string(), |t| t.to_string()),
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
@@ -224,6 +229,10 @@ impl BenchmarkGroup<'_> {
             samples,
             throughput_elements: match self.throughput {
                 Some(Throughput::Elements(n)) => Some(n),
+                _ => None,
+            },
+            throughput_bytes: match self.throughput {
+                Some(Throughput::Bytes(n)) => Some(n),
                 _ => None,
             },
         });
