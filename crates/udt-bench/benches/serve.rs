@@ -1,0 +1,106 @@
+//! Serving throughput over a real loopback socket: micro-batched
+//! requests vs a one-request-at-a-time loop.
+//!
+//! A `udt-serve` endpoint is started in-process with a trained UDT-ES
+//! model, and every benchmark classifies the same uncertain (or
+//! averaged/point) tuple set end to end — NDJSON encode, TCP round
+//! trip(s), scheduler queue, worker classification with its long-lived
+//! warm `BatchScratch`, NDJSON decode:
+//!
+//! * `single_*` issues one `classify` request per tuple, sequentially —
+//!   the naive integration a client might start with; each tuple pays a
+//!   full round trip plus a scheduler wake-up.
+//! * `batch_*` issues one `classify_batch` request for the whole set —
+//!   the intended integration; framing, syscalls, queue hops and reply
+//!   wake-ups amortise across the batch.
+//!
+//! `scripts/bench.sh` writes these measurements to `BENCH_serve.json`
+//! and prints the batched-vs-single speedup; ISSUE 4 requires ≥ 3× on
+//! the uncertain workload.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use udt_bench::baseline_workload;
+use udt_serve::{Client, ModelRegistry, ServeConfig, Server};
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn bench_serve(c: &mut Criterion) {
+    let data = baseline_workload(60);
+    let tree = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs))
+        .build(&data)
+        .expect("build succeeds")
+        .tree;
+    let averaged = data.to_averaged();
+
+    let registry = Arc::new(ModelRegistry::new());
+    registry.insert_tree("bench", tree).expect("fresh name");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config, registry).expect("bind on loopback");
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().expect("clean run"));
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+
+    // Uncertain tuples: fractional propagation dominated by real work,
+    // so the protocol overhead shows up as the single/batch gap.
+    group.bench_function("single_uncertain", |b| {
+        let mut client = Client::connect(addr).expect("connect");
+        b.iter(|| {
+            data.tuples()
+                .iter()
+                .map(|t| client.classify("bench", t).expect("served").1)
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("batch_uncertain", |b| {
+        let mut client = Client::connect(addr).expect("connect");
+        b.iter(|| {
+            client
+                .classify_batch("bench", data.tuples())
+                .expect("served")
+                .1
+                .len()
+        });
+    });
+
+    // Point (averaged) tuples: classification is nearly free, so this
+    // pair measures almost pure protocol + scheduling overhead.
+    group.bench_function("single_point", |b| {
+        let mut client = Client::connect(addr).expect("connect");
+        b.iter(|| {
+            averaged
+                .tuples()
+                .iter()
+                .map(|t| client.classify("bench", t).expect("served").1)
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("batch_point", |b| {
+        let mut client = Client::connect(addr).expect("connect");
+        b.iter(|| {
+            client
+                .classify_batch("bench", averaged.tuples())
+                .expect("served")
+                .1
+                .len()
+        });
+    });
+    group.finish();
+
+    let mut client = Client::connect(addr).expect("connect");
+    client.shutdown().expect("shutdown");
+    server_thread.join().expect("server thread");
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

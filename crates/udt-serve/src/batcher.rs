@@ -1,0 +1,475 @@
+//! The micro-batching scheduler.
+//!
+//! Classification requests from any number of connection threads enter a
+//! **bounded MPSC queue** (a `Mutex<VecDeque>` + two condvars — the
+//! environment is std-only) and are drained by a fixed pool of worker
+//! threads. A worker that pops a job does not serve it alone: it keeps
+//! collecting queued jobs until either `max_batch_tuples` tuples have
+//! accumulated or `max_delay` has elapsed since the flush began, then
+//! classifies the whole micro-batch with **one worker-owned
+//! [`BatchScratch`]** that lives as long as the worker — the scratch
+//! pool. Steady-state serving therefore performs zero allocation inside
+//! the classification engine, exactly the calling convention
+//! [`udt_tree::classify_batch`] was built for, and a burst of concurrent
+//! single-tuple requests costs one thread wake-up instead of one per
+//! request.
+//!
+//! Each job in a flush takes its *own* model snapshot from the registry
+//! at execution time (jobs for different models can share a flush), and
+//! tuples are never reordered within a job, so replies are bit-for-bit
+//! what a direct `classify_batch` call would have produced.
+//!
+//! Shutdown is graceful: [`Batcher::shutdown`] closes the queue to new
+//! submissions, lets the workers drain every job already accepted, and
+//! joins them — no in-flight request is dropped.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use udt_data::Tuple;
+use udt_tree::{classify_batch, BatchScratch};
+
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::protocol::QueueStats;
+use crate::registry::ModelRegistry;
+use crate::Result;
+
+/// Scheduler tuning knobs (see [`crate::ServeConfig`] for the CLI
+/// surface and defaults).
+#[derive(Debug, Clone)]
+pub struct BatchOptions {
+    /// Worker threads draining the queue (each owns one scratch).
+    pub workers: usize,
+    /// Flush a micro-batch once this many tuples have accumulated.
+    pub max_batch_tuples: usize,
+    /// Flush a micro-batch once this long has passed since collection
+    /// began, even if it is still small.
+    pub max_delay: Duration,
+    /// Bounded queue capacity in jobs; submitters block when full
+    /// (backpressure, not load shedding).
+    pub queue_capacity: usize,
+}
+
+impl Default for BatchOptions {
+    fn default() -> Self {
+        BatchOptions {
+            workers: 2,
+            max_batch_tuples: 64,
+            max_delay: Duration::from_micros(500),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+/// The metrics bucket that absorbs requests for unregistered model
+/// names (one bucket, not one per client-supplied string — see
+/// `serve_flush`).
+pub const UNKNOWN_MODEL_BUCKET: &str = "(unknown-model)";
+
+/// The result of one classification job: row-major distributions plus
+/// the class count needed to slice them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReply {
+    /// `tuples × n_classes` row-major class distributions.
+    pub distributions: Vec<f64>,
+    /// Stride of `distributions`.
+    pub n_classes: usize,
+}
+
+struct Job {
+    model: String,
+    tuples: Vec<Tuple>,
+    enqueued: Instant,
+    reply: mpsc::SyncSender<Result<BatchReply>>,
+}
+
+struct State {
+    jobs: VecDeque<Job>,
+    open: bool,
+}
+
+struct Shared {
+    state: Mutex<State>,
+    /// Signalled when a job is pushed or the queue closes.
+    not_empty: Condvar,
+    /// Signalled when a job is popped or the queue closes.
+    not_full: Condvar,
+}
+
+/// The micro-batching scheduler: bounded queue + worker pool.
+pub struct Batcher {
+    shared: Arc<Shared>,
+    options: BatchOptions,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Batcher {
+    /// Starts `options.workers` worker threads serving models from
+    /// `registry`, recording into `metrics`.
+    pub fn start(
+        registry: Arc<ModelRegistry>,
+        metrics: Arc<ServeMetrics>,
+        options: BatchOptions,
+    ) -> Batcher {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                jobs: VecDeque::new(),
+                open: true,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        let workers = (0..options.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                let registry = Arc::clone(&registry);
+                let metrics = Arc::clone(&metrics);
+                let options = options.clone();
+                std::thread::Builder::new()
+                    .name(format!("udt-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared, &registry, &metrics, &options))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        Batcher {
+            shared,
+            options,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Classifies `tuples` with the named model, blocking until a worker
+    /// has served the micro-batch containing this job. Blocks earlier —
+    /// on submission — while the queue is at capacity (backpressure).
+    pub fn classify(&self, model: &str, tuples: Vec<Tuple>) -> Result<BatchReply> {
+        let (tx, rx) = mpsc::sync_channel(1);
+        let job = Job {
+            model: model.to_string(),
+            tuples,
+            enqueued: Instant::now(),
+            reply: tx,
+        };
+        {
+            let mut st = self.shared.state.lock().expect("queue lock");
+            loop {
+                if !st.open {
+                    return Err(ServeError::QueueClosed);
+                }
+                if st.jobs.len() < self.options.queue_capacity {
+                    break;
+                }
+                st = self.shared.not_full.wait(st).expect("queue lock");
+            }
+            st.jobs.push_back(job);
+            self.shared.not_empty.notify_one();
+        }
+        rx.recv().map_err(|_| ServeError::QueueClosed)?
+    }
+
+    /// Current queue occupancy and configuration, for `stats`.
+    pub fn queue_stats(&self) -> QueueStats {
+        let depth = self.shared.state.lock().expect("queue lock").jobs.len();
+        QueueStats {
+            workers: self.options.workers.max(1),
+            capacity: self.options.queue_capacity,
+            depth,
+            max_batch_tuples: self.options.max_batch_tuples,
+            max_delay_us: self.options.max_delay.as_micros() as u64,
+        }
+    }
+
+    /// Closes the queue to new submissions, drains every accepted job and
+    /// joins the workers. Idempotent.
+    pub fn shutdown(&self) {
+        {
+            let mut st = self.shared.state.lock().expect("queue lock");
+            st.open = false;
+            self.shared.not_empty.notify_all();
+            self.shared.not_full.notify_all();
+        }
+        let mut workers = self.workers.lock().expect("worker handles lock");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Batcher {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// One worker: pop a seed job, collect companions until the batch is
+/// full or the delay budget is spent, serve the flush with the
+/// worker-owned scratch, repeat. Exits when the queue is closed *and*
+/// empty.
+fn worker_loop(
+    shared: &Shared,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    options: &BatchOptions,
+) {
+    let mut scratch = BatchScratch::new();
+    loop {
+        let mut flush: Vec<Job> = Vec::new();
+        {
+            let mut st = shared.state.lock().expect("queue lock");
+            // Wait for a seed job (or a closed, drained queue).
+            loop {
+                if let Some(job) = st.jobs.pop_front() {
+                    shared.not_full.notify_one();
+                    flush.push(job);
+                    break;
+                }
+                if !st.open {
+                    return;
+                }
+                st = shared.not_empty.wait(st).expect("queue lock");
+            }
+            // Collect companions for up to `max_delay`, or until the
+            // flush holds `max_batch_tuples` tuples.
+            let deadline = Instant::now() + options.max_delay;
+            let mut total: usize = flush.iter().map(|j| j.tuples.len()).sum();
+            while total < options.max_batch_tuples {
+                if let Some(job) = st.jobs.pop_front() {
+                    shared.not_full.notify_one();
+                    total += job.tuples.len();
+                    flush.push(job);
+                    continue;
+                }
+                if !st.open {
+                    break;
+                }
+                let now = Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    break;
+                };
+                let (guard, timeout) = shared
+                    .not_empty
+                    .wait_timeout(st, remaining)
+                    .expect("queue lock");
+                st = guard;
+                if timeout.timed_out() {
+                    // One more opportunistic pop below, then flush.
+                    if let Some(job) = st.jobs.pop_front() {
+                        shared.not_full.notify_one();
+                        flush.push(job);
+                    }
+                    break;
+                }
+            }
+        }
+        serve_flush(flush, registry, metrics, &mut scratch);
+    }
+}
+
+/// Classifies every job of one flush. Jobs take their model snapshots
+/// here — after coalescing — so a hot swap that lands between enqueue
+/// and flush is honoured, and consecutive jobs for the same model reuse
+/// one snapshot.
+fn serve_flush(
+    flush: Vec<Job>,
+    registry: &ModelRegistry,
+    metrics: &ServeMetrics,
+    scratch: &mut BatchScratch,
+) {
+    let mut snapshot: Option<(String, Arc<udt_tree::DecisionTree>)> = None;
+    for job in flush {
+        let tree = match &snapshot {
+            Some((name, tree)) if *name == job.model => Ok(Arc::clone(tree)),
+            _ => registry.get(&job.model),
+        };
+        let outcome = tree.and_then(|tree| {
+            snapshot = Some((job.model.clone(), Arc::clone(&tree)));
+            let distributions = classify_batch(&tree, &job.tuples, scratch)?;
+            Ok(BatchReply {
+                distributions,
+                n_classes: tree.n_classes(),
+            })
+        });
+        match &outcome {
+            Ok(reply) => {
+                let served = reply.distributions.len() / reply.n_classes.max(1);
+                metrics.record(&job.model, served, job.enqueued.elapsed());
+            }
+            // Requests for names the registry does not hold share one
+            // fixed bucket: keying metrics by arbitrary client-supplied
+            // strings would let a misbehaving client grow the metrics
+            // map (and every stats response) without bound.
+            Err(ServeError::UnknownModel(_)) => metrics.record_error(UNKNOWN_MODEL_BUCKET),
+            Err(_) => metrics.record_error(&job.model),
+        }
+        // A client that gave up (dropped receiver) is not an error.
+        let _ = job.reply.send(outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::toy;
+    use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+    fn registry_with_toy() -> Arc<ModelRegistry> {
+        let tree = TreeBuilder::new(
+            UdtConfig::new(Algorithm::UdtEs)
+                .with_postprune(false)
+                .with_min_node_weight(0.0),
+        )
+        .build(&toy::table1_dataset().unwrap())
+        .unwrap()
+        .tree;
+        let reg = Arc::new(ModelRegistry::new());
+        reg.insert_tree("toy", tree).unwrap();
+        reg
+    }
+
+    fn batcher(reg: &Arc<ModelRegistry>, options: BatchOptions) -> (Batcher, Arc<ServeMetrics>) {
+        let metrics = Arc::new(ServeMetrics::new());
+        (
+            Batcher::start(Arc::clone(reg), Arc::clone(&metrics), options),
+            metrics,
+        )
+    }
+
+    #[test]
+    fn batched_replies_match_direct_classification() {
+        let reg = registry_with_toy();
+        let (batcher, metrics) = batcher(&reg, BatchOptions::default());
+        let data = toy::table1_dataset().unwrap();
+        let tree = reg.get("toy").unwrap();
+        let mut scratch = BatchScratch::new();
+        let direct = classify_batch(&tree, data.tuples(), &mut scratch).unwrap();
+
+        let reply = batcher.classify("toy", data.tuples().to_vec()).unwrap();
+        assert_eq!(reply.n_classes, 2);
+        assert_eq!(reply.distributions.len(), direct.len());
+        for (a, b) in reply.distributions.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].requests, 1);
+        assert_eq!(snap[0].tuples, data.len() as u64);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn concurrent_submissions_are_coalesced_and_all_answered() {
+        let reg = registry_with_toy();
+        // One worker + a generous delay forces genuine coalescing.
+        let (batcher, metrics) = batcher(
+            &reg,
+            BatchOptions {
+                workers: 1,
+                max_batch_tuples: 1024,
+                max_delay: Duration::from_millis(5),
+                queue_capacity: 64,
+            },
+        );
+        let data = toy::table1_dataset().unwrap();
+        let tree = reg.get("toy").unwrap();
+        let mut scratch = BatchScratch::new();
+        let direct = classify_batch(&tree, data.tuples(), &mut scratch).unwrap();
+        let n = tree.n_classes();
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = data
+                .tuples()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| {
+                    let batcher = &batcher;
+                    scope.spawn(move || (i, batcher.classify("toy", vec![t.clone()]).unwrap()))
+                })
+                .collect();
+            for handle in handles {
+                let (i, reply) = handle.join().unwrap();
+                let expected = &direct[i * n..(i + 1) * n];
+                assert_eq!(reply.distributions.len(), n);
+                for (a, b) in reply.distributions.iter().zip(expected) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "tuple {i}");
+                }
+            }
+        });
+        let snap = metrics.snapshot();
+        assert_eq!(snap[0].requests, data.len() as u64);
+        assert_eq!(snap[0].tuples, data.len() as u64);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn unknown_models_error_without_poisoning_the_worker() {
+        let reg = registry_with_toy();
+        let (batcher, metrics) = batcher(&reg, BatchOptions::default());
+        let t = toy::fig1_test_tuple().unwrap();
+        assert!(matches!(
+            batcher.classify("nope", vec![t.clone()]),
+            Err(ServeError::UnknownModel(_))
+        ));
+        // The worker is still alive and serving.
+        assert!(batcher.classify("toy", vec![t]).is_ok());
+        // The bogus name lands in the shared unknown-model bucket, not a
+        // per-name entry a client could grow without bound.
+        let snap = metrics.snapshot();
+        assert_eq!(snap.iter().map(|s| s.errors).sum::<u64>(), 1);
+        let unknown = snap
+            .iter()
+            .find(|s| s.model == UNKNOWN_MODEL_BUCKET)
+            .expect("unknown-model bucket exists");
+        assert_eq!(unknown.errors, 1);
+        assert!(snap.iter().all(|s| s.model != "nope"));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs_and_rejects_new_ones() {
+        let reg = registry_with_toy();
+        let (batcher, _) = batcher(&reg, BatchOptions::default());
+        let t = toy::fig1_test_tuple().unwrap();
+        assert!(batcher.classify("toy", vec![t.clone()]).is_ok());
+        batcher.shutdown();
+        assert!(matches!(
+            batcher.classify("toy", vec![t]),
+            Err(ServeError::QueueClosed)
+        ));
+        // Idempotent.
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn non_finite_models_are_rejected_before_they_can_serve() {
+        // A model whose arena smuggles in an inf/NaN would panic the
+        // argmax in serving threads; the registry's load-time validation
+        // must refuse it instead (see FlatTree::validate).
+        let reg = registry_with_toy();
+        let tree = reg.get("toy").unwrap();
+        let json = udt_tree::persist::to_json(&tree).unwrap();
+        let evil = json.replacen("\"dists\":[", "\"dists\":[1e999,", 1);
+        assert_ne!(evil, json);
+        let path = std::env::temp_dir().join("udt-serve-evil-model.json");
+        std::fs::write(&path, evil).unwrap();
+        let err = reg.swap("evil", path.as_path()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "got: {err}");
+        assert!(reg.get("evil").is_err(), "nothing was registered");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_tuple_lists_are_served() {
+        let reg = registry_with_toy();
+        let (batcher, _) = batcher(&reg, BatchOptions::default());
+        let reply = batcher.classify("toy", Vec::new()).unwrap();
+        assert!(reply.distributions.is_empty());
+        assert_eq!(reply.n_classes, 2);
+        batcher.shutdown();
+    }
+}

@@ -1,0 +1,166 @@
+//! The `udt-client` CLI.
+//!
+//! ```text
+//! udt-client --addr HOST:PORT classify MODEL --point V1,V2,...
+//! udt-client --addr HOST:PORT classify MODEL --uniform LO,HI[,SAMPLES]
+//! udt-client --addr HOST:PORT stats
+//! udt-client --addr HOST:PORT load NAME PATH
+//! udt-client --addr HOST:PORT swap NAME PATH
+//! udt-client --addr HOST:PORT shutdown
+//! ```
+//!
+//! `--point` sends a certain (point-valued) tuple; `--uniform` sends a
+//! single-attribute *uncertain* tuple whose pdf is uniform over
+//! `[LO, HI]` with `SAMPLES` sample points (default 16) — enough for the
+//! CI smoke test to exercise the fractional classification path over the
+//! wire. Exit code is non-zero on any error, including server-reported
+//! ones.
+
+// `!(hi > lo)` is a deliberate NaN guard (same convention as udt-tree):
+// a NaN bound must take the rejection branch.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+
+use std::process::ExitCode;
+
+use udt_data::{Tuple, UncertainValue};
+use udt_prob::SampledPdf;
+use udt_serve::Client;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("udt-client: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let mut args = std::env::args().skip(1);
+    let mut addr = "127.0.0.1:7878".to_string();
+    let mut command: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().ok_or("--addr needs a value")?,
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: udt-client [--addr HOST:PORT] <classify MODEL \
+                     (--point CSV | --uniform LO,HI[,SAMPLES]) | stats | \
+                     load NAME PATH | swap NAME PATH | shutdown>"
+                );
+                return Ok(());
+            }
+            other => command.push(other.to_string()),
+        }
+    }
+    let mut client =
+        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    match command.first().map(String::as_str) {
+        Some("classify") => {
+            let model = command.get(1).ok_or("classify needs a MODEL name")?;
+            let tuple = parse_tuple(&command[2..])?;
+            let (distribution, label) =
+                client.classify(model, &tuple).map_err(|e| e.to_string())?;
+            println!("label: {label}");
+            for (c, p) in distribution.iter().enumerate() {
+                println!("P(class {c}) = {p:.6}");
+            }
+            Ok(())
+        }
+        Some("stats") => {
+            let stats = client.stats().map_err(|e| e.to_string())?;
+            println!("uptime: {:.1}s", stats.uptime_seconds);
+            println!(
+                "queue: {} workers, depth {}/{} jobs, flush at {} tuples or {} us",
+                stats.queue.workers,
+                stats.queue.depth,
+                stats.queue.capacity,
+                stats.queue.max_batch_tuples,
+                stats.queue.max_delay_us
+            );
+            for m in &stats.models {
+                println!(
+                    "model {} (gen {}): {} nodes, {} leaves, depth {}, {} classes, {} bytes",
+                    m.name, m.generation, m.nodes, m.leaves, m.depth, m.n_classes, m.heap_bytes
+                );
+            }
+            for s in &stats.metrics {
+                println!(
+                    "traffic {}: {} requests, {} tuples, {} errors, \
+                     p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
+                    s.model, s.requests, s.tuples, s.errors, s.p50_us, s.p95_us, s.p99_us
+                );
+            }
+            Ok(())
+        }
+        Some("load") | Some("swap") => {
+            let cmd = command[0].as_str();
+            let name = command.get(1).ok_or("load/swap needs NAME PATH")?;
+            let path = command.get(2).ok_or("load/swap needs NAME PATH")?;
+            let info = if cmd == "load" {
+                client.load_model(name, path)
+            } else {
+                client.swap(name, path)
+            }
+            .map_err(|e| e.to_string())?;
+            println!(
+                "model {} (gen {}): {} nodes, {} bytes",
+                info.name, info.generation, info.nodes, info.heap_bytes
+            );
+            Ok(())
+        }
+        Some("shutdown") => {
+            client.shutdown().map_err(|e| e.to_string())?;
+            println!("server shutting down");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given (try --help)".to_string()),
+    }
+}
+
+/// Parses `--point CSV` or `--uniform LO,HI[,SAMPLES]` into a tuple.
+fn parse_tuple(spec: &[String]) -> Result<Tuple, String> {
+    match spec.first().map(String::as_str) {
+        Some("--point") => {
+            let csv = spec.get(1).ok_or("--point needs comma-separated values")?;
+            let values: Result<Vec<f64>, _> =
+                csv.split(',').map(str::trim).map(str::parse).collect();
+            let values = values.map_err(|_| format!("--point: `{csv}` is not numeric CSV"))?;
+            if values.is_empty() {
+                return Err("--point needs at least one value".into());
+            }
+            Ok(Tuple::from_points(&values, 0))
+        }
+        Some("--uniform") => {
+            let csv = spec.get(1).ok_or("--uniform needs LO,HI[,SAMPLES]")?;
+            let parts: Vec<&str> = csv.split(',').map(str::trim).collect();
+            if parts.len() < 2 || parts.len() > 3 {
+                return Err(format!("--uniform: `{csv}` is not LO,HI[,SAMPLES]"));
+            }
+            let lo: f64 = parts[0]
+                .parse()
+                .map_err(|_| format!("--uniform: bad LO `{}`", parts[0]))?;
+            let hi: f64 = parts[1]
+                .parse()
+                .map_err(|_| format!("--uniform: bad HI `{}`", parts[1]))?;
+            let samples: usize = match parts.get(2) {
+                Some(s) => s
+                    .parse()
+                    .map_err(|_| format!("--uniform: bad SAMPLES `{s}`"))?,
+                None => 16,
+            };
+            if samples < 2 || !(hi > lo) {
+                return Err("--uniform needs HI > LO and SAMPLES >= 2".into());
+            }
+            let step = (hi - lo) / (samples - 1) as f64;
+            let points: Vec<f64> = (0..samples).map(|i| lo + step * i as f64).collect();
+            let mass = vec![1.0 / samples as f64; samples];
+            let pdf = SampledPdf::new(points, mass)
+                .map_err(|e| format!("--uniform: invalid pdf: {e}"))?;
+            Ok(Tuple::new(vec![UncertainValue::Numeric(pdf)], 0))
+        }
+        _ => Err("classify needs --point CSV or --uniform LO,HI[,SAMPLES]".into()),
+    }
+}

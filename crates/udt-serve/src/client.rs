@@ -1,0 +1,127 @@
+//! Blocking NDJSON client for a `udt-serve` endpoint.
+//!
+//! One TCP connection, one request line out, one response line back —
+//! used by the `udt-client` CLI, the integration tests and the `serve`
+//! bench. The client is deliberately synchronous: a caller that wants
+//! pipelining opens more connections (the server coalesces across all of
+//! them into shared micro-batches anyway).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use udt_data::Tuple;
+
+use crate::error::ServeError;
+use crate::protocol::{ModelInfo, Request, Response, StatsReport};
+use crate::Result;
+
+/// A connected client.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a serving endpoint.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request and reads its response line.
+    pub fn request(&mut self, request: &Request) -> Result<Response> {
+        let mut line = request.to_line();
+        line.push('\n');
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        let n = self.reader.read_line(&mut reply)?;
+        if n == 0 {
+            return Err(ServeError::Io("server closed the connection".into()));
+        }
+        Response::parse(&reply)
+    }
+
+    /// Classifies one tuple; returns `(distribution, argmax label)`.
+    pub fn classify(&mut self, model: &str, tuple: &Tuple) -> Result<(Vec<f64>, usize)> {
+        match self.request(&Request::Classify {
+            model: model.to_string(),
+            tuple: tuple.clone(),
+        })? {
+            Response::Classify {
+                distribution,
+                label,
+            } => Ok((distribution, label)),
+            other => Err(unexpected("classify", &other)),
+        }
+    }
+
+    /// Classifies a batch of tuples; returns per-tuple distributions and
+    /// labels, in request order.
+    pub fn classify_batch(
+        &mut self,
+        model: &str,
+        tuples: &[Tuple],
+    ) -> Result<(Vec<Vec<f64>>, Vec<usize>)> {
+        match self.request(&Request::ClassifyBatch {
+            model: model.to_string(),
+            tuples: tuples.to_vec(),
+        })? {
+            Response::ClassifyBatch {
+                distributions,
+                labels,
+            } => Ok((distributions, labels)),
+            other => Err(unexpected("classify_batch", &other)),
+        }
+    }
+
+    /// Loads a model file (server-side path) under a fresh name.
+    pub fn load_model(&mut self, name: &str, path: &str) -> Result<ModelInfo> {
+        match self.request(&Request::LoadModel {
+            name: name.to_string(),
+            path: path.to_string(),
+        })? {
+            Response::ModelLoaded(info) => Ok(info),
+            other => Err(unexpected("load_model", &other)),
+        }
+    }
+
+    /// Loads a model file and hot-swaps it into the named binding.
+    pub fn swap(&mut self, name: &str, path: &str) -> Result<ModelInfo> {
+        match self.request(&Request::Swap {
+            name: name.to_string(),
+            path: path.to_string(),
+        })? {
+            Response::ModelLoaded(info) => Ok(info),
+            other => Err(unexpected("swap", &other)),
+        }
+    }
+
+    /// Fetches the server's stats report.
+    pub fn stats(&mut self) -> Result<StatsReport> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(report) => Ok(report),
+            other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Asks the server to shut down cleanly.
+    pub fn shutdown(&mut self) -> Result<()> {
+        match self.request(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(what: &str, response: &Response) -> ServeError {
+    match response {
+        Response::Error { message } => ServeError::Remote(message.clone()),
+        other => ServeError::Protocol(format!("unexpected response to {what}: {other:?}")),
+    }
+}

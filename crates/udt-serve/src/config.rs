@@ -1,0 +1,227 @@
+//! Server configuration and flag parsing for the `udt-serve` binary.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use udt_tree::PartitionMode;
+
+use crate::batcher::BatchOptions;
+use crate::error::ServeError;
+use crate::Result;
+
+/// Configuration for a serving process.
+///
+/// Built either programmatically (tests, benches) or from CLI flags via
+/// [`ServeConfig::from_args`]:
+///
+/// ```text
+/// udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES]
+///           [--max-delay-us MICROS] [--queue-capacity JOBS]
+///           [--model NAME=PATH]... [--train-toy NAME]
+///           [--partition-mode owned|view]
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address (`127.0.0.1:7878` by default; port 0 asks the OS
+    /// for an ephemeral port, which the binary prints on startup).
+    pub addr: String,
+    /// Scheduler worker threads.
+    pub workers: usize,
+    /// Micro-batch flush threshold in tuples.
+    pub max_batch_tuples: usize,
+    /// Micro-batch flush threshold in time.
+    pub max_delay: Duration,
+    /// Bounded queue capacity in jobs.
+    pub queue_capacity: usize,
+    /// Models to load at startup, as `(name, path)` pairs.
+    pub models: Vec<(String, PathBuf)>,
+    /// When set, train the paper's Table 1 toy model in-process at
+    /// startup and serve it under this name — lets the smoke test and
+    /// walkthrough start a useful server with no model file at hand.
+    pub train_toy: Option<String>,
+    /// Partition mode used when training startup models (`--train-toy`);
+    /// parsed by the canonical [`PartitionMode`] `FromStr` impl, the same
+    /// parser `UDT_PARTITION_MODE` goes through.
+    pub partition_mode: PartitionMode,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        // The scheduler defaults have one source of truth:
+        // `BatchOptions::default()`.
+        let batch = BatchOptions::default();
+        ServeConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: batch.workers,
+            max_batch_tuples: batch.max_batch_tuples,
+            max_delay: batch.max_delay,
+            queue_capacity: batch.queue_capacity,
+            models: Vec::new(),
+            train_toy: None,
+            partition_mode: PartitionMode::from_env(),
+        }
+    }
+}
+
+impl ServeConfig {
+    /// The scheduler options this configuration implies.
+    pub fn batch_options(&self) -> BatchOptions {
+        BatchOptions {
+            workers: self.workers,
+            max_batch_tuples: self.max_batch_tuples,
+            max_delay: self.max_delay,
+            queue_capacity: self.queue_capacity,
+        }
+    }
+
+    /// Parses CLI flags (everything after the program name). Unknown
+    /// flags, missing values and malformed numbers are configuration
+    /// errors naming the offending flag.
+    pub fn from_args<I, S>(args: I) -> Result<ServeConfig>
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        let mut config = ServeConfig::default();
+        let mut args = args.into_iter();
+        while let Some(arg) = args.next() {
+            let arg = arg.as_ref();
+            let mut value_for = |flag: &str| -> Result<String> {
+                args.next()
+                    .map(|v| v.as_ref().to_string())
+                    .ok_or_else(|| ServeError::Config(format!("{flag} needs a value")))
+            };
+            match arg {
+                "--addr" => config.addr = value_for("--addr")?,
+                "--workers" => config.workers = parse_num(&value_for("--workers")?, "--workers")?,
+                "--max-batch" => {
+                    config.max_batch_tuples = parse_num(&value_for("--max-batch")?, "--max-batch")?
+                }
+                "--max-delay-us" => {
+                    let us: u64 = parse_num(&value_for("--max-delay-us")?, "--max-delay-us")?;
+                    config.max_delay = Duration::from_micros(us);
+                }
+                "--queue-capacity" => {
+                    config.queue_capacity =
+                        parse_num(&value_for("--queue-capacity")?, "--queue-capacity")?
+                }
+                "--model" => {
+                    let spec = value_for("--model")?;
+                    let (name, path) = spec.split_once('=').ok_or_else(|| {
+                        ServeError::Config(format!("--model expects NAME=PATH, got `{spec}`"))
+                    })?;
+                    if name.is_empty() || path.is_empty() {
+                        return Err(ServeError::Config(format!(
+                            "--model expects NAME=PATH, got `{spec}`"
+                        )));
+                    }
+                    config.models.push((name.to_string(), PathBuf::from(path)));
+                }
+                "--train-toy" => config.train_toy = Some(value_for("--train-toy")?),
+                "--partition-mode" => {
+                    let raw = value_for("--partition-mode")?;
+                    // The one canonical parser (shared with
+                    // `UDT_PARTITION_MODE`): satellite of ISSUE 4.
+                    config.partition_mode = raw.parse().map_err(|_| {
+                        ServeError::Config(format!(
+                            "--partition-mode must be `owned` or `view`, got `{raw}`"
+                        ))
+                    })?;
+                }
+                other => {
+                    return Err(ServeError::Config(format!("unknown flag `{other}`")));
+                }
+            }
+        }
+        if config.workers == 0 {
+            return Err(ServeError::Config("--workers must be at least 1".into()));
+        }
+        if config.max_batch_tuples == 0 {
+            return Err(ServeError::Config("--max-batch must be at least 1".into()));
+        }
+        if config.queue_capacity == 0 {
+            return Err(ServeError::Config(
+                "--queue-capacity must be at least 1".into(),
+            ));
+        }
+        Ok(config)
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T> {
+    raw.parse()
+        .map_err(|_| ServeError::Config(format!("{flag}: `{raw}` is not a valid number")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = ServeConfig::default();
+        assert_eq!(c.workers, 2);
+        assert!(c.max_batch_tuples > 0);
+        assert!(c.queue_capacity > 0);
+        assert!(c.models.is_empty());
+        let b = c.batch_options();
+        assert_eq!(b.workers, c.workers);
+        assert_eq!(b.max_batch_tuples, c.max_batch_tuples);
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let c = ServeConfig::from_args([
+            "--addr",
+            "127.0.0.1:0",
+            "--workers",
+            "4",
+            "--max-batch",
+            "128",
+            "--max-delay-us",
+            "250",
+            "--queue-capacity",
+            "64",
+            "--model",
+            "iris=models/iris.json",
+            "--model",
+            "toy=models/toy.json",
+            "--train-toy",
+            "demo",
+            "--partition-mode",
+            "OWNED",
+        ])
+        .unwrap();
+        assert_eq!(c.addr, "127.0.0.1:0");
+        assert_eq!(c.workers, 4);
+        assert_eq!(c.max_batch_tuples, 128);
+        assert_eq!(c.max_delay, Duration::from_micros(250));
+        assert_eq!(c.queue_capacity, 64);
+        assert_eq!(c.models.len(), 2);
+        assert_eq!(c.models[0].0, "iris");
+        assert_eq!(c.models[1].1, PathBuf::from("models/toy.json"));
+        assert_eq!(c.train_toy.as_deref(), Some("demo"));
+        assert_eq!(c.partition_mode, PartitionMode::Owned);
+    }
+
+    #[test]
+    fn bad_flags_name_themselves() {
+        for (args, needle) in [
+            (vec!["--frobnicate"], "--frobnicate"),
+            (vec!["--workers"], "--workers"),
+            (vec!["--workers", "many"], "--workers"),
+            (vec!["--workers", "0"], "--workers"),
+            (vec!["--max-batch", "0"], "--max-batch"),
+            (vec!["--queue-capacity", "0"], "--queue-capacity"),
+            (vec!["--model", "nameonly"], "NAME=PATH"),
+            (vec!["--model", "=path"], "NAME=PATH"),
+            (vec!["--partition-mode", "both"], "owned"),
+        ] {
+            let err = ServeConfig::from_args(args.clone()).unwrap_err();
+            assert!(
+                err.to_string().contains(needle),
+                "{args:?} should mention {needle}, got: {err}"
+            );
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the serving subsystem.
+
+use udt_tree::TreeError;
+
+/// Errors produced by the serving layer.
+///
+/// I/O errors are carried as rendered strings rather than
+/// [`std::io::Error`] values so the type stays `Clone + PartialEq` —
+/// responses cross thread and socket boundaries, and the wire protocol
+/// flattens every error to a message anyway.
+#[derive(Debug, Clone, PartialEq, thiserror::Error)]
+pub enum ServeError {
+    /// A socket or file operation failed.
+    #[error("i/o error: {0}")]
+    Io(String),
+
+    /// A request or response line was not valid protocol JSON.
+    #[error("protocol error: {0}")]
+    Protocol(String),
+
+    /// A request referenced a model name the registry does not hold.
+    #[error("unknown model {0}")]
+    UnknownModel(String),
+
+    /// `load_model` targeted a name that is already bound (use `swap`).
+    #[error("model {0} is already loaded; use swap to replace it")]
+    ModelExists(String),
+
+    /// The micro-batching queue has been shut down.
+    #[error("the serving queue is shut down")]
+    QueueClosed,
+
+    /// The server reported an error for a request (client side).
+    #[error("server error: {0}")]
+    Remote(String),
+
+    /// The server configuration was invalid.
+    #[error("invalid serve configuration: {0}")]
+    Config(String),
+
+    /// An error bubbled up from the tree layer (model loading,
+    /// classification).
+    #[error("tree error: {0}")]
+    Tree(#[from] TreeError),
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_offender() {
+        assert!(ServeError::UnknownModel("iris".into())
+            .to_string()
+            .contains("iris"));
+        assert!(ServeError::ModelExists("iris".into())
+            .to_string()
+            .contains("swap"));
+        let io: ServeError = std::io::Error::other("boom").into();
+        assert!(io.to_string().contains("boom"));
+        let tree: ServeError = TreeError::NoClasses.into();
+        assert!(tree.to_string().contains("classes"));
+    }
+}

@@ -1,0 +1,65 @@
+//! # udt-serve — a batched, multi-threaded serving layer for UDT models
+//!
+//! The training side of this workspace produces [`udt_tree::DecisionTree`]
+//! arenas that classify fastest when driven through
+//! [`udt_tree::classify_batch`] with a long-lived
+//! [`udt_tree::BatchScratch`]. This crate turns that calling convention
+//! into a long-lived service:
+//!
+//! * [`registry::ModelRegistry`] — loads persisted (format v2 or legacy)
+//!   models by name, validates them, and hands out `Arc<DecisionTree>`
+//!   snapshots. Hot-swapping a model atomically replaces the `Arc`;
+//!   in-flight batches keep classifying against the snapshot they took,
+//!   so a reload never drops or corrupts outstanding requests.
+//! * [`batcher::Batcher`] — a bounded MPSC queue plus a pool of worker
+//!   threads. Concurrent classification requests are coalesced into
+//!   micro-batches (flushed when `max_batch_tuples` accumulate or
+//!   `max_delay` elapses since the first queued job) and each worker owns
+//!   one `BatchScratch` for its whole lifetime, so steady-state serving
+//!   performs no per-request allocation in the classification engine.
+//! * [`server::Server`] / [`client::Client`] — a newline-delimited-JSON
+//!   protocol over plain `std::net` TCP ([`protocol`]): `classify`,
+//!   `classify_batch`, `load_model`, `swap`, `stats` and `shutdown`
+//!   requests, one JSON object per line in each direction. The build
+//!   environment is offline and std-only, so there is deliberately no
+//!   async runtime — threads block on sockets and condvars.
+//! * [`metrics::ServeMetrics`] — per-model request/tuple/error counters
+//!   and log-bucketed latency histograms (p50/p95/p99), surfaced through
+//!   the `stats` response together with each model's arena footprint
+//!   ([`udt_tree::FlatTree::heap_bytes`]).
+//!
+//! Two binaries wrap the library: `udt-serve` (the server; see
+//! [`config::ServeConfig`] for its flags) and `udt-client` (a small CLI
+//! used by the CI smoke test and the README walkthrough).
+//!
+//! ## Guarantees
+//!
+//! Served classifications are **bit-for-bit identical** to calling
+//! [`udt_tree::classify_batch`] directly on the same tuples: the wire
+//! format round-trips `f64`s through Rust's shortest round-trip float
+//! formatting, and the scheduler never reorders the tuples *within* a
+//! request. The integration tests lock this in over a real socket.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod error;
+pub mod metrics;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use batcher::{BatchOptions, Batcher};
+pub use client::Client;
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use metrics::ServeMetrics;
+pub use protocol::{ModelInfo, Request, Response, StatsReport};
+pub use registry::ModelRegistry;
+pub use server::Server;
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, ServeError>;

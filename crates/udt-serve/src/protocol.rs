@@ -1,0 +1,488 @@
+//! The NDJSON wire protocol.
+//!
+//! Every request and every response is one JSON object on one line
+//! (newline-delimited JSON), so the framing layer is `BufRead::read_line`
+//! and nothing else. Requests carry a `"cmd"` discriminant; responses
+//! carry `"ok"` plus either a `"result"` discriminant or an `"error"`
+//! message:
+//!
+//! ```text
+//! → {"cmd":"classify","model":"iris","tuple":{…}}
+//! ← {"ok":true,"result":"classify","distribution":[0.9,0.1],"label":0}
+//! → {"cmd":"classify_batch","model":"iris","tuples":[{…},{…}]}
+//! ← {"ok":true,"result":"classify_batch","distributions":[[…],[…]],"labels":[0,1]}
+//! → {"cmd":"load_model","name":"iris","path":"models/iris.json"}
+//! → {"cmd":"swap","name":"iris","path":"models/iris-v2.json"}
+//! ← {"ok":true,"result":"model_loaded","model":{…}}
+//! → {"cmd":"stats"}
+//! ← {"ok":true,"result":"stats","stats":{…}}
+//! → {"cmd":"shutdown"}
+//! ← {"ok":true,"result":"shutting_down"}
+//! ← {"ok":false,"error":"unknown model nope"}
+//! ```
+//!
+//! Tuples use the same serde projection as the rest of the workspace
+//! (`udt_data::Tuple`), and floats are printed with Rust's shortest
+//! round-trip formatting, so a distribution crossing the socket is
+//! **bit-for-bit** the distribution `classify_batch` produced.
+//!
+//! The envelope is parsed by hand over the [`serde::Value`] data model
+//! rather than derived: hand parsing gives precise error messages for
+//! malformed client input (missing/mistyped fields name themselves) and
+//! keeps the externally visible format independent of derive-macro
+//! conventions.
+
+use serde::{Deserialize, Serialize, Value};
+use udt_data::Tuple;
+
+use crate::error::ServeError;
+use crate::Result;
+
+/// Metadata describing one registered model, as returned by `stats` and
+/// `load_model`/`swap` responses.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelInfo {
+    /// Registry name the model is served under.
+    pub name: String,
+    /// Hot-swap generation: 1 for the first load, bumped by every swap.
+    pub generation: u64,
+    /// Total arena nodes.
+    pub nodes: usize,
+    /// Leaf count.
+    pub leaves: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Number of classes the model distinguishes.
+    pub n_classes: usize,
+    /// Number of attributes the model was trained on.
+    pub n_attributes: usize,
+    /// Approximate arena heap footprint in bytes
+    /// ([`udt_tree::FlatTree::heap_bytes`]).
+    pub heap_bytes: usize,
+}
+
+/// One model's serving counters, as reported by `stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelMetricsSnapshot {
+    /// Model name.
+    pub model: String,
+    /// Requests served (including failed ones).
+    pub requests: u64,
+    /// Tuples classified.
+    pub tuples: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Mean enqueue-to-reply latency, microseconds.
+    pub mean_us: f64,
+    /// Median latency (bucket upper bound), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile latency (bucket upper bound), microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile latency (bucket upper bound), microseconds.
+    pub p99_us: f64,
+}
+
+/// Scheduler configuration and occupancy, as reported by `stats`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Bounded queue capacity, in jobs.
+    pub capacity: usize,
+    /// Jobs waiting in the queue at snapshot time.
+    pub depth: usize,
+    /// Flush threshold: tuples per micro-batch.
+    pub max_batch_tuples: usize,
+    /// Flush threshold: microseconds a batch may wait for company.
+    pub max_delay_us: u64,
+}
+
+/// The full `stats` response payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatsReport {
+    /// Seconds since the server started.
+    pub uptime_seconds: f64,
+    /// Every registered model, sorted by name.
+    pub models: Vec<ModelInfo>,
+    /// Per-model serving counters, sorted by name.
+    pub metrics: Vec<ModelMetricsSnapshot>,
+    /// Scheduler state.
+    pub queue: QueueStats,
+}
+
+/// A request, one per line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Classify one tuple with the named model.
+    Classify {
+        /// Model name.
+        model: String,
+        /// The tuple to classify.
+        tuple: Tuple,
+    },
+    /// Classify a batch of tuples with the named model.
+    ClassifyBatch {
+        /// Model name.
+        model: String,
+        /// The tuples to classify, order preserved in the response.
+        tuples: Vec<Tuple>,
+    },
+    /// Load a persisted model file under a fresh name.
+    LoadModel {
+        /// Registry name to bind.
+        name: String,
+        /// Path (on the server's filesystem) of the persisted model.
+        path: String,
+    },
+    /// Load a persisted model file and atomically replace the named
+    /// binding (or create it if absent).
+    Swap {
+        /// Registry name to rebind.
+        name: String,
+        /// Path (on the server's filesystem) of the persisted model.
+        path: String,
+    },
+    /// Report models, counters and scheduler state.
+    Stats,
+    /// Stop accepting connections and shut down cleanly.
+    Shutdown,
+}
+
+/// A response, one per line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answer to [`Request::Classify`].
+    Classify {
+        /// Class distribution for the tuple.
+        distribution: Vec<f64>,
+        /// `argmax` class label.
+        label: usize,
+    },
+    /// Answer to [`Request::ClassifyBatch`].
+    ClassifyBatch {
+        /// Class distribution per tuple, in request order.
+        distributions: Vec<Vec<f64>>,
+        /// `argmax` class label per tuple.
+        labels: Vec<usize>,
+    },
+    /// Answer to [`Request::LoadModel`] / [`Request::Swap`].
+    ModelLoaded(ModelInfo),
+    /// Answer to [`Request::Stats`].
+    Stats(StatsReport),
+    /// Answer to [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any request that failed.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+// ------------------------------------------------------------- helpers
+
+fn obj(pairs: Vec<(&str, Value)>) -> Value {
+    Value::Map(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+fn field<'a>(v: &'a Value, key: &str, ctx: &str) -> Result<&'a Value> {
+    v.get(key)
+        .ok_or_else(|| ServeError::Protocol(format!("{ctx}: missing field `{key}`")))
+}
+
+fn string_field(v: &Value, key: &str, ctx: &str) -> Result<String> {
+    field(v, key, ctx)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| ServeError::Protocol(format!("{ctx}: field `{key}` must be a string")))
+}
+
+fn typed_field<T: Deserialize>(v: &Value, key: &str, ctx: &str) -> Result<T> {
+    T::deserialize(field(v, key, ctx)?)
+        .map_err(|e| ServeError::Protocol(format!("{ctx}: bad field `{key}`: {e}")))
+}
+
+fn parse_line(line: &str, ctx: &str) -> Result<Value> {
+    serde_json::from_str(line.trim()).map_err(|e| ServeError::Protocol(format!("{ctx}: {e}")))
+}
+
+fn render(v: &Value) -> String {
+    serde_json::to_string(v).expect("protocol values always serialise")
+}
+
+// ------------------------------------------------------------- request
+
+impl Request {
+    /// Renders the request as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Request::Classify { model, tuple } => obj(vec![
+                ("cmd", Value::Str("classify".into())),
+                ("model", Value::Str(model.clone())),
+                ("tuple", tuple.serialize()),
+            ]),
+            Request::ClassifyBatch { model, tuples } => obj(vec![
+                ("cmd", Value::Str("classify_batch".into())),
+                ("model", Value::Str(model.clone())),
+                ("tuples", tuples.serialize()),
+            ]),
+            Request::LoadModel { name, path } => obj(vec![
+                ("cmd", Value::Str("load_model".into())),
+                ("name", Value::Str(name.clone())),
+                ("path", Value::Str(path.clone())),
+            ]),
+            Request::Swap { name, path } => obj(vec![
+                ("cmd", Value::Str("swap".into())),
+                ("name", Value::Str(name.clone())),
+                ("path", Value::Str(path.clone())),
+            ]),
+            Request::Stats => obj(vec![("cmd", Value::Str("stats".into()))]),
+            Request::Shutdown => obj(vec![("cmd", Value::Str("shutdown".into()))]),
+        };
+        render(&v)
+    }
+
+    /// Parses one NDJSON request line.
+    pub fn parse(line: &str) -> Result<Request> {
+        let v = parse_line(line, "request")?;
+        let cmd = string_field(&v, "cmd", "request")?;
+        match cmd.as_str() {
+            "classify" => Ok(Request::Classify {
+                model: string_field(&v, "model", "classify")?,
+                tuple: typed_field(&v, "tuple", "classify")?,
+            }),
+            "classify_batch" => Ok(Request::ClassifyBatch {
+                model: string_field(&v, "model", "classify_batch")?,
+                tuples: typed_field(&v, "tuples", "classify_batch")?,
+            }),
+            "load_model" => Ok(Request::LoadModel {
+                name: string_field(&v, "name", "load_model")?,
+                path: string_field(&v, "path", "load_model")?,
+            }),
+            "swap" => Ok(Request::Swap {
+                name: string_field(&v, "name", "swap")?,
+                path: string_field(&v, "path", "swap")?,
+            }),
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(ServeError::Protocol(format!("unknown cmd `{other}`"))),
+        }
+    }
+}
+
+// ------------------------------------------------------------ response
+
+impl Response {
+    /// Renders the response as one NDJSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            Response::Classify {
+                distribution,
+                label,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("classify".into())),
+                ("distribution", distribution.serialize()),
+                ("label", label.serialize()),
+            ]),
+            Response::ClassifyBatch {
+                distributions,
+                labels,
+            } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("classify_batch".into())),
+                ("distributions", distributions.serialize()),
+                ("labels", labels.serialize()),
+            ]),
+            Response::ModelLoaded(info) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("model_loaded".into())),
+                ("model", info.serialize()),
+            ]),
+            Response::Stats(report) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("stats".into())),
+                ("stats", report.serialize()),
+            ]),
+            Response::ShuttingDown => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("shutting_down".into())),
+            ]),
+            Response::Error { message } => obj(vec![
+                ("ok", Value::Bool(false)),
+                ("error", Value::Str(message.clone())),
+            ]),
+        };
+        render(&v)
+    }
+
+    /// Parses one NDJSON response line.
+    pub fn parse(line: &str) -> Result<Response> {
+        let v = parse_line(line, "response")?;
+        let ok = match field(&v, "ok", "response")? {
+            Value::Bool(b) => *b,
+            _ => {
+                return Err(ServeError::Protocol(
+                    "response: field `ok` must be a bool".into(),
+                ))
+            }
+        };
+        if !ok {
+            return Ok(Response::Error {
+                message: string_field(&v, "error", "error response")?,
+            });
+        }
+        let result = string_field(&v, "result", "response")?;
+        match result.as_str() {
+            "classify" => Ok(Response::Classify {
+                distribution: typed_field(&v, "distribution", "classify response")?,
+                label: typed_field(&v, "label", "classify response")?,
+            }),
+            "classify_batch" => Ok(Response::ClassifyBatch {
+                distributions: typed_field(&v, "distributions", "classify_batch response")?,
+                labels: typed_field(&v, "labels", "classify_batch response")?,
+            }),
+            "model_loaded" => Ok(Response::ModelLoaded(typed_field(
+                &v,
+                "model",
+                "model_loaded response",
+            )?)),
+            "stats" => Ok(Response::Stats(typed_field(&v, "stats", "stats response")?)),
+            "shutting_down" => Ok(Response::ShuttingDown),
+            other => Err(ServeError::Protocol(format!("unknown result `{other}`"))),
+        }
+    }
+
+    /// Wraps a serving error as an error response.
+    pub fn from_error(e: &ServeError) -> Response {
+        Response::Error {
+            message: e.to_string(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_data::toy;
+
+    fn sample_stats() -> StatsReport {
+        StatsReport {
+            uptime_seconds: 1.5,
+            models: vec![ModelInfo {
+                name: "toy".into(),
+                generation: 2,
+                nodes: 5,
+                leaves: 3,
+                depth: 3,
+                n_classes: 2,
+                n_attributes: 1,
+                heap_bytes: 420,
+            }],
+            metrics: vec![ModelMetricsSnapshot {
+                model: "toy".into(),
+                requests: 10,
+                tuples: 40,
+                errors: 1,
+                mean_us: 12.5,
+                p50_us: 8.0,
+                p95_us: 32.0,
+                p99_us: 64.0,
+            }],
+            queue: QueueStats {
+                workers: 2,
+                capacity: 128,
+                depth: 0,
+                max_batch_tuples: 64,
+                max_delay_us: 500,
+            },
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = vec![
+            Request::Classify {
+                model: "toy".into(),
+                tuple: toy::fig1_test_tuple().unwrap(),
+            },
+            Request::ClassifyBatch {
+                model: "toy".into(),
+                tuples: toy::table1_dataset().unwrap().tuples().to_vec(),
+            },
+            Request::LoadModel {
+                name: "iris".into(),
+                path: "/tmp/iris.json".into(),
+            },
+            Request::Swap {
+                name: "iris".into(),
+                path: "/tmp/iris2.json".into(),
+            },
+            Request::Stats,
+            Request::Shutdown,
+        ];
+        for req in reqs {
+            let line = req.to_line();
+            assert!(!line.contains('\n'), "one line per request");
+            assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let resps = vec![
+            Response::Classify {
+                distribution: vec![0.1 + 0.2, 0.7],
+                label: 1,
+            },
+            Response::ClassifyBatch {
+                distributions: vec![vec![1.0, 0.0], vec![0.25, 0.75]],
+                labels: vec![0, 1],
+            },
+            Response::ModelLoaded(sample_stats().models[0].clone()),
+            Response::Stats(sample_stats()),
+            Response::ShuttingDown,
+            Response::Error {
+                message: "unknown model \"x\"".into(),
+            },
+        ];
+        for resp in resps {
+            let line = resp.to_line();
+            assert!(!line.contains('\n'), "one line per response");
+            assert_eq!(Response::parse(&line).unwrap(), resp, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn distributions_cross_the_wire_bit_for_bit() {
+        let dist = vec![0.1 + 0.2, 1.0 / 3.0, 1.0e-300, 0.0];
+        let line = Response::Classify {
+            distribution: dist.clone(),
+            label: 0,
+        }
+        .to_line();
+        match Response::parse(&line).unwrap() {
+            Response::Classify { distribution, .. } => {
+                for (a, b) in distribution.iter().zip(&dist) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_with_context() {
+        let err = Request::parse("{not json").unwrap_err();
+        assert!(err.to_string().contains("request"));
+        let err = Request::parse("{\"nocmd\":1}").unwrap_err();
+        assert!(err.to_string().contains("cmd"));
+        let err = Request::parse("{\"cmd\":\"dance\"}").unwrap_err();
+        assert!(err.to_string().contains("dance"));
+        let err = Request::parse("{\"cmd\":\"classify\",\"model\":\"m\"}").unwrap_err();
+        assert!(err.to_string().contains("tuple"));
+        let err = Response::parse("{\"ok\":1}").unwrap_err();
+        assert!(err.to_string().contains("ok"));
+        let err = Response::parse("{\"ok\":true,\"result\":\"nope\"}").unwrap_err();
+        assert!(err.to_string().contains("nope"));
+    }
+}

@@ -1,0 +1,310 @@
+//! The NDJSON-over-TCP server.
+//!
+//! Plain `std::net` blocking I/O: one accept loop, one thread per
+//! connection, one [`crate::batcher::Batcher`] worker pool behind them
+//! all. Connection threads do the cheap work themselves (parsing,
+//! registry mutations, stats snapshots) and delegate every
+//! classification to the shared scheduler, where requests from all
+//! connections coalesce into micro-batches.
+//!
+//! ## Shutdown
+//!
+//! A `shutdown` request acknowledges on its own connection, then flips
+//! the shared flag and pokes the listener with a loopback connection so
+//! `accept` wakes up. Connection threads poll the flag through a short
+//! socket read timeout and drain; [`Server::run`] then joins them and
+//! shuts the scheduler down — which drains the queue before stopping —
+//! so every request accepted before the shutdown is answered.
+
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use udt_tree::classify::argmax_class;
+
+use crate::batcher::Batcher;
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::ServeMetrics;
+use crate::protocol::{Request, Response, StatsReport};
+use crate::registry::ModelRegistry;
+use crate::Result;
+
+/// How often an idle connection thread re-checks the shutdown flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+
+/// Upper bound on one write before a stalled client is dropped. Without
+/// it, a client that stops reading while a large response is in flight
+/// would park its connection thread in `write_all` forever — past the
+/// shutdown flag, wedging [`Server::run`]'s join loop.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Upper bound on one request line. Large `classify_batch` payloads fit
+/// comfortably; a client streaming bytes with no newline is cut off
+/// instead of growing the line buffer without limit.
+const MAX_LINE_BYTES: usize = 64 * 1024 * 1024;
+
+/// Shared state handed to every connection thread.
+struct Ctx {
+    registry: Arc<ModelRegistry>,
+    batcher: Batcher,
+    metrics: Arc<ServeMetrics>,
+    stopping: AtomicBool,
+}
+
+/// A running serving endpoint (listener bound, scheduler started).
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+}
+
+impl Server {
+    /// Binds the configured address and starts the scheduler. The
+    /// registry is taken as an argument so callers can preload or train
+    /// models before the first connection lands.
+    pub fn bind(config: &ServeConfig, registry: Arc<ModelRegistry>) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let batcher = Batcher::start(
+            Arc::clone(&registry),
+            Arc::clone(&metrics),
+            config.batch_options(),
+        );
+        Ok(Server {
+            listener,
+            addr,
+            ctx: Arc::new(Ctx {
+                registry,
+                batcher,
+                metrics,
+                stopping: AtomicBool::new(false),
+            }),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the real ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves until a `shutdown` request arrives, then drains in-flight
+    /// work and returns. Consumes the server; join the thread running
+    /// this to wait for a clean stop.
+    pub fn run(self) -> Result<()> {
+        // Only this thread touches the handle list (pushed in the accept
+        // loop, drained after it), so a plain Vec suffices.
+        let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.ctx.stopping.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let ctx = Arc::clone(&self.ctx);
+                    let spawned = std::thread::Builder::new()
+                        .name("udt-serve-conn".to_string())
+                        .spawn(move || handle_connection(stream, &ctx));
+                    match spawned {
+                        Ok(handle) => {
+                            // Reap finished connections as we go
+                            // (dropping a finished handle releases its
+                            // thread) so a long-lived server does not
+                            // accumulate one joinable thread per
+                            // connection it ever served.
+                            handles.retain(|h| !h.is_finished());
+                            handles.push(handle);
+                        }
+                        // Thread exhaustion drops this one connection
+                        // (the stream closed when `spawned` failed);
+                        // the server itself keeps accepting.
+                        Err(_) => std::thread::sleep(READ_POLL),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => continue,
+                // Persistent accept failures (e.g. fd exhaustion) must
+                // not hot-spin the loop; back off briefly and retry.
+                Err(_) => std::thread::sleep(READ_POLL),
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        // Workers drain every job the connections submitted, then stop.
+        self.ctx.batcher.shutdown();
+        Ok(())
+    }
+}
+
+fn trigger_shutdown(ctx: &Ctx, addr: SocketAddr) {
+    ctx.stopping.store(true, Ordering::SeqCst);
+    // Wake the accept loop; the connection is dropped immediately and
+    // the loop observes the flag before handling it.
+    let _ = TcpStream::connect(addr);
+}
+
+fn handle_connection(stream: TcpStream, ctx: &Ctx) {
+    // An accepted socket's local address is the listener's address — the
+    // shutdown path uses it to wake the accept loop.
+    let local = stream.local_addr().ok();
+    // Short read timeout so the thread notices a server-wide shutdown
+    // even while its client is idle; bounded write timeout so a client
+    // that stops reading cannot park this thread in `write_all`.
+    let _ = stream.set_read_timeout(Some(READ_POLL));
+    let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    // Byte-level framing: `read_until` keeps whatever it already
+    // appended when a read times out, so a line split by the poll
+    // timeout — even inside a multibyte UTF-8 sequence, where
+    // `read_line` would discard the partial bytes — resumes intact on
+    // the next iteration.
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        // Checked on every iteration — not just on read timeouts — so a
+        // client that keeps requests flowing cannot keep this thread
+        // (and therefore the whole server) alive past a shutdown.
+        if ctx.stopping.load(Ordering::SeqCst) {
+            return;
+        }
+        if line.len() > MAX_LINE_BYTES {
+            // The buffer grows across timeout retries too, so the cap is
+            // checked before every read. Oversized requests cannot be
+            // re-framed reliably; report and drop the connection.
+            let mut payload = Response::Error {
+                message: format!("request line exceeds {MAX_LINE_BYTES} bytes"),
+            }
+            .to_line();
+            payload.push('\n');
+            let _ = writer.write_all(payload.as_bytes());
+            return;
+        }
+        match reader.read_until(b'\n', &mut line) {
+            Ok(0) => return, // client closed
+            // A complete line that still exceeds the cap loops back into
+            // the rejection branch above.
+            Ok(_) if line.len() > MAX_LINE_BYTES => continue,
+            Ok(_) => {
+                let text = String::from_utf8_lossy(&line).into_owned();
+                if text.trim().is_empty() {
+                    line.clear();
+                    continue;
+                }
+                let (response, stop) = dispatch(&text, ctx);
+                line.clear();
+                if stop {
+                    // Commit the shutdown *before* attempting the ack:
+                    // an accepted shutdown must not be lost because the
+                    // requester reset the connection or stalled its
+                    // receive path past WRITE_TIMEOUT.
+                    if let Some(local) = local {
+                        trigger_shutdown(ctx, local);
+                    } else {
+                        ctx.stopping.store(true, Ordering::SeqCst);
+                    }
+                }
+                let mut payload = response.to_line();
+                payload.push('\n');
+                if writer.write_all(payload.as_bytes()).is_err() || writer.flush().is_err() {
+                    return;
+                }
+                if stop {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                if ctx.stopping.load(Ordering::SeqCst) {
+                    return;
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request line; the bool asks the connection to close and
+/// trigger server shutdown.
+fn dispatch(line: &str, ctx: &Ctx) -> (Response, bool) {
+    let request = match Request::parse(line) {
+        Ok(r) => r,
+        Err(e) => return (Response::from_error(&e), false),
+    };
+    match request {
+        Request::Classify { model, tuple } => match ctx.batcher.classify(&model, vec![tuple]) {
+            Ok(reply) => (
+                Response::Classify {
+                    label: argmax_class(&reply.distributions),
+                    distribution: reply.distributions,
+                },
+                false,
+            ),
+            Err(e) => (Response::from_error(&e), false),
+        },
+        Request::ClassifyBatch { model, tuples } => match ctx.batcher.classify(&model, tuples) {
+            Ok(reply) => {
+                let k = reply.n_classes.max(1);
+                let distributions: Vec<Vec<f64>> =
+                    reply.distributions.chunks(k).map(<[f64]>::to_vec).collect();
+                let labels = distributions.iter().map(|d| argmax_class(d)).collect();
+                (
+                    Response::ClassifyBatch {
+                        distributions,
+                        labels,
+                    },
+                    false,
+                )
+            }
+            Err(e) => (Response::from_error(&e), false),
+        },
+        Request::LoadModel { name, path } => {
+            match ctx.registry.load(&name, std::path::Path::new(&path)) {
+                Ok(info) => (Response::ModelLoaded(info), false),
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Swap { name, path } => {
+            match ctx.registry.swap(&name, std::path::Path::new(&path)) {
+                Ok(info) => (Response::ModelLoaded(info), false),
+                Err(e) => (Response::from_error(&e), false),
+            }
+        }
+        Request::Stats => (
+            Response::Stats(StatsReport {
+                uptime_seconds: ctx.metrics.uptime_seconds(),
+                models: ctx.registry.info(),
+                metrics: ctx.metrics.snapshot(),
+                queue: ctx.batcher.queue_stats(),
+            }),
+            false,
+        ),
+        Request::Shutdown => (Response::ShuttingDown, true),
+    }
+}
+
+/// Convenience used by the binary and tests: bind, report the address
+/// through `on_bound`, and serve on the current thread until shutdown.
+pub fn serve_until_shutdown(
+    config: &ServeConfig,
+    registry: Arc<ModelRegistry>,
+    on_bound: impl FnOnce(SocketAddr),
+) -> Result<()> {
+    let server = Server::bind(config, registry)?;
+    on_bound(server.local_addr());
+    server.run()
+}
+
+// `ServeError` must be able to cross the reply channels and thread
+// boundaries of this module.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ServeError>();
+    assert_send_sync::<ModelRegistry>();
+    assert_send_sync::<ServeMetrics>();
+};

@@ -87,6 +87,10 @@ pub struct BuildSummary {
     pub partition_bytes: u64,
     /// Largest single partition call's allocation, in bytes.
     pub partition_peak_bytes: u64,
+    /// Approximate heap footprint of the finished arena in bytes
+    /// ([`crate::FlatTree::heap_bytes`]) — the steady-state memory cost
+    /// of serving this model.
+    pub tree_heap_bytes: u64,
 }
 
 impl BuildReport {
@@ -100,6 +104,7 @@ impl BuildReport {
             seconds: self.elapsed.as_secs_f64(),
             partition_bytes: self.stats.partition_bytes,
             partition_peak_bytes: self.stats.partition_peak_bytes,
+            tree_heap_bytes: self.tree.flat().heap_bytes() as u64,
         }
     }
 }
@@ -897,6 +902,12 @@ mod tests {
         assert_eq!(s.nodes, report.tree.size());
         assert!(s.seconds >= 0.0);
         assert!(s.entropy_like_calculations > 0);
+        assert_eq!(
+            s.tree_heap_bytes,
+            report.tree.flat().heap_bytes() as u64,
+            "summary surfaces the arena footprint"
+        );
+        assert!(s.tree_heap_bytes > 0);
     }
 
     #[test]

@@ -354,6 +354,21 @@ impl BatchScratch {
     }
 }
 
+// Thread-safety audit for the serving layer: worker threads each own a
+// `BatchScratch` (moved in at spawn) and share one `Arc<DecisionTree>`
+// snapshot, so the scratch must be `Send` and the tree `Send + Sync`.
+// All three hold only owned `Vec`s of plain data, but that is an
+// implementation detail a future field could silently break — these
+// compile-time assertions turn that into a build error here rather than
+// an obscure one inside `udt-serve`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<BatchScratch>();
+    assert_send_sync::<FlatTree>();
+    assert_send_sync::<DecisionTree>();
+};
+
 /// Finds the innermost override for `attr` along the delta chain starting
 /// at `link`. `None` means "no ancestor restricted this attribute".
 fn lookup(deltas: &[Delta], mut link: u32, attr: u32) -> Option<&Option<SampledPdf>> {

@@ -89,10 +89,29 @@ pub enum PartitionMode {
     View,
 }
 
+/// The canonical parser behind [`PartitionMode::from_env`] and any
+/// configuration surface that accepts the mode as text (the `udt-serve`
+/// binary's `--partition-mode` flag, for one): `owned` / `view`,
+/// case-insensitive.
+impl std::str::FromStr for PartitionMode {
+    type Err = crate::TreeError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("owned") {
+            Ok(PartitionMode::Owned)
+        } else if s.eq_ignore_ascii_case("view") {
+            Ok(PartitionMode::View)
+        } else {
+            Err(crate::TreeError::InvalidPartitionMode { got: s.to_string() })
+        }
+    }
+}
+
 impl PartitionMode {
     /// The default mode, overridable through the `UDT_PARTITION_MODE`
-    /// environment variable (`owned` / `view`, case-insensitive) so CI
-    /// can run the whole test suite in either mode.
+    /// environment variable (`owned` / `view`, case-insensitive, parsed
+    /// by the [`FromStr`](std::str::FromStr) impl) so CI can run the
+    /// whole test suite in either mode.
     ///
     /// Any other value falls back to the [`PartitionMode::View`] default
     /// with a one-time warning on stderr — loud enough that a typo'd A/B
@@ -100,9 +119,7 @@ impl PartitionMode {
     /// abort library users inside a plain [`UdtConfig::new`].
     pub fn from_env() -> PartitionMode {
         match std::env::var("UDT_PARTITION_MODE") {
-            Ok(v) if v.eq_ignore_ascii_case("owned") => PartitionMode::Owned,
-            Ok(v) if v.eq_ignore_ascii_case("view") => PartitionMode::View,
-            Ok(v) => {
+            Ok(v) => v.parse().unwrap_or_else(|_| {
                 static WARN_ONCE: std::sync::Once = std::sync::Once::new();
                 WARN_ONCE.call_once(|| {
                     eprintln!(
@@ -111,7 +128,7 @@ impl PartitionMode {
                     );
                 });
                 PartitionMode::View
-            }
+            }),
             Err(_) => PartitionMode::View,
         }
     }
@@ -394,6 +411,18 @@ mod tests {
         assert_eq!(c.parallel_threads, 2);
         assert_eq!(c.partition_mode, PartitionMode::Owned);
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn partition_mode_parses_from_text() {
+        assert_eq!("owned".parse::<PartitionMode>(), Ok(PartitionMode::Owned));
+        assert_eq!("OWNED".parse::<PartitionMode>(), Ok(PartitionMode::Owned));
+        assert_eq!("view".parse::<PartitionMode>(), Ok(PartitionMode::View));
+        assert_eq!("View".parse::<PartitionMode>(), Ok(PartitionMode::View));
+        let err = "both".parse::<PartitionMode>().unwrap_err();
+        assert!(err.to_string().contains("partition mode"), "got: {err}");
+        assert!(err.to_string().contains("both"), "names the input: {err}");
+        assert!("".parse::<PartitionMode>().is_err());
     }
 
     #[test]

@@ -31,6 +31,16 @@ pub enum TreeError {
         reason: &'static str,
     },
 
+    /// A textual partition-mode value was neither `owned` nor `view`
+    /// (see [`crate::PartitionMode`]'s `FromStr` impl). Carries the
+    /// offending input, which the f64-shaped [`TreeError::InvalidConfig`]
+    /// could not.
+    #[error("invalid partition mode `{got}`: expected 'owned' or 'view'")]
+    InvalidPartitionMode {
+        /// The string that failed to parse.
+        got: String,
+    },
+
     /// A tuple presented for classification does not match the tree's
     /// schema arity.
     #[error("test tuple has {found} attributes but the tree was trained on {expected}")]

@@ -277,6 +277,26 @@ impl FlatTree {
         self.kinds.iter().filter(|k| **k == NodeKind::Leaf).count()
     }
 
+    /// Approximate heap footprint of the arena in bytes: the sum over
+    /// every parallel array of `len × element size`. Deliberately counts
+    /// lengths rather than capacities so the figure is deterministic for
+    /// a given tree (capacity over-allocation varies with build history);
+    /// the true heap usage is at least this much. Serving registries
+    /// surface it per model through their `stats` responses.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.kinds.len() * size_of::<NodeKind>()
+            + self.attrs.len() * size_of::<u32>()
+            + self.splits.len() * size_of::<f64>()
+            + self.child_start.len() * size_of::<u32>()
+            + self.child_count.len() * size_of::<u32>()
+            + self.children.len() * size_of::<u32>()
+            + self.counts.len() * size_of::<f64>()
+            + self.totals.len() * size_of::<f64>()
+            + self.dist_start.len() * size_of::<u32>()
+            + self.dists.len() * size_of::<f64>()
+    }
+
     /// Depth of the subtree rooted at `id` (a single leaf has depth 1).
     pub fn depth_of(&self, id: usize) -> usize {
         match self.kinds[id] {
@@ -531,6 +551,21 @@ impl FlatTree {
                 referenced[c] += 1;
             }
         }
+        // Every stored magnitude must be a finite non-negative number:
+        // classification divides by distribution/count sums and feeds the
+        // results through `partial_cmp(..).expect("finite")` argmaxes, so
+        // an inf/NaN smuggled in through a persisted model (JSON `1e999`
+        // parses to +inf) would panic serving threads at request time
+        // rather than fail here at load time.
+        if self.dists.iter().any(|d| !(d.is_finite() && *d >= 0.0)) {
+            return Err(err("non-finite or negative leaf distribution"));
+        }
+        if self.counts.iter().any(|c| !(c.is_finite() && *c >= 0.0)) {
+            return Err(err("non-finite or negative class count"));
+        }
+        if self.totals.iter().any(|t| !(t.is_finite() && *t >= 0.0)) {
+            return Err(err("non-finite or negative count total"));
+        }
         if referenced[Self::ROOT] != 0 {
             return Err(err("root is referenced as a child"));
         }
@@ -634,6 +669,30 @@ mod tests {
     }
 
     #[test]
+    fn heap_bytes_tracks_the_arena_layout() {
+        let flat = FlatTree::from_node(&sample_root(), 2);
+        // Exact expectation from the layout: 6 nodes over 2 classes with
+        // 5 child slots (3 categorical + 2 binary) and 4 leaf
+        // distributions of 2 floats each.
+        let n = flat.len();
+        assert_eq!(n, 6);
+        let expected = n * std::mem::size_of::<NodeKind>()   // kinds
+            + n * 4 * 3                                      // attrs + child_start + child_count
+            + n * 8 * 2                                      // splits + totals
+            + n * 4                                          // dist_start
+            + 5 * 4                                          // child slab
+            + n * 2 * 8                                      // counts slab
+            + 4 * 2 * 8; // leaf distributions
+        assert_eq!(flat.heap_bytes(), expected);
+        // A strictly larger tree has a strictly larger footprint, and a
+        // round trip through persistence preserves the figure.
+        let single = FlatTree::from_node(&leaf(vec![1.0, 0.0]), 2);
+        assert!(single.heap_bytes() < flat.heap_bytes());
+        assert!(single.heap_bytes() > 0);
+        assert_eq!(flat.to_preorder().heap_bytes(), flat.heap_bytes());
+    }
+
+    #[test]
     fn validation_rejects_corrupted_arenas() {
         let flat = FlatTree::from_node(&sample_root(), 2);
         // Dangling child.
@@ -652,6 +711,18 @@ mod tests {
         // Length mismatch.
         let mut bad = flat.clone();
         bad.totals.pop();
+        assert!(bad.validate().is_err());
+        // Non-finite or negative magnitudes: served models divide by
+        // these sums and argmax the quotients, so inf/NaN must be
+        // refused at validation time.
+        let mut bad = flat.clone();
+        bad.dists[0] = f64::INFINITY;
+        assert!(bad.validate().is_err());
+        let mut bad = flat.clone();
+        bad.counts[0] = f64::NAN;
+        assert!(bad.validate().is_err());
+        let mut bad = flat.clone();
+        bad.totals[0] = -1.0;
         assert!(bad.validate().is_err());
         // Empty arena.
         assert!(FlatTree::new(2).validate().is_err());

@@ -1,0 +1,143 @@
+//! Error-path coverage for `udt_tree::persist`.
+//!
+//! The serving registry trusts `persist::load` to reject anything that
+//! would make `FlatTree` invariants unsound before a model goes live, so
+//! the failure modes are pinned here as integration tests: truncation at
+//! every prefix length, targeted corruption of v2 arenas, unknown or
+//! malformed version tags, and the legacy round trip
+//! `to_legacy_json → from_json` reconverging to the exact same arena.
+
+use udt_data::toy;
+use udt_tree::persist::{from_json, to_json, to_legacy_json};
+use udt_tree::{Algorithm, DecisionTree, TreeBuilder, TreeError, UdtConfig};
+
+fn trained() -> DecisionTree {
+    TreeBuilder::new(
+        UdtConfig::new(Algorithm::UdtEs)
+            .with_postprune(false)
+            .with_min_node_weight(0.0),
+    )
+    .build(&toy::table1_dataset().expect("toy data is valid"))
+    .expect("toy build succeeds")
+    .tree
+}
+
+#[test]
+fn every_truncation_of_a_v2_model_errors_cleanly() {
+    // No prefix of a valid model may panic or — worse — deserialise into
+    // a different valid model. (The empty prefix and the full string are
+    // the boundary cases; the full string must load.)
+    let json = to_json(&trained()).unwrap();
+    for len in 0..json.len() {
+        if !json.is_char_boundary(len) {
+            continue;
+        }
+        assert!(
+            from_json(&json[..len]).is_err(),
+            "prefix of {len} bytes was accepted"
+        );
+    }
+    assert!(from_json(&json).is_ok());
+}
+
+#[test]
+fn corrupt_v2_arenas_are_rejected_with_a_model_error() {
+    let tree = trained();
+    let json = to_json(&tree).unwrap();
+
+    // Structural corruption: a child index pointing past the arena.
+    let dangling = json.replacen("\"children\":[", "\"children\":[4096,", 1);
+    assert_ne!(dangling, json);
+    assert!(from_json(&dangling).is_err());
+
+    // Metadata corruption: class-name count no longer matches the arena.
+    let extra_class = json.replacen("\"class_names\":[", "\"class_names\":[\"ghost\",", 1);
+    assert_ne!(extra_class, json);
+    match from_json(&extra_class) {
+        Err(TreeError::InvalidModel { reason }) => {
+            assert!(reason.contains("class name"), "got: {reason}")
+        }
+        other => panic!("expected InvalidModel, got {other:?}"),
+    }
+
+    // Arena-length corruption: dropping the totals array entirely leaves
+    // a well-formed JSON document that fails structural validation (the
+    // shim reports the missing field as a v2 parse failure).
+    let no_totals = json.replacen("\"totals\":", "\"nototals\":", 1);
+    assert_ne!(no_totals, json);
+    assert!(from_json(&no_totals).is_err());
+
+    // Numeric corruption: JSON `1e999` parses to +inf, which would make
+    // classification produce NaNs and panic the serving argmax — it must
+    // be refused at load time instead.
+    let inf_dist = json.replacen("\"dists\":[", "\"dists\":[1e999,", 1);
+    assert_ne!(inf_dist, json);
+    match from_json(&inf_dist) {
+        Err(TreeError::InvalidModel { reason }) => {
+            assert!(reason.contains("non-finite"), "got: {reason}")
+        }
+        other => panic!("expected InvalidModel, got {other:?}"),
+    }
+}
+
+#[test]
+fn unknown_and_malformed_version_tags_are_refused() {
+    let json = to_json(&trained()).unwrap();
+
+    // A future format version must be refused rather than misread…
+    let future = json.replace("\"format_version\":2", "\"format_version\":99");
+    assert_ne!(future, json);
+    match from_json(&future) {
+        Err(TreeError::InvalidModel { reason }) => {
+            assert!(reason.contains("newer format"), "got: {reason}")
+        }
+        other => panic!("expected InvalidModel, got {other:?}"),
+    }
+
+    // …and a non-numeric tag is a v2 parse failure, not a silent fall
+    // back to the legacy decoder.
+    let garbled = json.replace("\"format_version\":2", "\"format_version\":\"two\"");
+    assert_ne!(garbled, json);
+    match from_json(&garbled) {
+        Err(TreeError::InvalidConfig { name, .. }) => {
+            assert!(name.contains("version-2"), "got: {name}")
+        }
+        other => panic!("expected a v2 parse error, got {other:?}"),
+    }
+}
+
+#[test]
+fn legacy_round_trip_reconverges_to_the_same_arena() {
+    // Write the legacy (boxed Node) projection, reload it, and compare
+    // the reconstructed arena to the original column by column: the
+    // conversion Node → FlatTree emits strict preorder, which is the
+    // canonical layout the builder produced, so the arenas must be
+    // bit-for-bit equal — not merely predict-equivalent.
+    let tree = trained();
+    let legacy = to_legacy_json(&tree).unwrap();
+    assert!(legacy.contains("\"root\""));
+    assert!(!legacy.contains("format_version"));
+    let restored = from_json(&legacy).unwrap();
+    assert_eq!(
+        restored.flat(),
+        tree.flat(),
+        "arena equality after legacy round trip"
+    );
+    assert_eq!(restored.flat().heap_bytes(), tree.flat().heap_bytes());
+    assert_eq!(restored.n_attributes(), tree.n_attributes());
+    assert_eq!(restored.class_names(), tree.class_names());
+    restored.flat().validate().unwrap();
+
+    // And the re-serialised v2 text of the restored tree is identical to
+    // the original's: the legacy format loses no information.
+    assert_eq!(to_json(&restored).unwrap(), to_json(&tree).unwrap());
+}
+
+#[test]
+fn non_json_and_wrong_shape_inputs_error() {
+    assert!(from_json("").is_err());
+    assert!(from_json("42").is_err());
+    assert!(from_json("[1,2,3]").is_err());
+    assert!(from_json("{\"root\": 17}").is_err());
+    assert!(from_json("{\"format_version\": 2}").is_err());
+}

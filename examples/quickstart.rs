@@ -11,7 +11,7 @@
 
 use udt_data::toy;
 use udt_eval::accuracy::evaluate;
-use udt_tree::{classify_batch, Algorithm, BatchScratch, TreeBuilder, UdtConfig};
+use udt_tree::{classify_batch, persist, Algorithm, BatchScratch, TreeBuilder, UdtConfig};
 
 fn main() {
     // 1. The Table 1 training data: one uncertain numerical attribute, two
@@ -93,4 +93,22 @@ fn main() {
         let probs: Vec<String> = dist.iter().map(|p| format!("{p:.3}")).collect();
         println!("  tuple {}: [{}]", i + 1, probs.join(", "));
     }
+
+    // 6. Persist the trained model (format v2: the validated flat arena).
+    //    `udt-serve` loads exactly this file — see the README's Serving
+    //    walkthrough:
+    //      udt-serve --addr 127.0.0.1:7878 --model toy=results/table1_model.json
+    let model_path = std::path::Path::new("results/table1_model.json");
+    if let Some(dir) = model_path.parent() {
+        std::fs::create_dir_all(dir).expect("results directory is writable");
+    }
+    persist::save(&udt.tree, model_path).expect("model file is writable");
+    println!(
+        "\nsaved the UDT-ES model to {} ({} nodes, {} bytes of arena) — \
+         ready for `udt-serve --model toy={}`",
+        model_path.display(),
+        udt.tree.size(),
+        udt.tree.flat().heap_bytes(),
+        model_path.display()
+    );
 }

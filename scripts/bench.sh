@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Runs the split-search, classification and partition-traffic benchmarks
-# and writes the measurement trajectories to BENCH_split.json,
-# BENCH_classify.json and BENCH_partition.json at the repository root.
+# Runs the split-search, classification, partition-traffic and serving
+# benchmarks and writes the measurement trajectories to BENCH_split.json,
+# BENCH_classify.json, BENCH_partition.json and BENCH_serve.json at the
+# repository root.
 #
 # The criterion shim (shims/criterion) emits one JSON record per
 # benchmark when CRITERION_JSON names a file; this script points it at
 # the respective output file and prints the headline numbers afterwards:
 # naive-vs-columnar for split search, single-vs-batch for classification,
-# and owned-vs-view wall-clock + bytes-allocated for partitioning.
+# owned-vs-view wall-clock + bytes-allocated for partitioning, and
+# batched-vs-single-request socket throughput for serving.
 #
 # Usage: scripts/bench.sh [extra cargo bench args...]
 
@@ -20,9 +22,11 @@ cd "$(dirname "$0")/.."
 split_out="$(pwd)/BENCH_split.json"
 classify_out="$(pwd)/BENCH_classify.json"
 partition_out="$(pwd)/BENCH_partition.json"
+serve_out="$(pwd)/BENCH_serve.json"
 CRITERION_JSON="$split_out" cargo bench -p udt-bench --bench split_algorithms "$@"
 CRITERION_JSON="$classify_out" cargo bench -p udt-bench --bench classify_throughput "$@"
 CRITERION_JSON="$partition_out" cargo bench -p udt-bench --bench partition "$@"
+CRITERION_JSON="$serve_out" cargo bench -p udt-bench --bench serve "$@"
 
 echo
 echo "== $split_out =="
@@ -85,4 +89,23 @@ for depth in ("04", "08", "12"):
     if owned["median_ns"] and view["median_ns"]:
         line += f", wall-clock owned/view = {owned['median_ns'] / view['median_ns']:.2f}x"
     print(line)
+EOF
+
+echo
+echo "== $serve_out =="
+python3 - "$serve_out" <<'EOF'
+import json
+import sys
+
+results = json.load(open(sys.argv[1]))
+by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
+
+def speedup(group, single, batch):
+    a = by_key.get((group, single))
+    b = by_key.get((group, batch))
+    if a and b:
+        print(f"{group}: {single} / {batch} = {a / b:.2f}x micro-batched throughput")
+
+speedup("serve_throughput", "single_uncertain", "batch_uncertain")
+speedup("serve_throughput", "single_point", "batch_point")
 EOF

@@ -10,9 +10,12 @@
 //! * [`udt_data`] — datasets, uncertainty injection, synthetic generators;
 //! * [`udt_tree`] — the decision-tree builder and the UDT split-search
 //!   family (including the columnar split engine);
+//! * [`udt_serve`] — the serving subsystem (hot-swap model registry,
+//!   micro-batching scheduler, NDJSON-over-TCP server/client);
 //! * [`udt_eval`] — the paper's experiments (tables and figures).
 
 pub use udt_data;
 pub use udt_eval;
 pub use udt_prob;
+pub use udt_serve;
 pub use udt_tree;
