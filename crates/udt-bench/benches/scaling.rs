@@ -1,0 +1,83 @@
+//! Thread-scaling bench: the persistent build pool across 1–8 threads.
+//!
+//! Two groups over a Fig. 6-scale UDT-ES workload (a Table 2 stand-in
+//! with baseline Gaussian uncertainty):
+//!
+//! * `scaling_build` — the full end-to-end build (presort → search →
+//!   partition → subtree pipeline → graft) at thread counts 1, 2, 4
+//!   and 8. Builds are arena-bit-identical at every thread count (the
+//!   `pool_determinism` regression test pins that), so this group
+//!   measures pure execution-substrate speedup.
+//! * `scaling_presort` — the newly parallel root pass in isolation:
+//!   per-attribute presorted event-column construction
+//!   ([`udt_tree::columns::build_root_with`]), the single `O(E log E)`
+//!   phase that ran fully sequentially before the pool existed.
+//!
+//! `scripts/bench.sh` writes the measurements to `BENCH_scaling.json`
+//! and prints the 1-thread / N-thread speedups. The numbers are bounded
+//! by the host: on a single-core container every thread count measures
+//! ≈ 1×; the ≥ 2× target at 4 threads needs ≥ 4 real cores.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use udt_bench::{point_dataset, uncertain};
+use udt_tree::columns;
+use udt_tree::fractional::FractionalTuple;
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig, WorkerPool};
+
+/// Thread counts swept by both groups.
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+
+fn workload() -> udt_data::Dataset {
+    // Segment at 50 % scale with s = 64: ~580 tuples × 19 numerical
+    // attributes ≈ 700k root events — a build measured in hundreds of
+    // milliseconds single-threaded, big enough that per-phase fan-out
+    // dominates pool overhead.
+    uncertain(&point_dataset("Segment", 0.5), 0.10, 64)
+}
+
+fn bench_build_scaling(c: &mut Criterion) {
+    let data = workload();
+    let mut group = c.benchmark_group("scaling_build");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3));
+    for &threads in &THREADS {
+        let builder = TreeBuilder::new(
+            UdtConfig::new(Algorithm::UdtEs)
+                .with_postprune(false)
+                .with_threads(threads),
+        );
+        group.bench_function(&format!("threads{threads:02}"), |b| {
+            b.iter(|| builder.build(&data).expect("build succeeds"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_presort_scaling(c: &mut Criterion) {
+    let data = workload();
+    let tuples: Vec<FractionalTuple> = data
+        .tuples()
+        .iter()
+        .map(FractionalTuple::from_tuple)
+        .collect();
+    let numerical: Vec<usize> = data.schema().numerical_indices();
+    let mut group = c.benchmark_group("scaling_presort");
+    group
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2));
+    for &threads in &THREADS {
+        let pool = WorkerPool::for_concurrency(threads);
+        group.bench_function(&format!("threads{threads:02}"), |b| {
+            b.iter(|| columns::build_root_with(&tuples, &numerical, &pool));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build_scaling, bench_presort_scaling);
+criterion_main!(benches);

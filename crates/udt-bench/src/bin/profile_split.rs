@@ -24,13 +24,29 @@ fn time<T>(label: &str, reps: u32, mut f: impl FnMut() -> T) -> f64 {
 }
 
 fn main() {
-    let s: usize = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(40);
+    // `profile_split [S] [--threads auto|N]` — S is the pdf sample
+    // count; the thread flag goes through the canonical `ThreadCount`
+    // parser shared with `UDT_THREADS` and `udt-serve --threads`.
+    let mut s: usize = 40;
+    let mut threads = udt_tree::ThreadCount::from_env();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--threads" {
+            let raw = args.next().unwrap_or_default();
+            threads = raw.parse().unwrap_or_else(|e| {
+                eprintln!("profile_split: {e}");
+                std::process::exit(2);
+            });
+        } else if let Ok(n) = arg.parse() {
+            s = n;
+        } else {
+            eprintln!("usage: profile_split [S] [--threads auto|N]");
+            std::process::exit(2);
+        }
+    }
     let data = baseline_workload(s);
     println!(
-        "workload: {} tuples, {} attributes, s={s}",
+        "workload: {} tuples, {} attributes, s={s}, threads={threads}",
         data.len(),
         data.n_attributes()
     );
@@ -83,7 +99,11 @@ fn main() {
             1e-6,
         )
     });
-    let builder = TreeBuilder::new(UdtConfig::new(Algorithm::Udt).with_postprune(false));
+    let builder = TreeBuilder::new(
+        UdtConfig::new(Algorithm::Udt)
+            .with_postprune(false)
+            .with_threads(threads),
+    );
     time("columnar: full build (exhaustive)", 10, || {
         builder.build(&data).expect("build succeeds")
     });

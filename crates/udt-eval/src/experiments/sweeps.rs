@@ -40,6 +40,11 @@ pub struct SweepRow {
     pub partition_bytes: u64,
     /// Largest single partition call's allocation, in bytes.
     pub partition_peak_bytes: u64,
+    /// Seconds spent in the root presort phase (wall-clock).
+    pub build_presort_s: f64,
+    /// Seconds spent in per-node split search (cumulative across pool
+    /// workers; equals wall-clock at one thread).
+    pub build_search_s: f64,
 }
 
 fn injectable_specs(settings: &Settings) -> Vec<udt_data::repository::DatasetSpec> {
@@ -79,6 +84,8 @@ fn measure(
         entropy_like_calculations: report.stats.entropy_like_calculations(),
         partition_bytes: report.stats.partition_bytes,
         partition_peak_bytes: report.stats.partition_peak_bytes,
+        build_presort_s: report.stats.presort_ns as f64 / 1e9,
+        build_search_s: report.stats.search_ns as f64 / 1e9,
     })
 }
 
@@ -152,14 +159,18 @@ pub fn render(title: &str, parameter: &str, rows: &[SweepRow]) -> String {
     )
 }
 
-/// The CSV header matching [`csv_rows`].
-pub const CSV_HEADER: [&str; 6] = [
+/// The CSV header matching [`csv_rows`]. The per-phase columns show
+/// where build time goes as `s` and `w` grow: `build_presort_s` is the
+/// root sort, `build_search_s` the per-node split search.
+pub const CSV_HEADER: [&str; 8] = [
     "dataset",
     "value",
     "build_seconds",
     "entropy_like_calculations",
     "partition_bytes",
     "partition_peak_bytes",
+    "build_presort_s",
+    "build_search_s",
 ];
 
 /// Flattens sweep rows into CSV cells (pair with [`CSV_HEADER`] and
@@ -177,6 +188,8 @@ pub fn csv_rows(rows: &[SweepRow]) -> Vec<Vec<String>> {
                 r.entropy_like_calculations.to_string(),
                 r.partition_bytes.to_string(),
                 r.partition_peak_bytes.to_string(),
+                format!("{:.6}", r.build_presort_s),
+                format!("{:.6}", r.build_search_s),
             ]
         })
         .collect()
@@ -216,6 +229,10 @@ mod tests {
         assert!(rows
             .iter()
             .all(|r| r.partition_peak_bytes <= r.partition_bytes));
+        // Per-phase timings are recorded and sit inside the total.
+        assert!(rows.iter().all(|r| r.build_presort_s > 0.0));
+        assert!(rows.iter().all(|r| r.build_search_s > 0.0));
+        assert!(rows.iter().all(|r| r.build_presort_s < r.seconds));
     }
 
     #[test]

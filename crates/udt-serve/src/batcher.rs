@@ -19,18 +19,22 @@
 //! tuples are never reordered within a job, so replies are bit-for-bit
 //! what a direct `classify_batch` call would have produced.
 //!
+//! The worker loops run as long-lived tasks on a dedicated
+//! [`udt_tree::WorkerPool`] — the same execution substrate the tree
+//! builder uses — so the serving layer manages no raw `JoinHandle`s of
+//! its own.
+//!
 //! Shutdown is graceful: [`Batcher::shutdown`] closes the queue to new
 //! submissions, lets the workers drain every job already accepted, and
-//! joins them — no in-flight request is dropped.
+//! joins them (by dropping the pool) — no in-flight request is dropped.
 
 use std::collections::VecDeque;
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
-use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use udt_data::Tuple;
-use udt_tree::{classify_batch, BatchScratch};
+use udt_tree::{classify_batch, BatchScratch, WorkerPool};
 
 use crate::error::ServeError;
 use crate::metrics::ServeMetrics;
@@ -104,12 +108,28 @@ struct Shared {
 pub struct Batcher {
     shared: Arc<Shared>,
     options: BatchOptions,
-    workers: Mutex<Vec<JoinHandle<()>>>,
+    /// Worker loops actually running (the pool may have spawned fewer
+    /// threads than requested under resource pressure); this is what
+    /// `queue_stats` reports.
+    workers: usize,
+    /// The dedicated worker pool whose threads run the batch loops.
+    /// Taken (and thereby joined) by [`Batcher::shutdown`].
+    pool: Mutex<Option<WorkerPool>>,
 }
 
 impl Batcher {
     /// Starts `options.workers` worker threads serving models from
-    /// `registry`, recording into `metrics`.
+    /// `registry`, recording into `metrics`. Each worker loop runs as a
+    /// long-lived task on a dedicated [`WorkerPool`] sized to exactly
+    /// the worker count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if not a single worker thread could be spawned — a
+    /// batcher with no workers would accept requests and never answer
+    /// them. A *partial* spawn failure degrades to the threads that did
+    /// start (the pool logs it), and only that many loops are queued so
+    /// none sits queued forever behind the others.
     pub fn start(
         registry: Arc<ModelRegistry>,
         metrics: Arc<ServeMetrics>,
@@ -123,22 +143,24 @@ impl Batcher {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
         });
-        let workers = (0..options.workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                let registry = Arc::clone(&registry);
-                let metrics = Arc::clone(&metrics);
-                let options = options.clone();
-                std::thread::Builder::new()
-                    .name(format!("udt-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared, &registry, &metrics, &options))
-                    .expect("worker thread spawns")
-            })
-            .collect();
+        let pool = WorkerPool::named(options.workers.max(1), "udt-serve-worker");
+        let workers = pool.workers();
+        assert!(
+            workers > 0,
+            "udt-serve: could not spawn any batch worker thread"
+        );
+        for _ in 0..workers {
+            let shared = Arc::clone(&shared);
+            let registry = Arc::clone(&registry);
+            let metrics = Arc::clone(&metrics);
+            let options = options.clone();
+            pool.spawn(move || worker_loop(&shared, &registry, &metrics, &options));
+        }
         Batcher {
             shared,
             options,
-            workers: Mutex::new(workers),
+            workers,
+            pool: Mutex::new(Some(pool)),
         }
     }
 
@@ -174,7 +196,7 @@ impl Batcher {
     pub fn queue_stats(&self) -> QueueStats {
         let depth = self.shared.state.lock().expect("queue lock").jobs.len();
         QueueStats {
-            workers: self.options.workers.max(1),
+            workers: self.workers,
             capacity: self.options.queue_capacity,
             depth,
             max_batch_tuples: self.options.max_batch_tuples,
@@ -183,7 +205,8 @@ impl Batcher {
     }
 
     /// Closes the queue to new submissions, drains every accepted job and
-    /// joins the workers. Idempotent.
+    /// joins the workers (dropping the dedicated pool joins its threads
+    /// once their loops return). Idempotent.
     pub fn shutdown(&self) {
         {
             let mut st = self.shared.state.lock().expect("queue lock");
@@ -191,10 +214,8 @@ impl Batcher {
             self.shared.not_empty.notify_all();
             self.shared.not_full.notify_all();
         }
-        let mut workers = self.workers.lock().expect("worker handles lock");
-        for handle in workers.drain(..) {
-            let _ = handle.join();
-        }
+        let pool = self.pool.lock().expect("worker pool lock").take();
+        drop(pool);
     }
 }
 

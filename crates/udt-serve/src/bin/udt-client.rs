@@ -3,7 +3,7 @@
 //! ```text
 //! udt-client --addr HOST:PORT classify MODEL --point V1,V2,...
 //! udt-client --addr HOST:PORT classify MODEL --uniform LO,HI[,SAMPLES]
-//! udt-client --addr HOST:PORT stats
+//! udt-client --addr HOST:PORT stats [--format json|prometheus]
 //! udt-client --addr HOST:PORT load NAME PATH
 //! udt-client --addr HOST:PORT swap NAME PATH
 //! udt-client --addr HOST:PORT shutdown
@@ -46,7 +46,8 @@ fn run() -> Result<(), String> {
             "--help" | "-h" => {
                 eprintln!(
                     "usage: udt-client [--addr HOST:PORT] <classify MODEL \
-                     (--point CSV | --uniform LO,HI[,SAMPLES]) | stats | \
+                     (--point CSV | --uniform LO,HI[,SAMPLES]) | \
+                     stats [--format json|prometheus] | \
                      load NAME PATH | swap NAME PATH | shutdown>"
                 );
                 return Ok(());
@@ -69,6 +70,20 @@ fn run() -> Result<(), String> {
             Ok(())
         }
         Some("stats") => {
+            // `stats [--format json|prometheus]`, parsed by the
+            // canonical `StatsFormat` parser the wire field shares.
+            let format = match command.get(1).map(String::as_str) {
+                None => udt_serve::StatsFormat::Json,
+                Some("--format") => {
+                    let raw = command.get(2).ok_or("--format needs a value")?;
+                    raw.parse().map_err(|e| format!("{e}"))?
+                }
+                Some(other) => return Err(format!("unknown stats argument `{other}`")),
+            };
+            if format == udt_serve::StatsFormat::Prometheus {
+                print!("{}", client.stats_prometheus().map_err(|e| e.to_string())?);
+                return Ok(());
+            }
             let stats = client.stats().map_err(|e| e.to_string())?;
             println!("uptime: {:.1}s", stats.uptime_seconds);
             println!(

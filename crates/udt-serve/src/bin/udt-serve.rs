@@ -4,7 +4,7 @@
 //! udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES]
 //!           [--max-delay-us MICROS] [--queue-capacity JOBS]
 //!           [--model NAME=PATH]... [--train-toy NAME]
-//!           [--partition-mode owned|view]
+//!           [--partition-mode owned|view] [--threads auto|N]
 //! ```
 //!
 //! Loads every `--model` file into the registry (refusing to start on a
@@ -27,7 +27,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES] \
              [--max-delay-us MICROS] [--queue-capacity JOBS] [--model NAME=PATH]... \
-             [--train-toy NAME] [--partition-mode owned|view]"
+             [--train-toy NAME] [--partition-mode owned|view] [--threads auto|N]"
         );
         return ExitCode::SUCCESS;
     }
@@ -69,7 +69,8 @@ fn main() -> ExitCode {
             UdtConfig::new(Algorithm::UdtEs)
                 .with_postprune(false)
                 .with_min_node_weight(0.0)
-                .with_partition_mode(config.partition_mode),
+                .with_partition_mode(config.partition_mode)
+                .with_threads(config.threads),
         )
         .build(&data);
         match built {

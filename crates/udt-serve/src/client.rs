@@ -12,7 +12,7 @@ use std::net::{TcpStream, ToSocketAddrs};
 use udt_data::Tuple;
 
 use crate::error::ServeError;
-use crate::protocol::{ModelInfo, Request, Response, StatsReport};
+use crate::protocol::{ModelInfo, Request, Response, StatsFormat, StatsReport};
 use crate::Result;
 
 /// A connected client.
@@ -104,9 +104,21 @@ impl Client {
 
     /// Fetches the server's stats report.
     pub fn stats(&mut self) -> Result<StatsReport> {
-        match self.request(&Request::Stats)? {
+        match self.request(&Request::Stats {
+            format: StatsFormat::Json,
+        })? {
             Response::Stats(report) => Ok(report),
             other => Err(unexpected("stats", &other)),
+        }
+    }
+
+    /// Fetches the server's stats as a Prometheus text exposition.
+    pub fn stats_prometheus(&mut self) -> Result<String> {
+        match self.request(&Request::Stats {
+            format: StatsFormat::Prometheus,
+        })? {
+            Response::StatsText { text } => Ok(text),
+            other => Err(unexpected("stats (prometheus)", &other)),
         }
     }
 

@@ -3,7 +3,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use udt_tree::PartitionMode;
+use udt_tree::{PartitionMode, ThreadCount};
 
 use crate::batcher::BatchOptions;
 use crate::error::ServeError;
@@ -18,7 +18,7 @@ use crate::Result;
 /// udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES]
 ///           [--max-delay-us MICROS] [--queue-capacity JOBS]
 ///           [--model NAME=PATH]... [--train-toy NAME]
-///           [--partition-mode owned|view]
+///           [--partition-mode owned|view] [--threads auto|N]
 /// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
@@ -43,6 +43,11 @@ pub struct ServeConfig {
     /// parsed by the canonical [`PartitionMode`] `FromStr` impl, the same
     /// parser `UDT_PARTITION_MODE` goes through.
     pub partition_mode: PartitionMode,
+    /// Build-pool thread budget used when training startup models;
+    /// parsed by the canonical [`ThreadCount`] `FromStr` impl, the same
+    /// parser `UDT_THREADS` goes through (which also supplies the
+    /// default).
+    pub threads: ThreadCount,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +64,7 @@ impl Default for ServeConfig {
             models: Vec::new(),
             train_toy: None,
             partition_mode: PartitionMode::from_env(),
+            threads: ThreadCount::from_env(),
         }
     }
 }
@@ -128,6 +134,16 @@ impl ServeConfig {
                         ))
                     })?;
                 }
+                "--threads" => {
+                    let raw = value_for("--threads")?;
+                    // The one canonical parser (shared with
+                    // `UDT_THREADS`).
+                    config.threads = raw.parse().map_err(|_| {
+                        ServeError::Config(format!(
+                            "--threads must be `auto` or an integer >= 1, got `{raw}`"
+                        ))
+                    })?;
+                }
                 other => {
                     return Err(ServeError::Config(format!("unknown flag `{other}`")));
                 }
@@ -190,6 +206,8 @@ mod tests {
             "demo",
             "--partition-mode",
             "OWNED",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(c.addr, "127.0.0.1:0");
@@ -202,6 +220,20 @@ mod tests {
         assert_eq!(c.models[1].1, PathBuf::from("models/toy.json"));
         assert_eq!(c.train_toy.as_deref(), Some("demo"));
         assert_eq!(c.partition_mode, PartitionMode::Owned);
+        assert_eq!(c.threads, ThreadCount::fixed(4));
+    }
+
+    #[test]
+    fn threads_flag_accepts_auto_and_rejects_bad_values() {
+        let c = ServeConfig::from_args(["--threads", "auto"]).unwrap();
+        assert!(c.threads.is_auto());
+        for bad in ["0", "many"] {
+            let err = ServeConfig::from_args(["--threads", bad]).unwrap_err();
+            assert!(
+                err.to_string().contains("--threads"),
+                "{bad:?} should name the flag, got: {err}"
+            );
+        }
     }
 
     #[test]

@@ -11,8 +11,10 @@
 //!   snapshots. Hot-swapping a model atomically replaces the `Arc`;
 //!   in-flight batches keep classifying against the snapshot they took,
 //!   so a reload never drops or corrupts outstanding requests.
-//! * [`batcher::Batcher`] — a bounded MPSC queue plus a pool of worker
-//!   threads. Concurrent classification requests are coalesced into
+//! * [`batcher::Batcher`] — a bounded MPSC queue whose worker loops run
+//!   as long-lived tasks on a dedicated [`udt_tree::WorkerPool`] (the
+//!   same execution substrate the tree builder's parallel phases use).
+//!   Concurrent classification requests are coalesced into
 //!   micro-batches (flushed when `max_batch_tuples` accumulate or
 //!   `max_delay` elapses since the first queued job) and each worker owns
 //!   one `BatchScratch` for its whole lifetime, so steady-state serving
@@ -26,7 +28,9 @@
 //! * [`metrics::ServeMetrics`] — per-model request/tuple/error counters
 //!   and log-bucketed latency histograms (p50/p95/p99), surfaced through
 //!   the `stats` response together with each model's arena footprint
-//!   ([`udt_tree::FlatTree::heap_bytes`]).
+//!   ([`udt_tree::FlatTree::heap_bytes`]), and renderable as a
+//!   Prometheus text exposition (`stats` with `"format":"prometheus"`,
+//!   `udt-client stats --format prometheus`).
 //!
 //! Two binaries wrap the library: `udt-serve` (the server; see
 //! [`config::ServeConfig`] for its flags) and `udt-client` (a small CLI
@@ -57,7 +61,7 @@ pub use client::Client;
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use metrics::ServeMetrics;
-pub use protocol::{ModelInfo, Request, Response, StatsReport};
+pub use protocol::{ModelInfo, Request, Response, StatsFormat, StatsReport};
 pub use registry::ModelRegistry;
 pub use server::Server;
 

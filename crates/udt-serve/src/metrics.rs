@@ -10,11 +10,20 @@
 //! p50/p95/p99 dashboards — in exchange for constant memory and O(1)
 //! record cost under one short mutex hold.
 
+//! The same counters and buckets can be rendered as a Prometheus text
+//! exposition ([`ServeMetrics::render_prometheus`], served by the
+//! `stats` command with `"format":"prometheus"`): counters become
+//! `_total` series, the log₂ buckets become a cumulative
+//! `..._latency_seconds` histogram with `le` labels, and registry /
+//! queue gauges ride along — a read-only formatting of state the server
+//! already tracks.
+
 use std::collections::HashMap;
+use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::protocol::ModelMetricsSnapshot;
+use crate::protocol::{ModelInfo, ModelMetricsSnapshot, QueueStats};
 
 /// Number of log₂ latency buckets (`2^48` ns ≈ 78 hours).
 const BUCKETS: usize = 48;
@@ -157,6 +166,153 @@ impl ServeMetrics {
         out.sort_by(|a, b| a.model.cmp(&b.model));
         out
     }
+
+    /// Renders the Prometheus text exposition: per-model request /
+    /// tuple / error counters, the latency histogram with cumulative
+    /// log₂ buckets (`le` upper bounds in seconds), and the registry /
+    /// queue gauges passed in. Models are emitted in name order so the
+    /// output is stable.
+    pub fn render_prometheus(
+        &self,
+        models: &[ModelInfo],
+        queue: &QueueStats,
+        uptime_seconds: f64,
+    ) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_uptime_seconds Seconds since the server started."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_uptime_seconds gauge");
+        let _ = writeln!(out, "udt_serve_uptime_seconds {uptime_seconds}");
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_queue_depth Jobs waiting in the scheduler queue."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_queue_depth gauge");
+        let _ = writeln!(out, "udt_serve_queue_depth {}", queue.depth);
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_queue_workers Scheduler worker threads."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_queue_workers gauge");
+        let _ = writeln!(out, "udt_serve_queue_workers {}", queue.workers);
+
+        let mut sorted: Vec<&ModelInfo> = models.iter().collect();
+        sorted.sort_by(|a, b| a.name.cmp(&b.name));
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_model_heap_bytes Arena heap footprint per model."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_model_heap_bytes gauge");
+        for m in &sorted {
+            let label = escape_label(&m.name);
+            let _ = writeln!(
+                out,
+                "udt_serve_model_heap_bytes{{model=\"{label}\"}} {}",
+                m.heap_bytes
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_model_generation Hot-swap generation per model."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_model_generation gauge");
+        for m in &sorted {
+            let label = escape_label(&m.name);
+            let _ = writeln!(
+                out,
+                "udt_serve_model_generation{{model=\"{label}\"}} {}",
+                m.generation
+            );
+        }
+
+        let map = self.per_model.lock().expect("metrics lock");
+        let mut names: Vec<&String> = map.keys().collect();
+        names.sort();
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_requests_total Requests served, including failed ones."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_requests_total counter");
+        for name in &names {
+            let label = escape_label(name);
+            let _ = writeln!(
+                out,
+                "udt_serve_requests_total{{model=\"{label}\"}} {}",
+                map[*name].requests
+            );
+        }
+        let _ = writeln!(out, "# HELP udt_serve_tuples_total Tuples classified.");
+        let _ = writeln!(out, "# TYPE udt_serve_tuples_total counter");
+        for name in &names {
+            let label = escape_label(name);
+            let _ = writeln!(
+                out,
+                "udt_serve_tuples_total{{model=\"{label}\"}} {}",
+                map[*name].tuples
+            );
+        }
+        let _ = writeln!(out, "# HELP udt_serve_errors_total Requests that failed.");
+        let _ = writeln!(out, "# TYPE udt_serve_errors_total counter");
+        for name in &names {
+            let label = escape_label(name);
+            let _ = writeln!(
+                out,
+                "udt_serve_errors_total{{model=\"{label}\"}} {}",
+                map[*name].errors
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_request_latency_seconds Enqueue-to-reply latency (log2 buckets)."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_request_latency_seconds histogram");
+        for name in &names {
+            let label = escape_label(name);
+            let h = &map[*name].latency;
+            // Cumulative buckets up to the last non-empty one, then +Inf
+            // — the standard Prometheus histogram shape without 48 empty
+            // series per model.
+            let last = h.buckets.iter().rposition(|&n| n > 0);
+            let mut cumulative = 0u64;
+            if let Some(last) = last {
+                for (i, &n) in h.buckets.iter().enumerate().take(last + 1) {
+                    cumulative += n;
+                    // Bucket i covers [2^i, 2^(i+1)) ns; `le` is the
+                    // upper bound in seconds.
+                    let le = (1u128 << (i + 1)) as f64 / 1e9;
+                    let _ = writeln!(
+                        out,
+                        "udt_serve_request_latency_seconds_bucket{{model=\"{label}\",le=\"{le}\"}} {cumulative}"
+                    );
+                }
+            }
+            let _ = writeln!(
+                out,
+                "udt_serve_request_latency_seconds_bucket{{model=\"{label}\",le=\"+Inf\"}} {}",
+                h.count
+            );
+            let _ = writeln!(
+                out,
+                "udt_serve_request_latency_seconds_sum{{model=\"{label}\"}} {}",
+                h.total_ns as f64 / 1e9
+            );
+            let _ = writeln!(
+                out,
+                "udt_serve_request_latency_seconds_count{{model=\"{label}\"}} {}",
+                h.count
+            );
+        }
+        out
+    }
+}
+
+/// Escapes a model name for use inside a Prometheus label value.
+fn escape_label(name: &str) -> String {
+    name.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -200,6 +356,61 @@ mod tests {
         h.record(Duration::from_secs(1_000_000_000));
         assert_eq!(h.count(), 1);
         assert!(h.quantile_ns(0.5) >= 1u64 << 48);
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_counters_and_buckets() {
+        let m = ServeMetrics::new();
+        m.record("toy", 4, Duration::from_micros(1));
+        m.record("toy", 2, Duration::from_millis(1));
+        m.record_error("toy");
+        m.record("a\"b", 1, Duration::from_micros(2));
+        let models = vec![ModelInfo {
+            name: "toy".into(),
+            generation: 3,
+            nodes: 5,
+            leaves: 3,
+            depth: 2,
+            n_classes: 2,
+            n_attributes: 1,
+            heap_bytes: 512,
+        }];
+        let queue = QueueStats {
+            workers: 2,
+            capacity: 64,
+            depth: 1,
+            max_batch_tuples: 32,
+            max_delay_us: 500,
+        };
+        let text = m.render_prometheus(&models, &queue, 9.5);
+        assert!(text.contains("udt_serve_uptime_seconds 9.5"));
+        assert!(text.contains("udt_serve_queue_depth 1"));
+        assert!(text.contains("udt_serve_model_heap_bytes{model=\"toy\"} 512"));
+        assert!(text.contains("udt_serve_model_generation{model=\"toy\"} 3"));
+        assert!(text.contains("udt_serve_requests_total{model=\"toy\"} 3"));
+        assert!(text.contains("udt_serve_tuples_total{model=\"toy\"} 6"));
+        assert!(text.contains("udt_serve_errors_total{model=\"toy\"} 1"));
+        // 1 µs lives in bucket 9 (le = 2^10 ns = 1.024e-6 s); the
+        // histogram is cumulative and closes with +Inf = count.
+        assert!(text.contains(
+            "udt_serve_request_latency_seconds_bucket{model=\"toy\",le=\"0.000001024\"} 1"
+        ));
+        assert!(
+            text.contains("udt_serve_request_latency_seconds_bucket{model=\"toy\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("udt_serve_request_latency_seconds_count{model=\"toy\"} 2"));
+        // Quotes in model names are escaped in label values.
+        assert!(text.contains("udt_serve_requests_total{model=\"a\\\"b\"} 1"));
+        // Cumulative bucket counts never decrease per model.
+        let mut prev = 0u64;
+        for line in text
+            .lines()
+            .filter(|l| l.starts_with("udt_serve_request_latency_seconds_bucket{model=\"toy\""))
+        {
+            let n: u64 = line.rsplit(' ').next().unwrap().parse().unwrap();
+            assert!(n >= prev, "cumulative buckets: {line}");
+            prev = n;
+        }
     }
 
     #[test]

@@ -16,6 +16,8 @@
 //! ← {"ok":true,"result":"model_loaded","model":{…}}
 //! → {"cmd":"stats"}
 //! ← {"ok":true,"result":"stats","stats":{…}}
+//! → {"cmd":"stats","format":"prometheus"}
+//! ← {"ok":true,"result":"stats_text","text":"# HELP udt_serve_…"}
 //! → {"cmd":"shutdown"}
 //! ← {"ok":true,"result":"shutting_down"}
 //! ← {"ok":false,"error":"unknown model nope"}
@@ -110,6 +112,47 @@ pub struct StatsReport {
     pub queue: QueueStats,
 }
 
+/// How a `stats` request wants its payload rendered.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum StatsFormat {
+    /// The structured [`StatsReport`] object (the default).
+    #[default]
+    Json,
+    /// Prometheus text exposition
+    /// ([`crate::metrics::ServeMetrics::render_prometheus`]), delivered
+    /// as one JSON-escaped string in a `stats_text` response.
+    Prometheus,
+}
+
+impl StatsFormat {
+    /// Wire name of the format.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StatsFormat::Json => "json",
+            StatsFormat::Prometheus => "prometheus",
+        }
+    }
+}
+
+/// The canonical parser for the `"format"` request field and the
+/// `udt-client stats --format` flag: `json` / `prometheus`,
+/// case-insensitive.
+impl std::str::FromStr for StatsFormat {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<StatsFormat> {
+        if s.eq_ignore_ascii_case("json") {
+            Ok(StatsFormat::Json)
+        } else if s.eq_ignore_ascii_case("prometheus") {
+            Ok(StatsFormat::Prometheus)
+        } else {
+            Err(ServeError::Protocol(format!(
+                "stats format must be `json` or `prometheus`, got `{s}`"
+            )))
+        }
+    }
+}
+
 /// A request, one per line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -143,7 +186,11 @@ pub enum Request {
         path: String,
     },
     /// Report models, counters and scheduler state.
-    Stats,
+    Stats {
+        /// Payload rendering; the `"format"` field is optional on the
+        /// wire and defaults to JSON.
+        format: StatsFormat,
+    },
     /// Stop accepting connections and shut down cleanly.
     Shutdown,
 }
@@ -167,8 +214,14 @@ pub enum Response {
     },
     /// Answer to [`Request::LoadModel`] / [`Request::Swap`].
     ModelLoaded(ModelInfo),
-    /// Answer to [`Request::Stats`].
+    /// Answer to [`Request::Stats`] with [`StatsFormat::Json`].
     Stats(StatsReport),
+    /// Answer to [`Request::Stats`] with a textual format: the rendered
+    /// exposition as one (JSON-escaped) string.
+    StatsText {
+        /// The rendered text, newlines included.
+        text: String,
+    },
     /// Answer to [`Request::Shutdown`].
     ShuttingDown,
     /// Any request that failed.
@@ -235,7 +288,13 @@ impl Request {
                 ("name", Value::Str(name.clone())),
                 ("path", Value::Str(path.clone())),
             ]),
-            Request::Stats => obj(vec![("cmd", Value::Str("stats".into()))]),
+            Request::Stats {
+                format: StatsFormat::Json,
+            } => obj(vec![("cmd", Value::Str("stats".into()))]),
+            Request::Stats { format } => obj(vec![
+                ("cmd", Value::Str("stats".into())),
+                ("format", Value::Str(format.name().into())),
+            ]),
             Request::Shutdown => obj(vec![("cmd", Value::Str("shutdown".into()))]),
         };
         render(&v)
@@ -262,7 +321,20 @@ impl Request {
                 name: string_field(&v, "name", "swap")?,
                 path: string_field(&v, "path", "swap")?,
             }),
-            "stats" => Ok(Request::Stats),
+            "stats" => {
+                // `format` is optional; absent means JSON. Present but
+                // invalid is a protocol error naming the input.
+                let format = match v.get("format") {
+                    None => StatsFormat::Json,
+                    Some(f) => f
+                        .as_str()
+                        .ok_or_else(|| {
+                            ServeError::Protocol("stats: field `format` must be a string".into())
+                        })?
+                        .parse()?,
+                };
+                Ok(Request::Stats { format })
+            }
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::Protocol(format!("unknown cmd `{other}`"))),
         }
@@ -302,6 +374,11 @@ impl Response {
                 ("ok", Value::Bool(true)),
                 ("result", Value::Str("stats".into())),
                 ("stats", report.serialize()),
+            ]),
+            Response::StatsText { text } => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("stats_text".into())),
+                ("text", Value::Str(text.clone())),
             ]),
             Response::ShuttingDown => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -347,6 +424,9 @@ impl Response {
                 "model_loaded response",
             )?)),
             "stats" => Ok(Response::Stats(typed_field(&v, "stats", "stats response")?)),
+            "stats_text" => Ok(Response::StatsText {
+                text: string_field(&v, "text", "stats_text response")?,
+            }),
             "shutting_down" => Ok(Response::ShuttingDown),
             other => Err(ServeError::Protocol(format!("unknown result `{other}`"))),
         }
@@ -417,7 +497,12 @@ mod tests {
                 name: "iris".into(),
                 path: "/tmp/iris2.json".into(),
             },
-            Request::Stats,
+            Request::Stats {
+                format: StatsFormat::Json,
+            },
+            Request::Stats {
+                format: StatsFormat::Prometheus,
+            },
             Request::Shutdown,
         ];
         for req in reqs {
@@ -425,6 +510,23 @@ mod tests {
             assert!(!line.contains('\n'), "one line per request");
             assert_eq!(Request::parse(&line).unwrap(), req, "line: {line}");
         }
+        // A JSON-format stats request omits the field (wire back-compat
+        // with pre-format clients), and a format-less line parses as
+        // JSON.
+        let line = Request::Stats {
+            format: StatsFormat::Json,
+        }
+        .to_line();
+        assert!(!line.contains("format"), "line: {line}");
+        assert_eq!(
+            Request::parse("{\"cmd\":\"stats\"}").unwrap(),
+            Request::Stats {
+                format: StatsFormat::Json
+            }
+        );
+        // Unknown formats are rejected with the offending input named.
+        let err = Request::parse("{\"cmd\":\"stats\",\"format\":\"xml\"}").unwrap_err();
+        assert!(err.to_string().contains("xml"), "got: {err}");
     }
 
     #[test]
@@ -440,6 +542,9 @@ mod tests {
             },
             Response::ModelLoaded(sample_stats().models[0].clone()),
             Response::Stats(sample_stats()),
+            Response::StatsText {
+                text: "# HELP udt_serve_uptime_seconds x\nudt_serve_uptime_seconds 1\n".into(),
+            },
             Response::ShuttingDown,
             Response::Error {
                 message: "unknown model \"x\"".into(),

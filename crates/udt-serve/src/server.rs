@@ -28,7 +28,7 @@ use crate::batcher::Batcher;
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::ServeMetrics;
-use crate::protocol::{Request, Response, StatsReport};
+use crate::protocol::{Request, Response, StatsFormat, StatsReport};
 use crate::registry::ModelRegistry;
 use crate::Result;
 
@@ -275,15 +275,27 @@ fn dispatch(line: &str, ctx: &Ctx) -> (Response, bool) {
                 Err(e) => (Response::from_error(&e), false),
             }
         }
-        Request::Stats => (
-            Response::Stats(StatsReport {
-                uptime_seconds: ctx.metrics.uptime_seconds(),
-                models: ctx.registry.info(),
-                metrics: ctx.metrics.snapshot(),
-                queue: ctx.batcher.queue_stats(),
-            }),
-            false,
-        ),
+        Request::Stats { format } => match format {
+            StatsFormat::Json => (
+                Response::Stats(StatsReport {
+                    uptime_seconds: ctx.metrics.uptime_seconds(),
+                    models: ctx.registry.info(),
+                    metrics: ctx.metrics.snapshot(),
+                    queue: ctx.batcher.queue_stats(),
+                }),
+                false,
+            ),
+            StatsFormat::Prometheus => (
+                Response::StatsText {
+                    text: ctx.metrics.render_prometheus(
+                        &ctx.registry.info(),
+                        &ctx.batcher.queue_stats(),
+                        ctx.metrics.uptime_seconds(),
+                    ),
+                },
+                false,
+            ),
+        },
         Request::Shutdown => (Response::ShuttingDown, true),
     }
 }

@@ -133,6 +133,18 @@ fn concurrent_clients_coalesce_and_all_get_exact_answers() {
     assert_eq!(toy_metrics.tuples, tuples.len() as u64);
     assert_eq!(toy_metrics.errors, 0);
     assert!(toy_metrics.p99_us >= toy_metrics.p50_us);
+    // The same counters render as a Prometheus text exposition over the
+    // same socket.
+    let text = client.stats_prometheus().expect("prometheus stats");
+    assert!(text.contains(&format!(
+        "udt_serve_requests_total{{model=\"toy\"}} {}",
+        // The prometheus request itself is not a classify request, but
+        // the JSON stats call above is not either: the counter still
+        // reads the classification total.
+        tuples.len()
+    )));
+    assert!(text.contains("udt_serve_request_latency_seconds_bucket{model=\"toy\",le=\"+Inf\"}"));
+    assert!(text.contains("udt_serve_uptime_seconds"));
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
 }

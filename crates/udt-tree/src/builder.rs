@@ -18,7 +18,16 @@
 //! candidate scoring runs over borrowed cumulative rows with zero
 //! per-candidate allocations (see [`crate::events`]).
 //!
-//! ## Parallel subtree construction
+//! ## The build pipeline on the persistent pool
+//!
+//! Every parallel phase runs on the persistent work-stealing pool of
+//! [`crate::pool`], sized by [`UdtConfig::threads`] (`UDT_THREADS`):
+//! the per-attribute root presort fans out first, large nodes fan their
+//! per-attribute event-structure construction and split search out
+//! next, and finally the subtree work queue below the fork depth is
+//! drained as pool tasks. Per-phase wall-clock lands in
+//! [`SearchStats`] (`presort_ns`, `search_ns`, `partition_ns`,
+//! `graft_ns`) and surfaces through [`BuildSummary`].
 //!
 //! Nodes are appended to a [`FlatTree`] in preorder. When
 //! `parallel_subtrees` is enabled (the default), the builder expands the
@@ -27,16 +36,18 @@
 //! `parallel_min_fork_tuples`) onto a work queue; the deferred
 //! [`NodeTuples`] states are independent and `Send` (in view mode they
 //! are just event-id lists and scale factors over the shared immutable
-//! root columns), so under the `parallel` feature a scoped-thread worker
-//! pool drains the queue, each worker building its subtree into a
-//! private arena fragment with its own [`Scratch`]. Fragments are grafted back in deterministic (queue) order
-//! and the arena is renumbered to canonical preorder, which makes the
-//! result **bit-for-bit identical** to a sequential build — the
-//! regression tests assert full `FlatTree` equality. Without the feature
+//! root columns), so pool workers drain the queue, each building its
+//! subtree into a private arena fragment with a thread-cached
+//! [`Scratch`]. Fragments are grafted back in deterministic (queue)
+//! order and the arena is renumbered to canonical preorder, which makes
+//! the result **bit-for-bit identical** to a sequential build at any
+//! thread count — the regression tests assert full `FlatTree` equality
+//! across thread counts, fork depths and partition modes. At one thread
 //! the same queue is drained inline, so the machinery is exercised by
 //! every test run.
 
 use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
@@ -51,8 +62,9 @@ use crate::flat::FlatTree;
 use crate::fractional::FractionalTuple;
 use crate::measure::Measure;
 use crate::node::DecisionTree;
+use crate::pool::{self, WorkerPool};
 use crate::postprune;
-use crate::split::{SearchStats, SplitSearch};
+use crate::split::{SearchStats, SplitSearch, PARALLEL_MIN_POSITIONS};
 use crate::{Result, TreeError};
 
 /// The outcome of one tree construction.
@@ -91,6 +103,18 @@ pub struct BuildSummary {
     /// ([`crate::FlatTree::heap_bytes`]) — the steady-state memory cost
     /// of serving this model.
     pub tree_heap_bytes: u64,
+    /// Seconds spent in the root presort phase (wall-clock).
+    pub build_presort_s: f64,
+    /// Seconds spent in per-node split search, summed over building
+    /// threads (equals wall-clock at one thread; see
+    /// [`SearchStats::search_ns`]).
+    pub build_search_s: f64,
+    /// Seconds spent partitioning node state, summed over building
+    /// threads (equals wall-clock at one thread).
+    pub build_partition_s: f64,
+    /// Seconds spent grafting subtree fragments and renumbering the
+    /// arena to preorder (wall-clock).
+    pub build_graft_s: f64,
 }
 
 impl BuildReport {
@@ -105,6 +129,10 @@ impl BuildReport {
             partition_bytes: self.stats.partition_bytes,
             partition_peak_bytes: self.stats.partition_peak_bytes,
             tree_heap_bytes: self.tree.flat().heap_bytes() as u64,
+            build_presort_s: self.stats.presort_ns as f64 / 1e9,
+            build_search_s: self.stats.search_ns as f64 / 1e9,
+            build_partition_s: self.stats.partition_ns as f64 / 1e9,
+            build_graft_s: self.stats.graft_ns as f64 / 1e9,
         }
     }
 }
@@ -168,11 +196,19 @@ impl TreeBuilder {
                 (j, cardinality)
             })
             .collect();
-        // The single O(E log E) presorting pass; the root columns are
-        // immutable from here on and recursion below never sorts again —
-        // child nodes reference them through event-id views (or copy
-        // them, in the owned A/B mode).
-        let root_columns = columns::build_root(&tuples, &numerical);
+        // The persistent build pool for every parallel phase of this
+        // build; entering it makes it visible to the split-search
+        // strategies without threading a handle through their trait.
+        let build_pool = WorkerPool::for_concurrency(self.config.threads.get());
+        let _pool_guard = pool::enter(Arc::clone(&build_pool));
+        // The single O(E log E) presorting pass, fanned out across
+        // attributes on the pool; the root columns are immutable from
+        // here on and recursion below never sorts again — child nodes
+        // reference them through event-id views (or copy them, in the
+        // owned A/B mode).
+        let presort_started = Instant::now();
+        let root_columns = columns::build_root_with(&tuples, &numerical, &build_pool);
+        stats.presort_ns += presort_started.elapsed().as_nanos() as u64;
         let ctx = BuildContext {
             tuples: &tuples,
             labels: &labels,
@@ -206,13 +242,8 @@ impl TreeBuilder {
             );
             if !jobs.is_empty() {
                 let patches: Vec<usize> = jobs.iter().map(|j| j.patch).collect();
-                let results = run_subtree_jobs(
-                    &ctx,
-                    jobs,
-                    self.config.parallel_threads,
-                    tuples.len(),
-                    &mut scratch,
-                );
+                let results = run_subtree_jobs(&ctx, jobs, &build_pool, tuples.len(), &mut scratch);
+                let graft_started = Instant::now();
                 for (patch, (fragment, job_stats)) in patches.into_iter().zip(results) {
                     let root = flat.graft(&fragment);
                     flat.patch_child_slab(patch, root);
@@ -220,6 +251,7 @@ impl TreeBuilder {
                 }
                 // Canonical layout: bit-identical to a sequential build.
                 flat = flat.to_preorder();
+                stats.graft_ns += graft_started.elapsed().as_nanos() as u64;
             }
         } else {
             ctx.build_node(
@@ -261,101 +293,64 @@ struct SubtreeJob {
     patch: usize,
 }
 
-/// Drains the subtree work queue on a scoped-thread worker pool (claiming
-/// jobs through an atomic cursor), returning `(fragment, stats)` per job
-/// in queue order. Workers re-use one private [`Scratch`] each across all
-/// the jobs they claim.
-#[cfg(feature = "parallel")]
-fn run_subtree_jobs(
+/// Builds one deferred subtree into a private arena fragment.
+fn run_subtree_job(
     ctx: &BuildContext<'_>,
-    jobs: Vec<SubtreeJob>,
-    threads: usize,
-    n_tuples: usize,
-    _scratch: &mut Scratch,
-) -> Vec<(FlatTree, SearchStats)> {
-    use std::sync::atomic::{AtomicUsize, Ordering};
-    use std::sync::Mutex;
-
-    let n_jobs = jobs.len();
-    let auto = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1);
-    let workers = if threads == 0 { auto } else { threads }.min(n_jobs).max(1);
-    let queue: Vec<Mutex<Option<SubtreeJob>>> =
-        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
-    let done: Vec<Mutex<Option<(FlatTree, SearchStats)>>> =
-        (0..n_jobs).map(|_| Mutex::new(None)).collect();
-    let next = AtomicUsize::new(0);
-    std::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|| {
-                let mut scratch = Scratch::new(n_tuples);
-                loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n_jobs {
-                        break;
-                    }
-                    let job = queue[i]
-                        .lock()
-                        .expect("job queue lock poisoned")
-                        .take()
-                        .expect("each job is claimed exactly once");
-                    let mut fragment = FlatTree::new(ctx.n_classes);
-                    let mut job_stats = SearchStats::default();
-                    ctx.build_node(
-                        &mut fragment,
-                        job.state,
-                        job.depth,
-                        &job.used_categorical,
-                        &mut job_stats,
-                        &mut scratch,
-                        None,
-                    );
-                    *done[i].lock().expect("result lock poisoned") = Some((fragment, job_stats));
-                }
-            });
-        }
-    });
-    done.into_iter()
-        .map(|m| {
-            m.into_inner()
-                .expect("result lock poisoned")
-                .expect("every job produced a fragment")
-        })
-        .collect()
+    job: SubtreeJob,
+    scratch: &mut Scratch,
+) -> (FlatTree, SearchStats) {
+    let mut fragment = FlatTree::new(ctx.n_classes);
+    let mut job_stats = SearchStats::default();
+    ctx.build_node(
+        &mut fragment,
+        job.state,
+        job.depth,
+        &job.used_categorical,
+        &mut job_stats,
+        scratch,
+        None,
+    );
+    (fragment, job_stats)
 }
 
-/// Inline drain of the subtree work queue (no `parallel` feature): same
-/// queue, same deterministic order, same grafting — so the parallel
-/// machinery is exercised by every default-feature test run.
-#[cfg(not(feature = "parallel"))]
+/// Drains the subtree work queue on the persistent build pool,
+/// returning `(fragment, stats)` per job in queue order. With more than
+/// one thread the jobs become pool tasks — idle workers steal the next
+/// unclaimed job — each built with a thread-cached [`Scratch`]; at one
+/// thread the queue is drained inline with the caller's scratch, so the
+/// machinery (and the graft discipline above it) is exercised by every
+/// single-threaded test run too.
 fn run_subtree_jobs(
     ctx: &BuildContext<'_>,
     jobs: Vec<SubtreeJob>,
-    _threads: usize,
-    _n_tuples: usize,
+    pool: &Arc<WorkerPool>,
+    n_tuples: usize,
     scratch: &mut Scratch,
 ) -> Vec<(FlatTree, SearchStats)> {
-    jobs.into_iter()
-        .map(|job| {
-            let mut fragment = FlatTree::new(ctx.n_classes);
-            let mut job_stats = SearchStats::default();
-            ctx.build_node(
-                &mut fragment,
-                job.state,
-                job.depth,
-                &job.used_categorical,
-                &mut job_stats,
-                scratch,
-                None,
-            );
-            (fragment, job_stats)
-        })
-        .collect()
+    if pool.concurrency() == 1 || jobs.len() == 1 {
+        return jobs
+            .into_iter()
+            .map(|job| run_subtree_job(ctx, job, scratch))
+            .collect();
+    }
+    let slots: Vec<Mutex<Option<SubtreeJob>>> =
+        jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    pool.map(slots.len(), |i| {
+        let job = slots[i]
+            .lock()
+            .expect("job slot lock")
+            .take()
+            .expect("each job is claimed exactly once");
+        // Each job builds fully sequentially: nested maps run inline on
+        // the executing thread (see [`WorkerPool::map`]), so a job's
+        // stats — including its phase timers — cover exactly its own
+        // subtree.
+        columns::with_scratch(n_tuples, |scratch| run_subtree_job(ctx, job, scratch))
+    })
 }
 
-/// Immutable context shared by the recursive construction (and, under the
-/// `parallel` feature, by the subtree workers — every field is `Sync`).
+/// Immutable context shared by the recursive construction (and by the
+/// pool's subtree workers — every field is `Sync`).
 struct BuildContext<'a> {
     /// The root fractional tuples (never mutated; categorical
     /// distributions and labels are read through them).
@@ -442,7 +437,10 @@ impl BuildContext<'_> {
         // used by scoring and partitioning, and released before recursing
         // (children load their own).
         scratch.load_weights(&state);
-        let Some(best) = self.best_split(&state, used_categorical, stats, scratch) else {
+        let search_started = Instant::now();
+        let found = self.best_split(&state, used_categorical, stats, scratch);
+        stats.search_ns += search_started.elapsed().as_nanos() as u64;
+        let Some(best) = found else {
             scratch.unload_weights(&state);
             return arena.push_leaf(&counts);
         };
@@ -579,6 +577,74 @@ impl BuildContext<'_> {
         }
     }
 
+    /// Builds the per-attribute scoring structures for a node — fanned
+    /// out across the build pool when the node is large enough to
+    /// amortise the task hand-off (each worker loads the node's weights
+    /// into its own thread-cached [`Scratch`]), inline with the
+    /// caller's scratch otherwise. Either way the result is ordered by
+    /// attribute slot and each column's structure is computed
+    /// independently, so it is bit-identical at every thread count.
+    fn node_events(
+        &self,
+        state: &NodeTuples,
+        scratch: &mut Scratch,
+    ) -> Vec<(usize, AttributeEvents)> {
+        let total_events: usize = state.columns.iter().map(|c| c.data.len()).sum();
+        if state.columns.len() > 1 && total_events >= PARALLEL_MIN_POSITIONS {
+            // `fanout` declines inside pool work (a subtree job), so a
+            // job executed by the map-participating build thread takes
+            // the same cheap sequential path as one on a worker.
+            if let Some(pool) = pool::fanout() {
+                let n_tuples = self.tuples.len();
+                // Contiguous attribute chunks, one per participant, so
+                // each task pays the O(alive) weight load/unload once
+                // per chunk rather than once per attribute. Chunking
+                // only decides *who* computes a column, never *what* —
+                // the flattened output is bit-identical for any chunk
+                // count.
+                let n_chunks = pool.concurrency().min(state.columns.len());
+                let chunk = state.columns.len().div_ceil(n_chunks);
+                // Re-derive the chunk count so a remainder never yields
+                // an empty chunk that would still pay the weight load.
+                let n_chunks = state.columns.len().div_ceil(chunk);
+                let per_chunk: Vec<Vec<Option<AttributeEvents>>> = pool.map(n_chunks, |c| {
+                    let slots = c * chunk..((c + 1) * chunk).min(state.columns.len());
+                    columns::with_scratch(n_tuples, |worker_scratch| {
+                        worker_scratch.load_weights(state);
+                        let events = slots
+                            .map(|slot| {
+                                columns::events_from_column(
+                                    &state.columns[slot],
+                                    &self.root.columns[slot],
+                                    self.labels,
+                                    self.n_classes,
+                                    worker_scratch,
+                                )
+                            })
+                            .collect();
+                        worker_scratch.unload_weights(state);
+                        events
+                    })
+                });
+                return per_chunk
+                    .into_iter()
+                    .flatten()
+                    .zip(&self.root.columns)
+                    .filter_map(|(events, root_col)| events.map(|e| (root_col.attribute, e)))
+                    .collect();
+            }
+        }
+        state
+            .columns
+            .iter()
+            .zip(&self.root.columns)
+            .filter_map(|(col, root_col)| {
+                columns::events_from_column(col, root_col, self.labels, self.n_classes, scratch)
+                    .map(|e| (root_col.attribute, e))
+            })
+            .collect()
+    }
+
     /// Finds the best available split (numerical via the configured
     /// strategy over the node's presorted columns, categorical via §7.2
     /// bucket evaluation).
@@ -590,15 +656,7 @@ impl BuildContext<'_> {
         scratch: &mut Scratch,
     ) -> Option<NodeSplit> {
         stats.nodes_searched += 1;
-        let events: Vec<(usize, AttributeEvents)> = state
-            .columns
-            .iter()
-            .zip(&self.root.columns)
-            .filter_map(|(col, root_col)| {
-                columns::events_from_column(col, root_col, self.labels, self.n_classes, scratch)
-                    .map(|e| (root_col.attribute, e))
-            })
-            .collect();
+        let events = self.node_events(state, scratch);
         let numeric = self
             .search
             .find_best(&events, self.measure, stats)

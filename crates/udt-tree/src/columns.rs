@@ -45,10 +45,14 @@
 //! vectors are sparse `(tuple, weight)` pairs over the node's live
 //! tuples, so deep narrow nodes no longer pay root-sized zeroing costs.
 
+use std::cell::RefCell;
+use std::time::Instant;
+
 use crate::config::PartitionMode;
 use crate::counts::WEIGHT_EPSILON;
 use crate::events::AttributeEvents;
 use crate::fractional::FractionalTuple;
+use crate::pool::WorkerPool;
 use crate::split::SearchStats;
 
 /// One attribute's root event column: parallel arrays sorted by position,
@@ -80,7 +84,7 @@ impl AttrColumn {
 }
 
 /// The immutable per-attribute root columns shared by every node of a
-/// build (and, under the `parallel` feature, by every subtree worker).
+/// build (and by every subtree worker on the build pool).
 #[derive(Debug, Clone)]
 pub struct RootColumns {
     /// One column per numerical attribute, in the builder's numerical
@@ -300,6 +304,11 @@ impl Scratch {
         }
     }
 
+    /// Root tuple count these buffers were sized for.
+    pub fn n_tuples(&self) -> usize {
+        self.weight.len()
+    }
+
     /// Loads the node's sparse weights into the dense `weight` array.
     /// Callers must pair this with [`unload_weights`](Self::unload_weights)
     /// on the same node before reusing the scratch for another node.
@@ -342,46 +351,105 @@ impl Scratch {
     }
 }
 
-/// Builds the immutable [`RootColumns`]: per-attribute event columns
-/// sorted once — the single `O(E log E)` pass; recursion below only
-/// partitions.
-pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> RootColumns {
-    let alive: Vec<u32> = tuples
+thread_local! {
+    /// Per-thread cache of [`Scratch`] buffers for pool tasks. A stack
+    /// (not a single slot) so nested pool work on one thread — a
+    /// subtree job helping with another node's event fan-out — pops a
+    /// distinct scratch instead of aliasing the one in use.
+    static SCRATCH_CACHE: RefCell<Vec<Scratch>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Runs `f` with a thread-cached [`Scratch`] sized for at least
+/// `n_tuples` root tuples. Pool workers call this once per task, so
+/// steady-state parallel building allocates no per-task scratch; the
+/// cache lives as long as the (persistent) worker thread. A cached
+/// scratch is only reused while its size is within 4× of the request
+/// (with a small absolute floor) — within one build every request has
+/// the same `n_tuples`, so reuse is perfect, while a long-lived process
+/// that once built a huge model does not pin huge buffers on every
+/// pool thread forever once its workloads shrink.
+pub(crate) fn with_scratch<R>(n_tuples: usize, f: impl FnOnce(&mut Scratch) -> R) -> R {
+    let reuse_cap = n_tuples.saturating_mul(4).max(4096);
+    let mut scratch = SCRATCH_CACHE
+        .with(|cache| cache.borrow_mut().pop())
+        .filter(|s| s.n_tuples() >= n_tuples && s.n_tuples() <= reuse_cap)
+        .unwrap_or_else(|| Scratch::new(n_tuples));
+    let result = f(&mut scratch);
+    // On panic inside `f` the scratch is simply dropped — a possibly
+    // dirty buffer must not be returned to the cache.
+    SCRATCH_CACHE.with(|cache| cache.borrow_mut().push(scratch));
+    result
+}
+
+/// Tuples with non-negligible weight, ascending — the shared alive list
+/// every root column is built over.
+fn alive_tuples(tuples: &[FractionalTuple]) -> Vec<u32> {
+    tuples
         .iter()
         .enumerate()
         .filter(|(_, tuple)| tuple.weight > WEIGHT_EPSILON)
         .map(|(t, _)| t as u32)
-        .collect();
-    let columns = numerical
-        .iter()
-        .map(|&attribute| {
-            let mut order: Vec<(f64, u32, f64)> = Vec::new();
-            for &t in &alive {
-                let Some(pdf) = tuples[t as usize].values[attribute].as_numeric() else {
-                    continue;
-                };
-                for (x, m) in pdf.iter() {
-                    order.push((x, t, m));
-                }
-            }
-            order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sample points"));
-            let mut xs = Vec::with_capacity(order.len());
-            let mut tuple = Vec::with_capacity(order.len());
-            let mut mass = Vec::with_capacity(order.len());
-            for (x, t, m) in order {
-                xs.push(x);
-                tuple.push(t);
-                mass.push(m);
-            }
-            AttrColumn {
-                attribute,
-                xs,
-                tuple,
-                mass,
-            }
-        })
-        .collect();
-    RootColumns { columns }
+        .collect()
+}
+
+/// Builds one attribute's sorted root event column — the per-attribute
+/// unit of the root presort, independent of every other attribute and
+/// therefore freely parallel.
+fn build_attr_column(tuples: &[FractionalTuple], alive: &[u32], attribute: usize) -> AttrColumn {
+    let mut order: Vec<(f64, u32, f64)> = Vec::new();
+    for &t in alive {
+        let Some(pdf) = tuples[t as usize].values[attribute].as_numeric() else {
+            continue;
+        };
+        for (x, m) in pdf.iter() {
+            order.push((x, t, m));
+        }
+    }
+    order.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite sample points"));
+    let mut xs = Vec::with_capacity(order.len());
+    let mut tuple = Vec::with_capacity(order.len());
+    let mut mass = Vec::with_capacity(order.len());
+    for (x, t, m) in order {
+        xs.push(x);
+        tuple.push(t);
+        mass.push(m);
+    }
+    AttrColumn {
+        attribute,
+        xs,
+        tuple,
+        mass,
+    }
+}
+
+/// Builds the immutable [`RootColumns`]: per-attribute event columns
+/// sorted once — the single `O(E log E)` pass; recursion below only
+/// partitions. Sequential convenience over [`build_root_with`].
+pub fn build_root(tuples: &[FractionalTuple], numerical: &[usize]) -> RootColumns {
+    let alive = alive_tuples(tuples);
+    RootColumns {
+        columns: numerical
+            .iter()
+            .map(|&attribute| build_attr_column(tuples, &alive, attribute))
+            .collect(),
+    }
+}
+
+/// Builds the immutable [`RootColumns`] with the per-attribute presort
+/// fanned out across `pool` (the columns come back in attribute order,
+/// and each column's construction is independent, so the result is
+/// bit-identical to [`build_root`] at every thread count).
+pub fn build_root_with(
+    tuples: &[FractionalTuple],
+    numerical: &[usize],
+    pool: &WorkerPool,
+) -> RootColumns {
+    let alive = alive_tuples(tuples);
+    RootColumns {
+        columns: pool.map(numerical.len(), |slot| {
+            build_attr_column(tuples, &alive, numerical[slot])
+        }),
+    }
 }
 
 /// Builds the root [`NodeTuples`] over the given root columns: every
@@ -558,6 +626,7 @@ pub fn partition_numeric(
     scratch: &mut Scratch,
     stats: &mut SearchStats,
 ) -> (NodeTuples, NodeTuples) {
+    let started = Instant::now();
     let col = &node.columns[slot];
     let root_col = &root.columns[slot];
 
@@ -651,6 +720,7 @@ pub fn partition_numeric(
     let bytes = left.heap_bytes() + right.heap_bytes();
     stats.partition_bytes += bytes;
     stats.partition_peak_bytes = stats.partition_peak_bytes.max(bytes);
+    stats.partition_ns += started.elapsed().as_nanos() as u64;
     (left, right)
 }
 
@@ -764,6 +834,7 @@ pub fn partition_categorical(
     scratch: &mut Scratch,
     stats: &mut SearchStats,
 ) -> Vec<NodeTuples> {
+    let started = Instant::now();
     // Clear any state a preceding partition left behind: the bucket
     // filters below repurpose `left_w` as a dense survival lookup, and
     // this makes the all-zero precondition enforced here rather than
@@ -812,6 +883,7 @@ pub fn partition_categorical(
     let bytes: u64 = buckets.iter().map(NodeTuples::heap_bytes).sum();
     stats.partition_bytes += bytes;
     stats.partition_peak_bytes = stats.partition_peak_bytes.max(bytes);
+    stats.partition_ns += started.elapsed().as_nanos() as u64;
     buckets
 }
 

@@ -142,6 +142,120 @@ impl PartitionMode {
     }
 }
 
+/// The build pool's thread budget: total concurrency including the
+/// calling thread. [`ThreadCount::AUTO`] (the default) resolves to the
+/// machine's available parallelism at use time; a fixed count is capped
+/// at [`ThreadCount::MAX`].
+///
+/// A count of 1 means a fully sequential build — and because every
+/// parallel phase is a deterministic index-ordered map over the same
+/// work (see [`crate::pool`]), builds are **arena-bit-identical for
+/// every thread count**, so the knob is purely about speed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ThreadCount {
+    /// 0 = auto; otherwise the exact total thread count (`1..=MAX`).
+    count: usize,
+}
+
+impl ThreadCount {
+    /// Resolve to the machine's available parallelism at use time.
+    pub const AUTO: ThreadCount = ThreadCount { count: 0 };
+
+    /// Upper cap on an explicit thread count; larger requests are
+    /// clamped here rather than rejected (1025 threads and 1024 threads
+    /// are the same request for any real machine).
+    pub const MAX: usize = 1024;
+
+    /// An explicit thread count, clamped to [`ThreadCount::MAX`].
+    /// `fixed(0)` is [`ThreadCount::AUTO`].
+    pub fn fixed(count: usize) -> ThreadCount {
+        ThreadCount {
+            count: count.min(Self::MAX),
+        }
+    }
+
+    /// Whether this is the auto setting.
+    pub fn is_auto(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The resolved thread count: the explicit value, or the machine's
+    /// available parallelism for [`ThreadCount::AUTO`].
+    pub fn get(&self) -> usize {
+        if self.count == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(Self::MAX)
+        } else {
+            self.count
+        }
+    }
+
+    /// The default, overridable through the `UDT_THREADS` environment
+    /// variable (`auto` or an integer ≥ 1, parsed by the
+    /// [`FromStr`](std::str::FromStr) impl) so CI can run the whole
+    /// suite at a pinned thread count. Invalid values fall back to
+    /// [`ThreadCount::AUTO`] with a one-time warning on stderr —
+    /// mirroring [`PartitionMode::from_env`].
+    pub fn from_env() -> ThreadCount {
+        match std::env::var("UDT_THREADS") {
+            Ok(v) => v.parse().unwrap_or_else(|_| {
+                static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+                WARN_ONCE.call_once(|| {
+                    eprintln!(
+                        "warning: UDT_THREADS must be 'auto' or an integer >= 1, \
+                         got {v:?}; using the default (auto)"
+                    );
+                });
+                ThreadCount::AUTO
+            }),
+            Err(_) => ThreadCount::AUTO,
+        }
+    }
+}
+
+impl Default for ThreadCount {
+    fn default() -> Self {
+        ThreadCount::AUTO
+    }
+}
+
+impl From<usize> for ThreadCount {
+    fn from(count: usize) -> Self {
+        ThreadCount::fixed(count)
+    }
+}
+
+impl std::fmt::Display for ThreadCount {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.count == 0 {
+            write!(f, "auto")
+        } else {
+            write!(f, "{}", self.count)
+        }
+    }
+}
+
+/// The canonical parser behind [`ThreadCount::from_env`] and every CLI
+/// surface that accepts a thread count as text (`udt-serve --threads`,
+/// the bench binaries): `auto` (case-insensitive) or an integer ≥ 1;
+/// `0`, garbage and empty input are rejected, values above
+/// [`ThreadCount::MAX`] are clamped to it.
+impl std::str::FromStr for ThreadCount {
+    type Err = crate::TreeError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        if s.eq_ignore_ascii_case("auto") {
+            return Ok(ThreadCount::AUTO);
+        }
+        match s.parse::<usize>() {
+            Ok(0) | Err(_) => Err(crate::TreeError::InvalidThreadCount { got: s.to_string() }),
+            Ok(n) => Ok(ThreadCount::fixed(n)),
+        }
+    }
+}
+
 /// Configuration for [`crate::TreeBuilder`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UdtConfig {
@@ -169,8 +283,8 @@ pub struct UdtConfig {
     pub uniform_pdf_hint: bool,
     /// Whether to build sibling subtrees through the work queue (the
     /// arena layout is canonicalised afterwards, so the resulting tree is
-    /// bit-identical either way). With the `parallel` feature the queue
-    /// is drained by scoped worker threads; without it, inline.
+    /// bit-identical either way). With more than one thread the queue is
+    /// drained by the persistent build pool; at one thread, inline.
     pub parallel_subtrees: bool,
     /// Subtrees rooted at this depth or deeper are deferred onto the work
     /// queue (the root has depth 1). Shallower levels are expanded
@@ -179,9 +293,11 @@ pub struct UdtConfig {
     /// Minimum number of alive tuples for a subtree to be worth deferring;
     /// smaller subtrees are built inline where they are.
     pub parallel_min_fork_tuples: usize,
-    /// Worker-thread cap for the subtree queue (0 = one per available
-    /// core). Only consulted when the `parallel` feature is enabled.
-    pub parallel_threads: usize,
+    /// Build-pool thread budget for every parallel phase (presort,
+    /// split search, subtree queue); defaults to the `UDT_THREADS`
+    /// environment override, else auto. Builds are bit-identical at any
+    /// thread count.
+    pub threads: ThreadCount,
     /// How recursion materialises child node state (owned column copies
     /// vs zero-copy root views). Builds are bit-identical either way.
     pub partition_mode: PartitionMode,
@@ -205,7 +321,7 @@ impl UdtConfig {
             parallel_subtrees: true,
             parallel_cutoff_depth: 4,
             parallel_min_fork_tuples: 8,
-            parallel_threads: 0,
+            threads: ThreadCount::from_env(),
             partition_mode: PartitionMode::from_env(),
         }
     }
@@ -259,9 +375,10 @@ impl UdtConfig {
         self
     }
 
-    /// Returns a copy with a different worker-thread cap (0 = auto).
-    pub fn with_parallel_threads(mut self, threads: usize) -> Self {
-        self.parallel_threads = threads;
+    /// Returns a copy with a different build-pool thread budget
+    /// (`usize` values convert; 0 means auto).
+    pub fn with_threads(mut self, threads: impl Into<ThreadCount>) -> Self {
+        self.threads = threads.into();
         self
     }
 
@@ -398,7 +515,7 @@ mod tests {
             .with_parallel_subtrees(false)
             .with_parallel_cutoff_depth(6)
             .with_parallel_min_fork_tuples(32)
-            .with_parallel_threads(2)
+            .with_threads(2)
             .with_partition_mode(PartitionMode::Owned);
         assert_eq!(c.measure, Measure::Gini);
         assert!(!c.postprune);
@@ -408,7 +525,7 @@ mod tests {
         assert!(!c.parallel_subtrees);
         assert_eq!(c.parallel_cutoff_depth, 6);
         assert_eq!(c.parallel_min_fork_tuples, 32);
-        assert_eq!(c.parallel_threads, 2);
+        assert_eq!(c.threads, ThreadCount::fixed(2));
         assert_eq!(c.partition_mode, PartitionMode::Owned);
         assert!(c.validate().is_ok());
     }
@@ -423,6 +540,39 @@ mod tests {
         assert!(err.to_string().contains("partition mode"), "got: {err}");
         assert!(err.to_string().contains("both"), "names the input: {err}");
         assert!("".parse::<PartitionMode>().is_err());
+    }
+
+    #[test]
+    fn thread_count_parses_accepts_and_resolves() {
+        assert_eq!("auto".parse::<ThreadCount>(), Ok(ThreadCount::AUTO));
+        assert_eq!("AUTO".parse::<ThreadCount>(), Ok(ThreadCount::AUTO));
+        assert_eq!("1".parse::<ThreadCount>(), Ok(ThreadCount::fixed(1)));
+        assert_eq!("8".parse::<ThreadCount>(), Ok(ThreadCount::fixed(8)));
+        assert_eq!(ThreadCount::fixed(4).get(), 4);
+        assert!(ThreadCount::AUTO.get() >= 1);
+        assert!(ThreadCount::AUTO.is_auto());
+        assert_eq!(ThreadCount::default(), ThreadCount::AUTO);
+        assert_eq!(ThreadCount::from(3), ThreadCount::fixed(3));
+        assert_eq!(ThreadCount::from(0), ThreadCount::AUTO);
+        assert_eq!(ThreadCount::fixed(2).to_string(), "2");
+        assert_eq!(ThreadCount::AUTO.to_string(), "auto");
+    }
+
+    #[test]
+    fn thread_count_rejects_zero_and_garbage_and_clamps_huge() {
+        // The canonical reject cases: 0, garbage, empty, negatives.
+        for bad in ["0", "many", "", "-2", "1.5", "4 threads"] {
+            let err = bad.parse::<ThreadCount>().unwrap_err();
+            assert!(err.to_string().contains("thread count"), "{bad:?} → {err}");
+            assert!(err.to_string().contains(bad), "names the input: {err}");
+        }
+        // Values above the cap clamp instead of erroring: 1025 threads
+        // and 1024 threads are the same request on any real machine.
+        assert_eq!(
+            "4096".parse::<ThreadCount>(),
+            Ok(ThreadCount::fixed(ThreadCount::MAX))
+        );
+        assert_eq!(ThreadCount::fixed(usize::MAX).get(), ThreadCount::MAX);
     }
 
     #[test]

@@ -41,6 +41,15 @@ pub enum TreeError {
         got: String,
     },
 
+    /// A textual thread-count value was neither `auto` nor a positive
+    /// integer (see [`crate::ThreadCount`]'s `FromStr` impl). Carries
+    /// the offending input, like [`TreeError::InvalidPartitionMode`].
+    #[error("invalid thread count `{got}`: expected 'auto' or an integer >= 1")]
+    InvalidThreadCount {
+        /// The string that failed to parse.
+        got: String,
+    },
+
     /// A tuple presented for classification does not match the tree's
     /// schema arity.
     #[error("test tuple has {found} attributes but the tree was trained on {expected}")]

@@ -73,24 +73,32 @@
 //! asserted by regression tests — at a multiple of its throughput (see
 //! the `classify_throughput` bench).
 //!
-//! ## The `parallel` feature
+//! ## The execution pool
 //!
-//! With the optional `parallel` feature, [`split::SplitSearch::find_best`]
-//! scans attributes on scoped worker threads (`std::thread::scope`; the
-//! build environment has no rayon). UDT-GP/UDT-ES's shared global
-//! pruning threshold becomes a merged per-worker best: each pass-2 worker
-//! starts from the merged pass-1 optimum (a real candidate's score, so
-//! pruning stays safe) and the per-worker bests are merged
-//! deterministically in attribute order. The optimal split score is
-//! identical to the sequential scan; workers may evaluate a few more
-//! candidates because they cannot observe each other's improvements.
+//! Every parallel build phase runs on one **persistent work-stealing
+//! thread pool** ([`pool::WorkerPool`]), sized at runtime by
+//! [`UdtConfig::threads`] (`UDT_THREADS` env override; the build
+//! environment has no rayon, so the pool is built on `std` threads with
+//! per-worker deques and stealing). Three phases fan out:
 //!
-//! Tree construction itself is also parallel: sibling subtrees below a
-//! configurable fork depth are deferred onto a work queue and built by
-//! scoped worker threads into private arena fragments, which are grafted
-//! back in deterministic order and renumbered to canonical preorder — so
-//! a parallel build is bit-identical to a sequential one (see
-//! [`builder`]). Without the feature the same queue is drained inline.
+//! 1. the per-attribute root presort ([`columns::build_root_with`]) and
+//!    the per-attribute cumulative-matrix construction at large nodes;
+//! 2. the per-attribute split search inside
+//!    [`split::SplitSearch::find_best`];
+//! 3. sibling subtrees below a configurable fork depth, deferred onto a
+//!    work queue and built into private arena fragments that are
+//!    grafted back in deterministic order and renumbered to canonical
+//!    preorder (see [`builder`]).
+//!
+//! **Determinism contract:** every fan-out is an index-ordered map over
+//! per-item work that is itself deterministic, all merges happen in
+//! attribute/queue order, and the UDT-GP/UDT-ES cross-attribute pruning
+//! pass never shares intermediate thresholds between concurrent items —
+//! so builds are **arena-bit-identical for every thread count,
+//! including 1** (regression-tested across thread counts, fork depths
+//! and partition modes). The legacy `parallel` cargo feature is kept as
+//! a deprecated alias that gates nothing; thread count is purely a
+//! runtime setting.
 //!
 //! ## Typical use
 //!
@@ -138,17 +146,19 @@ pub mod measure;
 pub mod node;
 pub mod persist;
 pub mod point;
+pub mod pool;
 pub mod postprune;
 pub mod split;
 
 pub use builder::{BuildReport, TreeBuilder};
 pub use classify::{classify_batch, BatchScratch};
-pub use config::{Algorithm, PartitionMode, UdtConfig};
+pub use config::{Algorithm, PartitionMode, ThreadCount, UdtConfig};
 pub use counts::ClassCounts;
 pub use error::TreeError;
 pub use flat::{FlatTree, NodeKind};
 pub use measure::Measure;
 pub use node::{DecisionTree, Node};
+pub use pool::WorkerPool;
 pub use split::{SearchStats, SplitChoice};
 
 /// Result alias used throughout the crate.

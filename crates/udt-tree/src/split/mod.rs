@@ -23,56 +23,30 @@ pub mod gp;
 pub mod lp;
 pub mod pruned;
 
-/// Minimum total candidate-position count before the `parallel` feature
-/// spawns worker threads. A thread spawn costs tens of microseconds;
-/// near the leaves of a tree a whole attribute scan covers only a
-/// handful of positions, where spawning would dominate the work.
-#[cfg(feature = "parallel")]
-const PARALLEL_MIN_POSITIONS: usize = 4096;
+/// Minimum total candidate-position count before an attribute scan
+/// fans out onto the build pool. Handing a task to another thread costs
+/// a queue push and a wake; near the leaves of a tree a whole attribute
+/// scan covers only a handful of positions, where that overhead would
+/// dominate the work.
+pub(crate) const PARALLEL_MIN_POSITIONS: usize = 4096;
 
-/// Maps `f` over `0..n` — on scoped worker threads when the `parallel`
-/// feature is enabled, there is more than one item, and `work` (the
-/// caller's estimate of total candidate positions) is large enough to
-/// amortise the spawns — sequentially otherwise. Results always come
-/// back in index order, so merging stays deterministic.
-///
-/// The offline build environment has no `rayon`, so the parallel path
-/// uses `std::thread::scope`, chunking the attribute slots over at most
-/// `available_parallelism()` workers so thread count never scales with
-/// attribute count.
+/// Maps `f` over `0..n` — on the thread's current build pool (see
+/// [`crate::pool`]) when one is entered with more than one thread,
+/// there is more than one item, and `work` (the caller's estimate of
+/// total candidate positions) is large enough to amortise the task
+/// hand-off — sequentially otherwise. Results always come back in index
+/// order, so merging stays deterministic and the outcome is identical
+/// at every thread count.
 pub(crate) fn map_attributes<T, F>(n: usize, work: usize, f: F) -> Vec<T>
 where
     F: Fn(usize) -> T + Sync,
     T: Send,
 {
-    #[cfg(feature = "parallel")]
     if n > 1 && work >= PARALLEL_MIN_POSITIONS {
-        // Cap workers at the core count and hand each a contiguous chunk
-        // of attribute slots, so thread count never scales with attribute
-        // count.
-        let workers = std::thread::available_parallelism()
-            .map(|p| p.get())
-            .unwrap_or(1)
-            .min(n);
-        if workers > 1 {
-            let f = &f;
-            let chunk = n.div_ceil(workers);
-            let mut results: Vec<Vec<T>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || (w * chunk..((w + 1) * chunk).min(n)).map(f).collect())
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("attribute scan worker does not panic"))
-                    .collect()
-            });
-            return results.drain(..).flatten().collect();
+        if let Some(pool) = crate::pool::fanout() {
+            return pool.map(n, f);
         }
     }
-    #[cfg(not(feature = "parallel"))]
-    let _ = work;
     (0..n).map(f).collect()
 }
 
@@ -151,6 +125,23 @@ pub struct SearchStats {
     pub partition_bytes: u64,
     /// Largest single partition call's allocation, in bytes.
     pub partition_peak_bytes: u64,
+    /// Nanoseconds spent in the root presort phase
+    /// ([`crate::columns::build_root_with`]). Recorded once on the build
+    /// thread, so this is wall-clock.
+    pub presort_ns: u64,
+    /// Nanoseconds spent in per-node split search (event-structure
+    /// construction plus the strategy scan), summed over every thread
+    /// that built a subtree. Each contribution is that thread's wall
+    /// time in the phase; work a fan-out's pool helpers do inside the
+    /// window is covered by the window, not summed again.
+    pub search_ns: u64,
+    /// Nanoseconds spent partitioning node state into children, summed
+    /// over threads like `search_ns`.
+    pub partition_ns: u64,
+    /// Nanoseconds spent grafting subtree fragments back into the main
+    /// arena and renumbering it to canonical preorder. Recorded once on
+    /// the build thread, so this is wall-clock.
+    pub graft_ns: u64,
 }
 
 impl SearchStats {
@@ -170,6 +161,10 @@ impl SearchStats {
         self.nodes_searched += other.nodes_searched;
         self.partition_bytes += other.partition_bytes;
         self.partition_peak_bytes = self.partition_peak_bytes.max(other.partition_peak_bytes);
+        self.presort_ns += other.presort_ns;
+        self.search_ns += other.search_ns;
+        self.partition_ns += other.partition_ns;
+        self.graft_ns += other.graft_ns;
     }
 }
 
@@ -239,6 +234,10 @@ mod tests {
             nodes_searched: 1,
             partition_bytes: 64,
             partition_peak_bytes: 48,
+            presort_ns: 7,
+            search_ns: 11,
+            partition_ns: 13,
+            graft_ns: 17,
         };
         let b = a;
         a.merge(&b);
@@ -249,5 +248,10 @@ mod tests {
         // Totals add; the peak is the max across merged stats.
         assert_eq!(a.partition_bytes, 128);
         assert_eq!(a.partition_peak_bytes, 48);
+        // Per-phase timings accumulate.
+        assert_eq!(a.presort_ns, 14);
+        assert_eq!(a.search_ns, 22);
+        assert_eq!(a.partition_ns, 26);
+        assert_eq!(a.graft_ns, 34);
     }
 }

@@ -250,10 +250,10 @@ impl SplitSearch for PrunedSearch {
         let mut best: Option<SplitChoice> = None;
 
         // Pass 1: evaluate (sampled) end points for every attribute —
-        // independently per attribute (in parallel under the `parallel`
-        // feature), merged in index order. Doing this for all attributes
-        // before any interval work is what makes the Global threshold of
-        // UDT-GP/UDT-ES cross-attribute.
+        // independently per attribute (fanned out on the build pool when
+        // large enough), merged in index order. Doing this for all
+        // attributes before any interval work is what makes the Global
+        // threshold of UDT-GP/UDT-ES cross-attribute.
         let total_positions: usize = events.iter().map(|(_, ev)| ev.n_positions()).sum();
         let pass1 = map_attributes(events.len(), total_positions, |slot| {
             let (attribute, ev) = &events[slot];
@@ -289,62 +289,30 @@ impl SplitSearch for PrunedSearch {
             attribute_best.push(attr_best);
         }
 
-        // Pass 2: interval pruning and interior evaluation.
+        // Pass 2: interval pruning and interior evaluation. Always
+        // sequential and progressive — the shared best improves as
+        // attributes are processed, so later attributes prune against
+        // the tightest threshold available. Keeping this pass on one
+        // code path is part of the thread-count determinism contract: a
+        // concurrent variant would have to freeze the threshold per
+        // attribute, which prunes less and can resolve exact score ties
+        // to a different (equal-score) split than the sequential scan.
+        // Pass 1 carries the bulk of the evaluations and parallelises
+        // freely; this pass is mostly bound arithmetic over intervals
+        // the pruning already discarded.
         let refine = self.end_point_sample_rate.is_some();
-        #[cfg(not(feature = "parallel"))]
-        {
-            // Sequential: the shared best improves as attributes are
-            // processed, so later attributes prune against the tightest
-            // threshold available.
-            for (slot, (attribute, ev)) in events.iter().enumerate() {
-                for interval in ev.intervals_between(&boundaries[slot]) {
-                    self.process_interval(
-                        ev,
-                        *attribute,
-                        &interval,
-                        measure,
-                        refine,
-                        &mut attribute_best[slot],
-                        &mut best,
-                        stats,
-                    );
-                }
-            }
-        }
-        #[cfg(feature = "parallel")]
-        {
-            // Parallel: every worker starts from the merged pass-1 best (a
-            // real candidate's score, so pruning stays safe) and improves
-            // a private copy; the per-worker bests are merged in index
-            // order. Workers cannot observe each other's improvements, so
-            // they may prune slightly less than the sequential pass — but
-            // never more, and the optimal score is identical.
-            let frozen = best;
-            let pass2 = map_attributes(events.len(), total_positions, |slot| {
-                let (attribute, ev) = &events[slot];
-                let mut local = SearchStats::default();
-                let mut local_best = frozen;
-                let mut attr_best = attribute_best[slot];
-                for interval in ev.intervals_between(&boundaries[slot]) {
-                    self.process_interval(
-                        ev,
-                        *attribute,
-                        &interval,
-                        measure,
-                        refine,
-                        &mut attr_best,
-                        &mut local_best,
-                        &mut local,
-                    );
-                }
-                (local_best, local)
-            });
-            best = frozen;
-            for (local_best, local) in pass2 {
-                stats.merge(&local);
-                if let Some(candidate) = local_best {
-                    merge_best(&mut best, candidate);
-                }
+        for (slot, (attribute, ev)) in events.iter().enumerate() {
+            for interval in ev.intervals_between(&boundaries[slot]) {
+                self.process_interval(
+                    ev,
+                    *attribute,
+                    &interval,
+                    measure,
+                    refine,
+                    &mut attribute_best[slot],
+                    &mut best,
+                    stats,
+                );
             }
         }
         best

@@ -7,9 +7,10 @@
 //!
 //! The build environment is offline, so instead of `proptest` these use
 //! a seeded ChaCha8 generator with explicit case loops; every case is
-//! reproducible from the seed. The whole file runs under both feature
-//! modes (CI additionally runs it with `--features parallel`, where the
-//! forked subtree jobs are drained by real worker threads).
+//! reproducible from the seed. CI additionally runs the whole file
+//! under `UDT_THREADS={1,4}`, where the forked subtree jobs are drained
+//! inline and by real pool workers respectively (the thread-count
+//! matrix itself is pinned by `pool_determinism.rs`).
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;

@@ -1,0 +1,38 @@
+//! `UDT_THREADS` env-override equivalence.
+//!
+//! This is the **only** test in this binary on purpose: it calls
+//! `std::env::set_var`, which must never race concurrent
+//! `std::env::var` reads from other tests in the same process
+//! (concurrent getenv/setenv is undefined behaviour on glibc).
+//! Integration-test files compile to separate binaries, so keeping the
+//! file single-test serialises it by construction.
+
+use udt_data::synthetic::SyntheticSpec;
+use udt_data::uncertainty::{inject_uncertainty, UncertaintySpec};
+use udt_tree::{Algorithm, ThreadCount, TreeBuilder, UdtConfig};
+
+#[test]
+fn thread_count_env_override_is_equivalent_to_the_setter() {
+    // `UDT_THREADS` goes through the same canonical parser as
+    // `with_threads`; a config built under the override must equal one
+    // built with the setter. (The env var is read at `UdtConfig::new`
+    // time, so it is set around construction only.)
+    let mut spec = SyntheticSpec::small(77);
+    spec.tuples = 60;
+    spec.attributes = 3;
+    let point_data = spec.generate().unwrap();
+    let data = inject_uncertainty(&point_data, &UncertaintySpec::baseline().with_s(10)).unwrap();
+    let explicit = TreeBuilder::new(
+        UdtConfig::new(Algorithm::UdtEs)
+            .with_postprune(false)
+            .with_threads(2),
+    )
+    .build(&data)
+    .unwrap();
+    std::env::set_var("UDT_THREADS", "2");
+    let from_env = UdtConfig::new(Algorithm::UdtEs).with_postprune(false);
+    std::env::remove_var("UDT_THREADS");
+    assert_eq!(from_env.threads, ThreadCount::fixed(2));
+    let via_env = TreeBuilder::new(from_env).build(&data).unwrap();
+    assert_eq!(via_env.tree.flat(), explicit.tree.flat());
+}

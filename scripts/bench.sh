@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Runs the split-search, classification, partition-traffic and serving
-# benchmarks and writes the measurement trajectories to BENCH_split.json,
-# BENCH_classify.json, BENCH_partition.json and BENCH_serve.json at the
-# repository root.
+# Runs the split-search, classification, partition-traffic, serving and
+# thread-scaling benchmarks and writes the measurement trajectories to
+# BENCH_split.json, BENCH_classify.json, BENCH_partition.json,
+# BENCH_serve.json and BENCH_scaling.json at the repository root.
 #
 # The criterion shim (shims/criterion) emits one JSON record per
 # benchmark when CRITERION_JSON names a file; this script points it at
@@ -23,10 +23,12 @@ split_out="$(pwd)/BENCH_split.json"
 classify_out="$(pwd)/BENCH_classify.json"
 partition_out="$(pwd)/BENCH_partition.json"
 serve_out="$(pwd)/BENCH_serve.json"
+scaling_out="$(pwd)/BENCH_scaling.json"
 CRITERION_JSON="$split_out" cargo bench -p udt-bench --bench split_algorithms "$@"
 CRITERION_JSON="$classify_out" cargo bench -p udt-bench --bench classify_throughput "$@"
 CRITERION_JSON="$partition_out" cargo bench -p udt-bench --bench partition "$@"
 CRITERION_JSON="$serve_out" cargo bench -p udt-bench --bench serve "$@"
+CRITERION_JSON="$scaling_out" cargo bench -p udt-bench --bench scaling "$@"
 
 echo
 echo "== $split_out =="
@@ -108,4 +110,26 @@ def speedup(group, single, batch):
 
 speedup("serve_throughput", "single_uncertain", "batch_uncertain")
 speedup("serve_throughput", "single_point", "batch_point")
+EOF
+
+echo
+echo "== $scaling_out =="
+python3 - "$scaling_out" <<'EOF'
+import json
+import os
+import sys
+
+results = json.load(open(sys.argv[1]))
+by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
+
+cores = os.cpu_count() or 1
+print(f"host cores: {cores} (speedup is bounded by the host; ~1x expected on 1 core)")
+for group in ("scaling_build", "scaling_presort"):
+    base = by_key.get((group, "threads01"))
+    if not base:
+        continue
+    for t in (2, 4, 8):
+        v = by_key.get((group, f"threads{t:02}"))
+        if v:
+            print(f"{group}: threads01 / threads{t:02} = {base / v:.2f}x")
 EOF

@@ -78,6 +78,13 @@ echo "$stats_out" | grep -q "model disk (gen 1)"
 echo "$stats_out" | grep -q "model toy (gen 1)"
 echo "$stats_out" | grep -q "traffic toy: 2 requests"
 
+# The same counters render as a Prometheus text exposition.
+prom_out="$(client stats --format prometheus)"
+echo "$prom_out" | head -n 4
+echo "$prom_out" | grep -q '^udt_serve_requests_total{model="toy"} 2$'
+echo "$prom_out" | grep -q '^udt_serve_model_generation{model="disk"} 1$'
+echo "$prom_out" | grep -q 'udt_serve_request_latency_seconds_bucket{model="toy",le="+Inf"} 2'
+
 # Hot-swap the disk model in place and verify the generation bump.
 out="$(client swap disk results/table1_model.json)"
 echo "$out" | grep -q "gen 2"
