@@ -29,18 +29,57 @@
 //! joins them (by dropping the pool) — no in-flight request is dropped.
 
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 use udt_data::Tuple;
 use udt_tree::{classify_batch, BatchScratch, WorkerPool};
 
 use crate::error::ServeError;
+use crate::faults::{FaultInjector, FaultPoint};
 use crate::metrics::ServeMetrics;
 use crate::protocol::QueueStats;
 use crate::registry::ModelRegistry;
 use crate::Result;
+
+/// What `classify` does when the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueuePolicy {
+    /// Block the submitter until a slot frees (backpressure). With a
+    /// request deadline configured the wait is bounded by it; past the
+    /// deadline the request is rejected as overloaded.
+    #[default]
+    Block,
+    /// Reject immediately with [`ServeError::Overloaded`] (load
+    /// shedding) — the submitter never waits.
+    Shed,
+}
+
+impl QueuePolicy {
+    /// The config-grammar name (`block` / `shed`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QueuePolicy::Block => "block",
+            QueuePolicy::Shed => "shed",
+        }
+    }
+}
+
+impl std::str::FromStr for QueuePolicy {
+    type Err = ServeError;
+
+    fn from_str(s: &str) -> Result<QueuePolicy> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "block" => Ok(QueuePolicy::Block),
+            "shed" => Ok(QueuePolicy::Shed),
+            other => Err(ServeError::Config(format!(
+                "queue policy must be `block` or `shed`, got `{other}`"
+            ))),
+        }
+    }
+}
 
 /// Scheduler tuning knobs (see [`crate::ServeConfig`] for the CLI
 /// surface and defaults).
@@ -53,9 +92,19 @@ pub struct BatchOptions {
     /// Flush a micro-batch once this long has passed since collection
     /// began, even if it is still small.
     pub max_delay: Duration,
-    /// Bounded queue capacity in jobs; submitters block when full
-    /// (backpressure, not load shedding).
+    /// Bounded queue capacity in jobs; what happens when it is full is
+    /// `queue_policy`'s call.
     pub queue_capacity: usize,
+    /// Admission behaviour at capacity: block (backpressure) or shed.
+    pub queue_policy: QueuePolicy,
+    /// End-to-end budget for a request. Bounds the submit wait under
+    /// [`QueuePolicy::Block`], and a job that has already exceeded it
+    /// when a worker dequeues it is dropped with
+    /// [`ServeError::DeadlineExceeded`] instead of being classified.
+    /// `None` disables both.
+    pub request_deadline: Option<Duration>,
+    /// Fault-injection hooks (disabled injector in production).
+    pub faults: Arc<FaultInjector>,
 }
 
 impl Default for BatchOptions {
@@ -65,6 +114,9 @@ impl Default for BatchOptions {
             max_batch_tuples: 64,
             max_delay: Duration::from_micros(500),
             queue_capacity: 1024,
+            queue_policy: QueuePolicy::Block,
+            request_deadline: None,
+            faults: FaultInjector::disabled(),
         }
     }
 }
@@ -104,10 +156,43 @@ struct Shared {
     not_full: Condvar,
 }
 
+impl Shared {
+    /// Locks the queue, recovering from poison. Worker panics are caught
+    /// per job *outside* this lock, so poison here would mean a panic in
+    /// the queue plumbing itself — the jobs are still consistent (every
+    /// mutation is a single push/pop), and one wedged submitter must not
+    /// take the whole server down with it.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait<'a>(&self, cv: &Condvar, guard: MutexGuard<'a, State>) -> MutexGuard<'a, State> {
+        cv.wait(guard).unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn wait_timeout<'a>(
+        &self,
+        cv: &Condvar,
+        guard: MutexGuard<'a, State>,
+        dur: Duration,
+    ) -> (MutexGuard<'a, State>, bool) {
+        match cv.wait_timeout(guard, dur) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(e) => {
+                let (g, t) = e.into_inner();
+                (g, t.timed_out())
+            }
+        }
+    }
+}
+
 /// The micro-batching scheduler: bounded queue + worker pool.
 pub struct Batcher {
     shared: Arc<Shared>,
     options: BatchOptions,
+    /// For recording admission failures (sheds) at the submit path; the
+    /// workers hold their own clone for the serving-side counters.
+    metrics: Arc<ServeMetrics>,
     /// Worker loops actually running (the pool may have spawned fewer
     /// threads than requested under resource pressure); this is what
     /// `queue_stats` reports.
@@ -159,24 +244,32 @@ impl Batcher {
         Batcher {
             shared,
             options,
+            metrics,
             workers,
             pool: Mutex::new(Some(pool)),
         }
     }
 
     /// Classifies `tuples` with the named model, blocking until a worker
-    /// has served the micro-batch containing this job. Blocks earlier —
-    /// on submission — while the queue is at capacity (backpressure).
+    /// has served the micro-batch containing this job.
+    ///
+    /// Admission at a full queue follows the configured policy:
+    /// [`QueuePolicy::Shed`] rejects immediately with
+    /// [`ServeError::Overloaded`]; [`QueuePolicy::Block`] waits for a
+    /// slot — indefinitely without a request deadline, otherwise at most
+    /// the deadline before the request is shed as overloaded too. Both
+    /// rejections count in the `sheds` health counter.
     pub fn classify(&self, model: &str, tuples: Vec<Tuple>) -> Result<BatchReply> {
         let (tx, rx) = mpsc::sync_channel(1);
+        let enqueued = Instant::now();
         let job = Job {
             model: model.to_string(),
             tuples,
-            enqueued: Instant::now(),
+            enqueued,
             reply: tx,
         };
         {
-            let mut st = self.shared.state.lock().expect("queue lock");
+            let mut st = self.shared.lock();
             loop {
                 if !st.open {
                     return Err(ServeError::QueueClosed);
@@ -184,7 +277,27 @@ impl Batcher {
                 if st.jobs.len() < self.options.queue_capacity {
                     break;
                 }
-                st = self.shared.not_full.wait(st).expect("queue lock");
+                match (self.options.queue_policy, self.options.request_deadline) {
+                    (QueuePolicy::Shed, _) => {
+                        drop(st);
+                        self.metrics.record_shed();
+                        return Err(ServeError::Overloaded);
+                    }
+                    (QueuePolicy::Block, None) => {
+                        st = self.shared.wait(&self.shared.not_full, st);
+                    }
+                    (QueuePolicy::Block, Some(deadline)) => {
+                        let Some(remaining) = deadline.checked_sub(enqueued.elapsed()) else {
+                            drop(st);
+                            self.metrics.record_shed();
+                            return Err(ServeError::Overloaded);
+                        };
+                        let (guard, _timed_out) =
+                            self.shared
+                                .wait_timeout(&self.shared.not_full, st, remaining);
+                        st = guard;
+                    }
+                }
             }
             st.jobs.push_back(job);
             self.shared.not_empty.notify_one();
@@ -194,13 +307,19 @@ impl Batcher {
 
     /// Current queue occupancy and configuration, for `stats`.
     pub fn queue_stats(&self) -> QueueStats {
-        let depth = self.shared.state.lock().expect("queue lock").jobs.len();
+        let depth = self.shared.lock().jobs.len();
         QueueStats {
             workers: self.workers,
             capacity: self.options.queue_capacity,
             depth,
             max_batch_tuples: self.options.max_batch_tuples,
             max_delay_us: self.options.max_delay.as_micros() as u64,
+            policy: self.options.queue_policy.name().to_string(),
+            deadline_ms: self
+                .options
+                .request_deadline
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
         }
     }
 
@@ -209,12 +328,12 @@ impl Batcher {
     /// once their loops return). Idempotent.
     pub fn shutdown(&self) {
         {
-            let mut st = self.shared.state.lock().expect("queue lock");
+            let mut st = self.shared.lock();
             st.open = false;
             self.shared.not_empty.notify_all();
             self.shared.not_full.notify_all();
         }
-        let pool = self.pool.lock().expect("worker pool lock").take();
+        let pool = self.pool.lock().unwrap_or_else(|e| e.into_inner()).take();
         drop(pool);
     }
 }
@@ -239,7 +358,7 @@ fn worker_loop(
     loop {
         let mut flush: Vec<Job> = Vec::new();
         {
-            let mut st = shared.state.lock().expect("queue lock");
+            let mut st = shared.lock();
             // Wait for a seed job (or a closed, drained queue).
             loop {
                 if let Some(job) = st.jobs.pop_front() {
@@ -250,7 +369,7 @@ fn worker_loop(
                 if !st.open {
                     return;
                 }
-                st = shared.not_empty.wait(st).expect("queue lock");
+                st = shared.wait(&shared.not_empty, st);
             }
             // Collect companions for up to `max_delay`, or until the
             // flush holds `max_batch_tuples` tuples.
@@ -273,12 +392,9 @@ fn worker_loop(
                 else {
                     break;
                 };
-                let (guard, timeout) = shared
-                    .not_empty
-                    .wait_timeout(st, remaining)
-                    .expect("queue lock");
+                let (guard, timed_out) = shared.wait_timeout(&shared.not_empty, st, remaining);
                 st = guard;
-                if timeout.timed_out() {
+                if timed_out {
                     // One more opportunistic pop below, then flush.
                     if let Some(job) = st.jobs.pop_front() {
                         shared.not_full.notify_one();
@@ -288,7 +404,25 @@ fn worker_loop(
                 }
             }
         }
-        serve_flush(flush, registry, metrics, &mut scratch);
+        // Fault hook: a slow worker (CPU contention, paging) — makes the
+        // queue grow and request deadlines expire. Injected with no lock
+        // held, after the flush is popped, so the waiting jobs age.
+        if let Some(delay) = options.faults.sleep_for(FaultPoint::DelayInWorker) {
+            std::thread::sleep(delay);
+        }
+        serve_flush(flush, registry, metrics, options, &mut scratch);
+    }
+}
+
+/// Renders a panic payload for the structured error (panics carry
+/// `&str` or `String` in practice).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 
@@ -300,22 +434,58 @@ fn serve_flush(
     flush: Vec<Job>,
     registry: &ModelRegistry,
     metrics: &ServeMetrics,
+    options: &BatchOptions,
     scratch: &mut BatchScratch,
 ) {
     let mut snapshot: Option<(String, Arc<udt_tree::DecisionTree>)> = None;
     for job in flush {
+        let waited = job.enqueued.elapsed();
+        metrics.record_queue_wait(waited);
+        // A job that already blew its budget in the queue is dropped
+        // here, unclassified: the client stopped waiting for the answer,
+        // so computing it would only steal worker time from requests
+        // that can still make their deadlines.
+        if let Some(deadline) = options.request_deadline {
+            if waited > deadline {
+                metrics.record_deadline_drop();
+                let _ = job.reply.send(Err(ServeError::DeadlineExceeded));
+                continue;
+            }
+        }
         let tree = match &snapshot {
             Some((name, tree)) if *name == job.model => Ok(Arc::clone(tree)),
             _ => registry.get(&job.model),
         };
-        let outcome = tree.and_then(|tree| {
-            snapshot = Some((job.model.clone(), Arc::clone(&tree)));
-            let distributions = classify_batch(&tree, &job.tuples, scratch)?;
-            Ok(BatchReply {
-                distributions,
-                n_classes: tree.n_classes(),
-            })
-        });
+        let outcome = match tree {
+            Err(e) => Err(e),
+            Ok(tree) => {
+                snapshot = Some((job.model.clone(), Arc::clone(&tree)));
+                // The panic boundary is per *job*, not per flush: one
+                // poisoned request must not take down its batch
+                // companions. The queue lock is never held here, so a
+                // panic cannot poison it. `AssertUnwindSafe` is sound
+                // because the only state crossing the boundary — the
+                // scratch — is rebuilt from scratch on the panic path.
+                let attempt = catch_unwind(AssertUnwindSafe(|| {
+                    if options.faults.fires(FaultPoint::PanicInWorker) {
+                        panic!("injected fault: panic_in_worker");
+                    }
+                    let distributions = classify_batch(&tree, &job.tuples, scratch)?;
+                    Ok(BatchReply {
+                        distributions,
+                        n_classes: tree.n_classes(),
+                    })
+                }));
+                match attempt {
+                    Ok(outcome) => outcome,
+                    Err(payload) => {
+                        *scratch = BatchScratch::new();
+                        metrics.record_worker_panic();
+                        Err(ServeError::WorkerPanic(panic_message(payload.as_ref())))
+                    }
+                }
+            }
+        };
         match &outcome {
             Ok(reply) => {
                 let served = reply.distributions.len() / reply.n_classes.max(1);
@@ -394,6 +564,7 @@ mod tests {
                 max_batch_tuples: 1024,
                 max_delay: Duration::from_millis(5),
                 queue_capacity: 64,
+                ..BatchOptions::default()
             },
         );
         let data = toy::table1_dataset().unwrap();
@@ -491,6 +662,137 @@ mod tests {
         let reply = batcher.classify("toy", Vec::new()).unwrap();
         assert!(reply.distributions.is_empty());
         assert_eq!(reply.n_classes, 2);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn queue_policy_parses_and_garbage_is_a_config_error() {
+        assert_eq!("block".parse::<QueuePolicy>().unwrap(), QueuePolicy::Block);
+        assert_eq!(" Shed ".parse::<QueuePolicy>().unwrap(), QueuePolicy::Shed);
+        assert!(matches!(
+            "drop".parse::<QueuePolicy>(),
+            Err(ServeError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn shed_policy_rejects_at_capacity_and_counts_the_shed() {
+        let reg = registry_with_toy();
+        // Capacity 0 makes every submission find a full queue — the
+        // deterministic way to exercise the admission path.
+        let (batcher, metrics) = batcher(
+            &reg,
+            BatchOptions {
+                queue_capacity: 0,
+                queue_policy: QueuePolicy::Shed,
+                ..BatchOptions::default()
+            },
+        );
+        let t = toy::fig1_test_tuple().unwrap();
+        assert!(matches!(
+            batcher.classify("toy", vec![t.clone()]),
+            Err(ServeError::Overloaded)
+        ));
+        assert!(matches!(
+            batcher.classify("toy", vec![t]),
+            Err(ServeError::Overloaded)
+        ));
+        let health = metrics.health_snapshot();
+        assert_eq!(health.sheds, 2);
+        assert_eq!(health.deadline_drops, 0);
+        let stats = batcher.queue_stats();
+        assert_eq!(stats.policy, "shed");
+        assert_eq!(stats.deadline_ms, 0);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn blocked_submitters_are_shed_once_the_deadline_passes() {
+        let reg = registry_with_toy();
+        let (batcher, metrics) = batcher(
+            &reg,
+            BatchOptions {
+                queue_capacity: 0,
+                queue_policy: QueuePolicy::Block,
+                request_deadline: Some(Duration::from_millis(5)),
+                ..BatchOptions::default()
+            },
+        );
+        let t = toy::fig1_test_tuple().unwrap();
+        let start = Instant::now();
+        assert!(matches!(
+            batcher.classify("toy", vec![t]),
+            Err(ServeError::Overloaded)
+        ));
+        assert!(
+            start.elapsed() >= Duration::from_millis(5),
+            "the submit wait is bounded, not skipped"
+        );
+        assert_eq!(metrics.health_snapshot().sheds, 1);
+        let stats = batcher.queue_stats();
+        assert_eq!(stats.policy, "block");
+        assert_eq!(stats.deadline_ms, 5);
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn expired_jobs_are_dropped_at_dequeue_not_classified() {
+        let reg = registry_with_toy();
+        // Every flush sleeps 30 ms before serving (injected), and the
+        // request budget is 1 ms — the job is guaranteed to be expired
+        // by the time a worker looks at it.
+        let plan = crate::faults::FaultPlan::parse("delay_in_worker:always:30ms", 0).unwrap();
+        let (batcher, metrics) = batcher(
+            &reg,
+            BatchOptions {
+                workers: 1,
+                request_deadline: Some(Duration::from_millis(1)),
+                faults: FaultInjector::from_plan(&plan),
+                ..BatchOptions::default()
+            },
+        );
+        let t = toy::fig1_test_tuple().unwrap();
+        assert!(matches!(
+            batcher.classify("toy", vec![t]),
+            Err(ServeError::DeadlineExceeded)
+        ));
+        let health = metrics.health_snapshot();
+        assert_eq!(health.deadline_drops, 1);
+        assert_eq!(health.queue_wait_count, 1, "queue wait is still recorded");
+        // No model metrics: the job was never classified.
+        assert!(metrics.snapshot().iter().all(|s| s.requests == 0));
+        batcher.shutdown();
+    }
+
+    #[test]
+    fn worker_panics_are_isolated_per_job_and_the_pool_survives() {
+        let reg = registry_with_toy();
+        let plan = crate::faults::FaultPlan::parse("panic_in_worker:nth=1", 0).unwrap();
+        let (batcher, metrics) = batcher(
+            &reg,
+            BatchOptions {
+                workers: 1,
+                faults: FaultInjector::from_plan(&plan),
+                ..BatchOptions::default()
+            },
+        );
+        let data = toy::table1_dataset().unwrap();
+        let t = toy::fig1_test_tuple().unwrap();
+        // First job hits the injected panic and gets a structured error.
+        let err = batcher.classify("toy", vec![t.clone()]).unwrap_err();
+        assert!(matches!(&err, ServeError::WorkerPanic(m) if m.contains("injected")));
+        assert_eq!(err.code(), "internal");
+        // The same worker (there is only one) keeps serving, and its
+        // recreated scratch still produces bit-for-bit correct answers.
+        let tree = reg.get("toy").unwrap();
+        let mut scratch = BatchScratch::new();
+        let direct = classify_batch(&tree, data.tuples(), &mut scratch).unwrap();
+        let reply = batcher.classify("toy", data.tuples().to_vec()).unwrap();
+        for (a, b) in reply.distributions.iter().zip(&direct) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let health = metrics.health_snapshot();
+        assert_eq!(health.worker_panics, 1);
         batcher.shutdown();
     }
 }

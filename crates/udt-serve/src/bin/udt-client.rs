@@ -13,126 +13,279 @@
 //! single-attribute *uncertain* tuple whose pdf is uniform over
 //! `[LO, HI]` with `SAMPLES` sample points (default 16) — enough for the
 //! CI smoke test to exercise the fractional classification path over the
-//! wire. Exit code is non-zero on any error, including server-reported
-//! ones.
+//! wire.
+//!
+//! ## Robustness flags and exit codes
+//!
+//! `--timeout-ms MS` bounds the connect and every socket read/write;
+//! `--retries N` re-runs the command up to `N` extra times on
+//! *transient* failures (sheds, deadline drops, worker panics, transport
+//! errors) with exponential backoff and seeded jitter
+//! (`--retry-base-ms`, `--retry-seed`). Exit codes tell scripts **what
+//! kind** of failure survived the retries: `0` success, `1` usage /
+//! local errors, `2` transport errors (could not reach or keep the
+//! connection), `3` server-reported errors.
 
 // `!(hi > lo)` is a deliberate NaN guard (same convention as udt-tree):
 // a NaN bound must take the rejection branch.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
+use std::fmt::Write as _;
 use std::process::ExitCode;
+use std::time::Duration;
 
 use udt_data::{Tuple, UncertainValue};
 use udt_prob::SampledPdf;
-use udt_serve::Client;
+use udt_serve::client::RetryPolicy;
+use udt_serve::{Client, ServeError, StatsFormat};
+
+/// What failed, for the exit code.
+enum CliError {
+    /// Bad flags or arguments (exit 1).
+    Usage(String),
+    /// Could not reach the server or lost the connection (exit 2).
+    Transport(String),
+    /// The server answered with an error (exit 3).
+    Server(String),
+}
+
+/// A fully validated command — every usage error is caught before the
+/// first connection attempt, so the retry loop only ever sees transport
+/// and server failures.
+enum Command {
+    Classify { model: String, tuple: Tuple },
+    Stats { format: StatsFormat },
+    Load { name: String, path: String },
+    Swap { name: String, path: String },
+    Shutdown,
+}
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Ok(out) => {
+            print!("{out}");
+            ExitCode::SUCCESS
+        }
+        Err(CliError::Usage(msg)) => {
             eprintln!("udt-client: {msg}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Transport(msg)) => {
+            eprintln!("udt-client: transport error: {msg}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Server(msg)) => {
+            eprintln!("udt-client: server error: {msg}");
+            ExitCode::from(3)
         }
     }
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<String, CliError> {
+    let usage = |msg: String| CliError::Usage(msg);
     let mut args = std::env::args().skip(1);
     let mut addr = "127.0.0.1:7878".to_string();
+    let mut timeout: Option<Duration> = None;
+    let mut policy = RetryPolicy {
+        attempts: 1,
+        ..RetryPolicy::default()
+    };
     let mut command: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next()
+                .ok_or_else(|| CliError::Usage(format!("{flag} needs a value")))
+        };
         match arg.as_str() {
-            "--addr" => addr = args.next().ok_or("--addr needs a value")?,
+            "--addr" => addr = value_for("--addr")?,
+            "--timeout-ms" => {
+                let ms: u64 = value_for("--timeout-ms")?
+                    .parse()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| usage("--timeout-ms wants a positive integer".into()))?;
+                timeout = Some(Duration::from_millis(ms));
+            }
+            "--retries" => {
+                let n: u32 = value_for("--retries")?
+                    .parse()
+                    .map_err(|_| usage("--retries wants an integer >= 0".into()))?;
+                policy.attempts = n + 1;
+            }
+            "--retry-base-ms" => {
+                let ms: u64 = value_for("--retry-base-ms")?
+                    .parse()
+                    .ok()
+                    .filter(|&ms| ms > 0)
+                    .ok_or_else(|| usage("--retry-base-ms wants a positive integer".into()))?;
+                policy.base_backoff = Duration::from_millis(ms);
+            }
+            "--retry-seed" => {
+                policy.seed = value_for("--retry-seed")?
+                    .parse()
+                    .map_err(|_| usage("--retry-seed wants an integer".into()))?;
+            }
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: udt-client [--addr HOST:PORT] <classify MODEL \
-                     (--point CSV | --uniform LO,HI[,SAMPLES]) | \
+                    "usage: udt-client [--addr HOST:PORT] [--timeout-ms MS] \
+                     [--retries N] [--retry-base-ms MS] [--retry-seed N] \
+                     <classify MODEL (--point CSV | --uniform LO,HI[,SAMPLES]) | \
                      stats [--format json|prometheus] | \
                      load NAME PATH | swap NAME PATH | shutdown>"
                 );
-                return Ok(());
+                return Ok(String::new());
             }
             other => command.push(other.to_string()),
         }
     }
-    let mut client =
-        Client::connect(&addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let command = parse_command(&command).map_err(CliError::Usage)?;
+    // Each attempt gets a fresh connection: after a transport failure or
+    // a shed, the old socket proves nothing about the next try.
+    let result = policy.run(|attempt| {
+        if attempt > 0 {
+            eprintln!(
+                "udt-client: transient failure, retry {attempt}/{}",
+                policy.attempts - 1
+            );
+        }
+        let mut client = match timeout {
+            Some(t) => Client::connect_with_timeout(&addr, t),
+            None => Client::connect(&addr),
+        }
+        .map_err(|e| ServeError::Io(format!("cannot connect to {addr}: {e}")))?;
+        execute(&mut client, &command)
+    });
+    result.map_err(|e| match e {
+        // Usage-shaped problems were rejected before the first connect,
+        // so an error here is the wire's fault or the server's word.
+        ServeError::Io(_) | ServeError::Protocol(_) => CliError::Transport(e.to_string()),
+        other => CliError::Server(other.to_string()),
+    })
+}
+
+/// Validates the positional arguments into a [`Command`].
+fn parse_command(command: &[String]) -> Result<Command, String> {
     match command.first().map(String::as_str) {
         Some("classify") => {
-            let model = command.get(1).ok_or("classify needs a MODEL name")?;
+            let model = command
+                .get(1)
+                .ok_or("classify needs a MODEL name")?
+                .to_string();
             let tuple = parse_tuple(&command[2..])?;
-            let (distribution, label) =
-                client.classify(model, &tuple).map_err(|e| e.to_string())?;
-            println!("label: {label}");
-            for (c, p) in distribution.iter().enumerate() {
-                println!("P(class {c}) = {p:.6}");
-            }
-            Ok(())
+            Ok(Command::Classify { model, tuple })
         }
         Some("stats") => {
             // `stats [--format json|prometheus]`, parsed by the
             // canonical `StatsFormat` parser the wire field shares.
             let format = match command.get(1).map(String::as_str) {
-                None => udt_serve::StatsFormat::Json,
+                None => StatsFormat::Json,
                 Some("--format") => {
                     let raw = command.get(2).ok_or("--format needs a value")?;
                     raw.parse().map_err(|e| format!("{e}"))?
                 }
                 Some(other) => return Err(format!("unknown stats argument `{other}`")),
             };
-            if format == udt_serve::StatsFormat::Prometheus {
-                print!("{}", client.stats_prometheus().map_err(|e| e.to_string())?);
-                return Ok(());
+            Ok(Command::Stats { format })
+        }
+        Some("load") | Some("swap") => {
+            let name = command.get(1).ok_or("load/swap needs NAME PATH")?.clone();
+            let path = command.get(2).ok_or("load/swap needs NAME PATH")?.clone();
+            if command[0] == "load" {
+                Ok(Command::Load { name, path })
+            } else {
+                Ok(Command::Swap { name, path })
             }
-            let stats = client.stats().map_err(|e| e.to_string())?;
-            println!("uptime: {:.1}s", stats.uptime_seconds);
-            println!(
-                "queue: {} workers, depth {}/{} jobs, flush at {} tuples or {} us",
+        }
+        Some("shutdown") => Ok(Command::Shutdown),
+        Some(other) => Err(format!("unknown command `{other}`")),
+        None => Err("no command given (try --help)".to_string()),
+    }
+}
+
+/// Runs one validated command over a connected client and renders its
+/// output (printed only after the retry loop settles on success).
+fn execute(client: &mut Client, command: &Command) -> udt_serve::Result<String> {
+    let mut out = String::new();
+    match command {
+        Command::Classify { model, tuple } => {
+            let (distribution, label) = client.classify(model, tuple)?;
+            let _ = writeln!(out, "label: {label}");
+            for (c, p) in distribution.iter().enumerate() {
+                let _ = writeln!(out, "P(class {c}) = {p:.6}");
+            }
+        }
+        Command::Stats { format } => {
+            if *format == StatsFormat::Prometheus {
+                let _ = write!(out, "{}", client.stats_prometheus()?);
+                return Ok(out);
+            }
+            let stats = client.stats()?;
+            let _ = writeln!(out, "uptime: {:.1}s", stats.uptime_seconds);
+            let _ = writeln!(
+                out,
+                "queue: {} workers, depth {}/{} jobs, flush at {} tuples or {} us, \
+                 policy {}, deadline {}",
                 stats.queue.workers,
                 stats.queue.depth,
                 stats.queue.capacity,
                 stats.queue.max_batch_tuples,
-                stats.queue.max_delay_us
+                stats.queue.max_delay_us,
+                stats.queue.policy,
+                if stats.queue.deadline_ms == 0 {
+                    "none".to_string()
+                } else {
+                    format!("{} ms", stats.queue.deadline_ms)
+                }
+            );
+            let _ = writeln!(
+                out,
+                "health: {} sheds, {} deadline drops, {} worker panics, \
+                 {} rejected connections, queue wait p50 {:.1} us p99 {:.1} us",
+                stats.health.sheds,
+                stats.health.deadline_drops,
+                stats.health.worker_panics,
+                stats.health.rejected_connections,
+                stats.health.queue_wait_p50_us,
+                stats.health.queue_wait_p99_us
             );
             for m in &stats.models {
-                println!(
+                let _ = writeln!(
+                    out,
                     "model {} (gen {}): {} nodes, {} leaves, depth {}, {} classes, {} bytes",
                     m.name, m.generation, m.nodes, m.leaves, m.depth, m.n_classes, m.heap_bytes
                 );
             }
             for s in &stats.metrics {
-                println!(
+                let _ = writeln!(
+                    out,
                     "traffic {}: {} requests, {} tuples, {} errors, \
                      p50 {:.1} us, p95 {:.1} us, p99 {:.1} us",
                     s.model, s.requests, s.tuples, s.errors, s.p50_us, s.p95_us, s.p99_us
                 );
             }
-            Ok(())
         }
-        Some("load") | Some("swap") => {
-            let cmd = command[0].as_str();
-            let name = command.get(1).ok_or("load/swap needs NAME PATH")?;
-            let path = command.get(2).ok_or("load/swap needs NAME PATH")?;
-            let info = if cmd == "load" {
-                client.load_model(name, path)
-            } else {
-                client.swap(name, path)
-            }
-            .map_err(|e| e.to_string())?;
-            println!(
+        Command::Load { name, path } => {
+            let info = client.load_model(name, path)?;
+            let _ = writeln!(
+                out,
                 "model {} (gen {}): {} nodes, {} bytes",
                 info.name, info.generation, info.nodes, info.heap_bytes
             );
-            Ok(())
         }
-        Some("shutdown") => {
-            client.shutdown().map_err(|e| e.to_string())?;
-            println!("server shutting down");
-            Ok(())
+        Command::Swap { name, path } => {
+            let info = client.swap(name, path)?;
+            let _ = writeln!(
+                out,
+                "model {} (gen {}): {} nodes, {} bytes",
+                info.name, info.generation, info.nodes, info.heap_bytes
+            );
         }
-        Some(other) => Err(format!("unknown command `{other}`")),
-        None => Err("no command given (try --help)".to_string()),
+        Command::Shutdown => {
+            client.shutdown()?;
+            let _ = writeln!(out, "server shutting down");
+        }
     }
+    Ok(out)
 }
 
 /// Parses `--point CSV` or `--uniform LO,HI[,SAMPLES]` into a tuple.

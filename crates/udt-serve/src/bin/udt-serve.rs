@@ -3,6 +3,10 @@
 //! ```text
 //! udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES]
 //!           [--max-delay-us MICROS] [--queue-capacity JOBS]
+//!           [--queue-policy block|shed] [--request-deadline-ms MS]
+//!           [--drain-deadline-ms MS] [--max-connections N]
+//!           [--idle-timeout-ms MS] [--write-timeout-ms MS]
+//!           [--faults SPEC] [--fault-seed N]
 //!           [--model NAME=PATH]... [--train-toy NAME]
 //!           [--partition-mode owned|view] [--threads auto|N]
 //! ```
@@ -11,7 +15,9 @@
 //! corrupt model — better to fail loud at boot than at first request),
 //! optionally trains the paper's Table 1 toy model in-process, prints
 //! one `udt-serve listening on ADDR` line (scripts wait for it), and
-//! serves until a `shutdown` request arrives.
+//! serves until a `shutdown` request arrives. The robustness knobs are
+//! also env-settable (`UDT_QUEUE_POLICY`, `UDT_REQUEST_DEADLINE_MS`,
+//! `UDT_DRAIN_DEADLINE_MS`, `UDT_FAULTS`, `UDT_FAULT_SEED`); flags win.
 
 use std::io::Write;
 use std::path::Path;
@@ -26,7 +32,11 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES] \
-             [--max-delay-us MICROS] [--queue-capacity JOBS] [--model NAME=PATH]... \
+             [--max-delay-us MICROS] [--queue-capacity JOBS] \
+             [--queue-policy block|shed] [--request-deadline-ms MS] \
+             [--drain-deadline-ms MS] [--max-connections N] [--idle-timeout-ms MS] \
+             [--write-timeout-ms MS] [--faults SPEC] [--fault-seed N] \
+             [--model NAME=PATH]... \
              [--train-toy NAME] [--partition-mode owned|view] [--threads auto|N]"
         );
         return ExitCode::SUCCESS;
@@ -38,6 +48,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    eprintln!(
+        "udt-serve: queue policy {}, request deadline {}, max {} connections",
+        config.queue_policy.name(),
+        config
+            .request_deadline
+            .map(|d| format!("{} ms", d.as_millis()))
+            .unwrap_or_else(|| "none".to_string()),
+        config.max_connections
+    );
+    if !config.faults.is_empty() {
+        eprintln!(
+            "udt-serve: WARNING: {} fault(s) armed (seed {}) — chaos testing mode",
+            config.faults.specs.len(),
+            config.faults.seed
+        );
+    }
 
     let registry = Arc::new(ModelRegistry::new());
     for (name, path) in &config.models {

@@ -8,12 +8,76 @@
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use udt_data::Tuple;
 
 use crate::error::ServeError;
 use crate::protocol::{ModelInfo, Request, Response, StatsFormat, StatsReport};
 use crate::Result;
+
+/// Reconnect-and-retry policy for transient failures (sheds, deadline
+/// drops, worker panics, transport errors — [`ServeError::is_transient`]
+/// decides). Backoff is exponential with deterministic, seeded jitter:
+/// attempt `n` sleeps a uniformly drawn fraction (half to all) of
+/// `base_backoff · 2ⁿ`, capped at `max_backoff`, so a burst of shed
+/// clients does not reconverge on the server in lockstep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (minimum 1).
+    pub attempts: u32,
+    /// Backoff before the first retry.
+    pub base_backoff: Duration,
+    /// Upper bound on any single backoff.
+    pub max_backoff: Duration,
+    /// Seed for the jitter stream (same seed, same sleep schedule).
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 3,
+            base_backoff: Duration::from_millis(50),
+            max_backoff: Duration::from_secs(2),
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `attempt + 1` (0-based), advancing
+    /// the caller-held jitter stream.
+    pub fn backoff(&self, attempt: u32, rng: &mut u64) -> Duration {
+        let exp = self
+            .base_backoff
+            .saturating_mul(1u32 << attempt.min(20))
+            .min(self.max_backoff);
+        let draw = (rand::split_mix64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        exp.mul_f64(0.5 + draw / 2.0)
+    }
+
+    /// Runs `op` (which gets the 0-based attempt number) until it
+    /// succeeds, fails permanently, or the attempt budget is spent.
+    /// Only transient errors are retried; `op` should build a fresh
+    /// connection per attempt — the old one is suspect by definition.
+    pub fn run<T>(&self, mut op: impl FnMut(u32) -> Result<T>) -> Result<T> {
+        let mut rng = self.seed ^ 0x9e37_79b9_7f4a_7c15;
+        rand::split_mix64(&mut rng);
+        let attempts = self.attempts.max(1);
+        let mut attempt = 0;
+        loop {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(e) if e.is_transient() && attempt + 1 < attempts => {
+                    std::thread::sleep(self.backoff(attempt, &mut rng));
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
 
 /// A connected client.
 pub struct Client {
@@ -33,6 +97,32 @@ impl Client {
         })
     }
 
+    /// Connects with a budget on the connect itself, and arms the same
+    /// budget as the socket read/write timeout for every subsequent
+    /// request — a wedged server then surfaces as a transient
+    /// [`ServeError::Io`] instead of hanging the caller forever.
+    pub fn connect_with_timeout<A: ToSocketAddrs>(addr: A, timeout: Duration) -> Result<Client> {
+        let mut last: Option<std::io::Error> = None;
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(Some(timeout)).ok();
+                    stream.set_write_timeout(Some(timeout)).ok();
+                    let writer = stream.try_clone()?;
+                    return Ok(Client {
+                        reader: BufReader::new(stream),
+                        writer,
+                    });
+                }
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(last.map(ServeError::from).unwrap_or_else(|| {
+            ServeError::Io("address resolved to no socket addresses".to_string())
+        }))
+    }
+
     /// Sends one request and reads its response line.
     pub fn request(&mut self, request: &Request) -> Result<Response> {
         let mut line = request.to_line();
@@ -43,6 +133,15 @@ impl Client {
         let n = self.reader.read_line(&mut reply)?;
         if n == 0 {
             return Err(ServeError::Io("server closed the connection".into()));
+        }
+        // NDJSON frames end in a newline; a line that stops without one
+        // means the connection died mid-response. That is a *transport*
+        // failure (retryable on a fresh connection), not a protocol
+        // violation — do not hand the fragment to the parser.
+        if !reply.ends_with('\n') {
+            return Err(ServeError::Io(
+                "connection severed mid-response (truncated frame)".into(),
+            ));
         }
         Response::parse(&reply)
     }
@@ -133,7 +232,108 @@ impl Client {
 
 fn unexpected(what: &str, response: &Response) -> ServeError {
     match response {
-        Response::Error { message } => ServeError::Remote(message.clone()),
+        // The transient overload family maps to its typed variants so
+        // `is_transient` (and therefore retry policies) classify server
+        // responses exactly like local failures; everything else stays a
+        // `Remote` carrying the structured code.
+        Response::Error { code, message } => match code.as_str() {
+            "overloaded" => ServeError::Overloaded,
+            "deadline_exceeded" => ServeError::DeadlineExceeded,
+            "shutting_down" => ServeError::QueueClosed,
+            _ => ServeError::Remote {
+                code: code.clone(),
+                message: message.clone(),
+            },
+        },
         other => ServeError::Protocol(format!("unexpected response to {what}: {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_codes_map_to_typed_variants() {
+        let err = |code: &str| {
+            unexpected(
+                "classify",
+                &Response::Error {
+                    code: code.to_string(),
+                    message: "m".to_string(),
+                },
+            )
+        };
+        assert_eq!(err("overloaded"), ServeError::Overloaded);
+        assert_eq!(err("deadline_exceeded"), ServeError::DeadlineExceeded);
+        assert_eq!(err("shutting_down"), ServeError::QueueClosed);
+        assert_eq!(
+            err("unknown_model"),
+            ServeError::Remote {
+                code: "unknown_model".to_string(),
+                message: "m".to_string(),
+            }
+        );
+    }
+
+    #[test]
+    fn backoff_is_exponential_capped_and_seed_deterministic() {
+        let policy = RetryPolicy {
+            attempts: 5,
+            base_backoff: Duration::from_millis(100),
+            max_backoff: Duration::from_millis(450),
+            seed: 7,
+        };
+        let mut rng_a = 1u64;
+        let mut rng_b = 1u64;
+        for attempt in 0..6 {
+            let exp = Duration::from_millis(100)
+                .saturating_mul(1 << attempt)
+                .min(Duration::from_millis(450));
+            let a = policy.backoff(attempt, &mut rng_a);
+            assert!(a >= exp.mul_f64(0.5), "attempt {attempt}: {a:?} < half");
+            assert!(a <= exp, "attempt {attempt}: {a:?} > cap");
+            assert_eq!(a, policy.backoff(attempt, &mut rng_b));
+        }
+    }
+
+    #[test]
+    fn run_retries_transient_and_stops_on_permanent() {
+        let policy = RetryPolicy {
+            attempts: 4,
+            base_backoff: Duration::from_micros(1),
+            max_backoff: Duration::from_micros(2),
+            seed: 0,
+        };
+        // Transient errors burn attempts until one succeeds.
+        let mut calls = 0;
+        let out = policy.run(|attempt| {
+            calls += 1;
+            if attempt < 2 {
+                Err(ServeError::Overloaded)
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+        assert_eq!(calls, 3);
+
+        // Permanent errors return immediately.
+        let mut calls = 0;
+        let out: Result<()> = policy.run(|_| {
+            calls += 1;
+            Err(ServeError::UnknownModel("x".to_string()))
+        });
+        assert!(matches!(out, Err(ServeError::UnknownModel(_))));
+        assert_eq!(calls, 1);
+
+        // The budget is honoured when everything is transient.
+        let mut calls = 0;
+        let out: Result<()> = policy.run(|_| {
+            calls += 1;
+            Err(ServeError::Io("reset".to_string()))
+        });
+        assert!(matches!(out, Err(ServeError::Io(_))));
+        assert_eq!(calls, 4);
     }
 }

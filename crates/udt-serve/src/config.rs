@@ -5,8 +5,9 @@ use std::time::Duration;
 
 use udt_tree::{PartitionMode, ThreadCount};
 
-use crate::batcher::BatchOptions;
+use crate::batcher::{BatchOptions, QueuePolicy};
 use crate::error::ServeError;
+use crate::faults::FaultPlan;
 use crate::Result;
 
 /// Configuration for a serving process.
@@ -17,9 +18,17 @@ use crate::Result;
 /// ```text
 /// udt-serve [--addr HOST:PORT] [--workers N] [--max-batch TUPLES]
 ///           [--max-delay-us MICROS] [--queue-capacity JOBS]
+///           [--queue-policy block|shed] [--request-deadline-ms MS]
+///           [--drain-deadline-ms MS] [--max-connections N]
+///           [--idle-timeout-ms MS] [--write-timeout-ms MS]
+///           [--faults SPEC] [--fault-seed N]
 ///           [--model NAME=PATH]... [--train-toy NAME]
 ///           [--partition-mode owned|view] [--threads auto|N]
 /// ```
+///
+/// `from_args` also honours the env knobs `UDT_QUEUE_POLICY`,
+/// `UDT_REQUEST_DEADLINE_MS`, `UDT_DRAIN_DEADLINE_MS`, `UDT_FAULTS` and
+/// `UDT_FAULT_SEED` (flags win over env).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Listen address (`127.0.0.1:7878` by default; port 0 asks the OS
@@ -33,6 +42,25 @@ pub struct ServeConfig {
     pub max_delay: Duration,
     /// Bounded queue capacity in jobs.
     pub queue_capacity: usize,
+    /// Admission behaviour when the queue is full: block or shed.
+    pub queue_policy: QueuePolicy,
+    /// End-to-end request budget (submit wait + queue residence); `None`
+    /// disables deadline handling.
+    pub request_deadline: Option<Duration>,
+    /// How long shutdown waits for in-flight connections to finish
+    /// before abandoning them and draining the queue.
+    pub drain_deadline: Duration,
+    /// Maximum concurrently served connections; excess connections get a
+    /// structured `overloaded` error and are closed immediately.
+    pub max_connections: usize,
+    /// Disconnect a connection after this long without a complete
+    /// request (`None` = never; a stalled peer then only costs its
+    /// thread).
+    pub idle_timeout: Option<Duration>,
+    /// Socket write timeout for responses.
+    pub write_timeout: Duration,
+    /// Fault-injection plan (empty in production).
+    pub faults: FaultPlan,
     /// Models to load at startup, as `(name, path)` pairs.
     pub models: Vec<(String, PathBuf)>,
     /// When set, train the paper's Table 1 toy model in-process at
@@ -61,6 +89,13 @@ impl Default for ServeConfig {
             max_batch_tuples: batch.max_batch_tuples,
             max_delay: batch.max_delay,
             queue_capacity: batch.queue_capacity,
+            queue_policy: batch.queue_policy,
+            request_deadline: batch.request_deadline,
+            drain_deadline: Duration::from_millis(5_000),
+            max_connections: 256,
+            idle_timeout: None,
+            write_timeout: Duration::from_secs(10),
+            faults: FaultPlan::default(),
             models: Vec::new(),
             train_toy: None,
             partition_mode: PartitionMode::from_env(),
@@ -70,14 +105,50 @@ impl Default for ServeConfig {
 }
 
 impl ServeConfig {
-    /// The scheduler options this configuration implies.
+    /// The scheduler options this configuration implies. The fault
+    /// injector stays disabled here — the server arms one injector from
+    /// the plan and shares it across the batcher and the connection
+    /// layer, so counters do not split.
     pub fn batch_options(&self) -> BatchOptions {
         BatchOptions {
             workers: self.workers,
             max_batch_tuples: self.max_batch_tuples,
             max_delay: self.max_delay,
             queue_capacity: self.queue_capacity,
+            queue_policy: self.queue_policy,
+            request_deadline: self.request_deadline,
+            ..BatchOptions::default()
         }
+    }
+
+    /// Applies the serving env knobs (`UDT_QUEUE_POLICY`,
+    /// `UDT_REQUEST_DEADLINE_MS`, `UDT_DRAIN_DEADLINE_MS`, `UDT_FAULTS`,
+    /// `UDT_FAULT_SEED`). Malformed values are configuration errors —
+    /// refusing to start beats silently serving with the wrong policy.
+    pub fn apply_env(&mut self) -> Result<()> {
+        if let Ok(raw) = std::env::var("UDT_QUEUE_POLICY") {
+            self.queue_policy = raw.parse().map_err(|_| {
+                ServeError::Config(format!(
+                    "UDT_QUEUE_POLICY must be `block` or `shed`, got `{raw}`"
+                ))
+            })?;
+        }
+        if let Ok(raw) = std::env::var("UDT_REQUEST_DEADLINE_MS") {
+            let ms: u64 = raw.trim().parse().map_err(|_| {
+                ServeError::Config(format!(
+                    "UDT_REQUEST_DEADLINE_MS: `{raw}` is not an integer"
+                ))
+            })?;
+            self.request_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+        }
+        if let Ok(raw) = std::env::var("UDT_DRAIN_DEADLINE_MS") {
+            let ms: u64 = raw.trim().parse().map_err(|_| {
+                ServeError::Config(format!("UDT_DRAIN_DEADLINE_MS: `{raw}` is not an integer"))
+            })?;
+            self.drain_deadline = Duration::from_millis(ms);
+        }
+        self.faults = FaultPlan::from_env()?;
+        Ok(())
     }
 
     /// Parses CLI flags (everything after the program name). Unknown
@@ -89,6 +160,8 @@ impl ServeConfig {
         S: AsRef<str>,
     {
         let mut config = ServeConfig::default();
+        config.apply_env()?;
+        let mut fault_seed: Option<u64> = None;
         let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             let arg = arg.as_ref();
@@ -110,6 +183,53 @@ impl ServeConfig {
                 "--queue-capacity" => {
                     config.queue_capacity =
                         parse_num(&value_for("--queue-capacity")?, "--queue-capacity")?
+                }
+                "--queue-policy" => {
+                    let raw = value_for("--queue-policy")?;
+                    config.queue_policy = raw.parse().map_err(|_| {
+                        ServeError::Config(format!(
+                            "--queue-policy must be `block` or `shed`, got `{raw}`"
+                        ))
+                    })?;
+                }
+                "--request-deadline-ms" => {
+                    let ms: u64 = parse_num(
+                        &value_for("--request-deadline-ms")?,
+                        "--request-deadline-ms",
+                    )?;
+                    // 0 disables, so scripts can override an env deadline
+                    // away without unsetting the var.
+                    config.request_deadline = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--drain-deadline-ms" => {
+                    let ms: u64 =
+                        parse_num(&value_for("--drain-deadline-ms")?, "--drain-deadline-ms")?;
+                    config.drain_deadline = Duration::from_millis(ms);
+                }
+                "--max-connections" => {
+                    config.max_connections =
+                        parse_num(&value_for("--max-connections")?, "--max-connections")?
+                }
+                "--idle-timeout-ms" => {
+                    let ms: u64 = parse_num(&value_for("--idle-timeout-ms")?, "--idle-timeout-ms")?;
+                    config.idle_timeout = (ms > 0).then(|| Duration::from_millis(ms));
+                }
+                "--write-timeout-ms" => {
+                    let ms: u64 =
+                        parse_num(&value_for("--write-timeout-ms")?, "--write-timeout-ms")?;
+                    if ms == 0 {
+                        return Err(ServeError::Config(
+                            "--write-timeout-ms must be at least 1".into(),
+                        ));
+                    }
+                    config.write_timeout = Duration::from_millis(ms);
+                }
+                "--faults" => {
+                    let spec = value_for("--faults")?;
+                    config.faults = FaultPlan::parse(&spec, config.faults.seed)?;
+                }
+                "--fault-seed" => {
+                    fault_seed = Some(parse_num(&value_for("--fault-seed")?, "--fault-seed")?);
                 }
                 "--model" => {
                     let spec = value_for("--model")?;
@@ -159,6 +279,15 @@ impl ServeConfig {
             return Err(ServeError::Config(
                 "--queue-capacity must be at least 1".into(),
             ));
+        }
+        if config.max_connections == 0 {
+            return Err(ServeError::Config(
+                "--max-connections must be at least 1".into(),
+            ));
+        }
+        if let Some(seed) = fault_seed {
+            // `--fault-seed` may appear before or after `--faults`.
+            config.faults.seed = seed;
         }
         Ok(config)
     }
@@ -237,6 +366,50 @@ mod tests {
     }
 
     #[test]
+    fn robustness_flags_parse_and_zero_disables_the_optional_ones() {
+        let c = ServeConfig::from_args([
+            "--queue-policy",
+            "shed",
+            "--request-deadline-ms",
+            "250",
+            "--drain-deadline-ms",
+            "1500",
+            "--max-connections",
+            "8",
+            "--idle-timeout-ms",
+            "30000",
+            "--write-timeout-ms",
+            "2000",
+            "--faults",
+            "panic_in_worker:nth=2",
+            "--fault-seed",
+            "42",
+        ])
+        .unwrap();
+        assert_eq!(c.queue_policy, QueuePolicy::Shed);
+        assert_eq!(c.request_deadline, Some(Duration::from_millis(250)));
+        assert_eq!(c.drain_deadline, Duration::from_millis(1500));
+        assert_eq!(c.max_connections, 8);
+        assert_eq!(c.idle_timeout, Some(Duration::from_millis(30_000)));
+        assert_eq!(c.write_timeout, Duration::from_millis(2000));
+        assert_eq!(c.faults.specs.len(), 1);
+        assert_eq!(c.faults.seed, 42);
+        let b = c.batch_options();
+        assert_eq!(b.queue_policy, QueuePolicy::Shed);
+        assert_eq!(b.request_deadline, Some(Duration::from_millis(250)));
+        assert!(
+            !b.faults.active(),
+            "plans are armed by the server, not here"
+        );
+
+        // Zero disables the optional deadlines.
+        let c = ServeConfig::from_args(["--request-deadline-ms", "0", "--idle-timeout-ms", "0"])
+            .unwrap();
+        assert_eq!(c.request_deadline, None);
+        assert_eq!(c.idle_timeout, None);
+    }
+
+    #[test]
     fn bad_flags_name_themselves() {
         for (args, needle) in [
             (vec!["--frobnicate"], "--frobnicate"),
@@ -245,6 +418,15 @@ mod tests {
             (vec!["--workers", "0"], "--workers"),
             (vec!["--max-batch", "0"], "--max-batch"),
             (vec!["--queue-capacity", "0"], "--queue-capacity"),
+            (vec!["--queue-policy", "drop"], "--queue-policy"),
+            (
+                vec!["--request-deadline-ms", "soon"],
+                "--request-deadline-ms",
+            ),
+            (vec!["--max-connections", "0"], "--max-connections"),
+            (vec!["--write-timeout-ms", "0"], "--write-timeout-ms"),
+            (vec!["--faults", "frobnicate:nth=1"], "frobnicate"),
+            (vec!["--fault-seed", "abc"], "--fault-seed"),
             (vec!["--model", "nameonly"], "NAME=PATH"),
             (vec!["--model", "=path"], "NAME=PATH"),
             (vec!["--partition-mode", "both"], "owned"),

@@ -32,9 +32,25 @@
 //!   Prometheus text exposition (`stats` with `"format":"prometheus"`,
 //!   `udt-client stats --format prometheus`).
 //!
+//! * [`faults`] — a deterministic fault-injection harness (seeded,
+//!   env/flag-driven) that the chaos suite uses to prove the survival
+//!   properties below; disabled injectors cost one branch per check.
+//!
 //! Two binaries wrap the library: `udt-serve` (the server; see
 //! [`config::ServeConfig`] for its flags) and `udt-client` (a small CLI
 //! used by the CI smoke test and the README walkthrough).
+//!
+//! ## Overload and failure behaviour
+//!
+//! The serving stack is built to degrade loudly and predictably rather
+//! than wedge: admission control at the queue ([`batcher::QueuePolicy`]
+//! — block with a bounded wait, or shed with a structured `overloaded`
+//! error), per-request deadlines enforced again at dequeue
+//! (`deadline_exceeded`), a connection-count gate at accept, per-job
+//! panic isolation in the workers (a poisoned request gets an `internal`
+//! error; its batch companions and the server live on), and a graceful
+//! drain with a deadline at shutdown. Every such event is counted in
+//! [`protocol::HealthStats`] and the Prometheus exposition.
 //!
 //! ## Guarantees
 //!
@@ -51,17 +67,19 @@ pub mod batcher;
 pub mod client;
 pub mod config;
 pub mod error;
+pub mod faults;
 pub mod metrics;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use batcher::{BatchOptions, Batcher};
+pub use batcher::{BatchOptions, Batcher, QueuePolicy};
 pub use client::Client;
 pub use config::ServeConfig;
 pub use error::ServeError;
+pub use faults::{FaultInjector, FaultPlan, FaultPoint};
 pub use metrics::ServeMetrics;
-pub use protocol::{ModelInfo, Request, Response, StatsFormat, StatsReport};
+pub use protocol::{HealthStats, ModelInfo, Request, Response, StatsFormat, StatsReport};
 pub use registry::ModelRegistry;
 pub use server::Server;
 

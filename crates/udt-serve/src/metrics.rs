@@ -23,7 +23,7 @@ use std::fmt::Write as _;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use crate::protocol::{ModelInfo, ModelMetricsSnapshot, QueueStats};
+use crate::protocol::{HealthStats, ModelInfo, ModelMetricsSnapshot, QueueStats};
 
 /// Number of log₂ latency buckets (`2^48` ns ≈ 78 hours).
 const BUCKETS: usize = 48;
@@ -100,13 +100,28 @@ struct ModelCounters {
     latency: LatencyHistogram,
 }
 
+/// Server-wide overload/failure counters (not per model: a shed request
+/// is rejected before its model name matters, and keying rejections by
+/// client-supplied strings would let an attacker grow the map).
+#[derive(Debug, Default)]
+struct HealthCounters {
+    sheds: u64,
+    deadline_drops: u64,
+    worker_panics: u64,
+    rejected_connections: u64,
+    queue_wait: LatencyHistogram,
+}
+
 /// Aggregated serving metrics, shared by every worker and connection
 /// thread. All mutation happens under one mutex; every critical section
-/// is a handful of integer operations.
+/// is a handful of integer operations. Locks recover from poisoning
+/// (`into_inner`): a panicking worker must not take the metrics — and
+/// with them every future `stats` response — down with it.
 #[derive(Debug)]
 pub struct ServeMetrics {
     started: Instant,
     per_model: Mutex<HashMap<String, ModelCounters>>,
+    health: Mutex<HealthCounters>,
 }
 
 impl Default for ServeMetrics {
@@ -114,8 +129,16 @@ impl Default for ServeMetrics {
         ServeMetrics {
             started: Instant::now(),
             per_model: Mutex::new(HashMap::new()),
+            health: Mutex::new(HealthCounters::default()),
         }
     }
+}
+
+/// Locks a mutex, recovering the data from a poisoned lock: counters
+/// are plain integers, always valid, and losing observability during a
+/// failure is exactly when it hurts most.
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 impl ServeMetrics {
@@ -126,7 +149,7 @@ impl ServeMetrics {
 
     /// Records one successfully served request for `model`.
     pub fn record(&self, model: &str, tuples: usize, latency: Duration) {
-        let mut map = self.per_model.lock().expect("metrics lock");
+        let mut map = lock_recover(&self.per_model);
         let c = map.entry(model.to_string()).or_default();
         c.requests += 1;
         c.tuples += tuples as u64;
@@ -135,10 +158,53 @@ impl ServeMetrics {
 
     /// Records one failed request for `model`.
     pub fn record_error(&self, model: &str) {
-        let mut map = self.per_model.lock().expect("metrics lock");
+        let mut map = lock_recover(&self.per_model);
         let c = map.entry(model.to_string()).or_default();
         c.requests += 1;
         c.errors += 1;
+    }
+
+    /// Records one request rejected at admission (queue full, shed
+    /// policy or bounded submit wait expired).
+    pub fn record_shed(&self) {
+        lock_recover(&self.health).sheds += 1;
+    }
+
+    /// Records one accepted job dropped at dequeue because its deadline
+    /// passed while it waited.
+    pub fn record_deadline_drop(&self) {
+        lock_recover(&self.health).deadline_drops += 1;
+    }
+
+    /// Records one caught-and-contained worker panic.
+    pub fn record_worker_panic(&self) {
+        lock_recover(&self.health).worker_panics += 1;
+    }
+
+    /// Records one connection refused by the accept-loop gate.
+    pub fn record_rejected_connection(&self) {
+        lock_recover(&self.health).rejected_connections += 1;
+    }
+
+    /// Records how long one admitted job waited between enqueue and
+    /// dequeue (the admission-control signal: queue wait growing toward
+    /// the deadline means sheds are imminent).
+    pub fn record_queue_wait(&self, wait: Duration) {
+        lock_recover(&self.health).queue_wait.record(wait);
+    }
+
+    /// A serialisable snapshot of the server-wide health counters.
+    pub fn health_snapshot(&self) -> HealthStats {
+        let h = lock_recover(&self.health);
+        HealthStats {
+            sheds: h.sheds,
+            deadline_drops: h.deadline_drops,
+            worker_panics: h.worker_panics,
+            rejected_connections: h.rejected_connections,
+            queue_wait_count: h.queue_wait.count(),
+            queue_wait_p50_us: h.queue_wait.quantile_ns(0.50) as f64 / 1_000.0,
+            queue_wait_p99_us: h.queue_wait.quantile_ns(0.99) as f64 / 1_000.0,
+        }
     }
 
     /// Seconds since the metrics registry (≈ the server) started.
@@ -149,7 +215,7 @@ impl ServeMetrics {
     /// A serialisable snapshot of every model's counters, sorted by model
     /// name so `stats` responses are stable.
     pub fn snapshot(&self) -> Vec<ModelMetricsSnapshot> {
-        let map = self.per_model.lock().expect("metrics lock");
+        let map = lock_recover(&self.per_model);
         let mut out: Vec<ModelMetricsSnapshot> = map
             .iter()
             .map(|(name, c)| ModelMetricsSnapshot {
@@ -198,6 +264,65 @@ impl ServeMetrics {
         let _ = writeln!(out, "# TYPE udt_serve_queue_workers gauge");
         let _ = writeln!(out, "udt_serve_queue_workers {}", queue.workers);
 
+        // Server-wide overload/failure counters and the queue-wait
+        // histogram (the admission-control signals).
+        let health = lock_recover(&self.health);
+        for (name, help, value) in [
+            (
+                "udt_serve_sheds_total",
+                "Requests rejected at admission (queue full).",
+                health.sheds,
+            ),
+            (
+                "udt_serve_deadline_drops_total",
+                "Accepted jobs dropped at dequeue past their deadline.",
+                health.deadline_drops,
+            ),
+            (
+                "udt_serve_worker_panics_total",
+                "Worker panics caught and contained.",
+                health.worker_panics,
+            ),
+            (
+                "udt_serve_rejected_connections_total",
+                "Connections refused by the max-connections gate.",
+                health.rejected_connections,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {value}");
+        }
+        let _ = writeln!(
+            out,
+            "# HELP udt_serve_queue_wait_seconds Enqueue-to-dequeue wait (log2 buckets)."
+        );
+        let _ = writeln!(out, "# TYPE udt_serve_queue_wait_seconds histogram");
+        let h = &health.queue_wait;
+        let mut cumulative = 0u64;
+        if let Some(last) = h.buckets.iter().rposition(|&n| n > 0) {
+            for (i, &n) in h.buckets.iter().enumerate().take(last + 1) {
+                cumulative += n;
+                let le = (1u128 << (i + 1)) as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "udt_serve_queue_wait_seconds_bucket{{le=\"{le}\"}} {cumulative}"
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "udt_serve_queue_wait_seconds_bucket{{le=\"+Inf\"}} {}",
+            h.count
+        );
+        let _ = writeln!(
+            out,
+            "udt_serve_queue_wait_seconds_sum {}",
+            h.total_ns as f64 / 1e9
+        );
+        let _ = writeln!(out, "udt_serve_queue_wait_seconds_count {}", h.count);
+        drop(health);
+
         let mut sorted: Vec<&ModelInfo> = models.iter().collect();
         sorted.sort_by(|a, b| a.name.cmp(&b.name));
         let _ = writeln!(
@@ -227,7 +352,7 @@ impl ServeMetrics {
             );
         }
 
-        let map = self.per_model.lock().expect("metrics lock");
+        let map = lock_recover(&self.per_model);
         let mut names: Vec<&String> = map.keys().collect();
         names.sort();
         let _ = writeln!(
@@ -381,8 +506,22 @@ mod tests {
             depth: 1,
             max_batch_tuples: 32,
             max_delay_us: 500,
+            policy: "block".into(),
+            deadline_ms: 0,
         };
+        m.record_shed();
+        m.record_shed();
+        m.record_deadline_drop();
+        m.record_worker_panic();
+        m.record_rejected_connection();
+        m.record_queue_wait(Duration::from_micros(1));
         let text = m.render_prometheus(&models, &queue, 9.5);
+        assert!(text.contains("udt_serve_sheds_total 2"));
+        assert!(text.contains("udt_serve_deadline_drops_total 1"));
+        assert!(text.contains("udt_serve_worker_panics_total 1"));
+        assert!(text.contains("udt_serve_rejected_connections_total 1"));
+        assert!(text.contains("udt_serve_queue_wait_seconds_count 1"));
+        assert!(text.contains("udt_serve_queue_wait_seconds_bucket{le=\"+Inf\"} 1"));
         assert!(text.contains("udt_serve_uptime_seconds 9.5"));
         assert!(text.contains("udt_serve_queue_depth 1"));
         assert!(text.contains("udt_serve_model_heap_bytes{model=\"toy\"} 512"));
@@ -411,6 +550,29 @@ mod tests {
             assert!(n >= prev, "cumulative buckets: {line}");
             prev = n;
         }
+    }
+
+    #[test]
+    fn health_counters_accumulate_and_snapshot() {
+        let m = ServeMetrics::new();
+        let empty = m.health_snapshot();
+        assert_eq!(empty.sheds, 0);
+        assert_eq!(empty.queue_wait_count, 0);
+        m.record_shed();
+        m.record_deadline_drop();
+        m.record_deadline_drop();
+        m.record_worker_panic();
+        m.record_rejected_connection();
+        m.record_queue_wait(Duration::from_micros(10));
+        m.record_queue_wait(Duration::from_millis(1));
+        let h = m.health_snapshot();
+        assert_eq!(h.sheds, 1);
+        assert_eq!(h.deadline_drops, 2);
+        assert_eq!(h.worker_panics, 1);
+        assert_eq!(h.rejected_connections, 1);
+        assert_eq!(h.queue_wait_count, 2);
+        assert!(h.queue_wait_p50_us > 0.0);
+        assert!(h.queue_wait_p99_us >= h.queue_wait_p50_us);
     }
 
     #[test]

@@ -97,6 +97,36 @@ pub struct QueueStats {
     pub max_batch_tuples: usize,
     /// Flush threshold: microseconds a batch may wait for company.
     pub max_delay_us: u64,
+    /// Admission policy when the queue is full: `"block"` or `"shed"`.
+    pub policy: String,
+    /// Request deadline in milliseconds (0 = no deadline): jobs older
+    /// than this at dequeue are dropped with `deadline_exceeded`.
+    pub deadline_ms: u64,
+}
+
+/// Server-wide overload and failure counters, as reported by `stats`.
+/// These are the signals an operator alarms on: nonzero `sheds` means
+/// admission control is rejecting traffic, `deadline_drops` means jobs
+/// are expiring in the queue, `worker_panics` means a model or the
+/// engine misbehaved (and was contained).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthStats {
+    /// Requests rejected at admission because the queue was full.
+    pub sheds: u64,
+    /// Accepted jobs dropped at dequeue because their deadline passed.
+    pub deadline_drops: u64,
+    /// Worker panics caught and contained (each failed its own job
+    /// with a structured error; the worker kept serving).
+    pub worker_panics: u64,
+    /// Connections refused by the max-in-flight-connections gate.
+    pub rejected_connections: u64,
+    /// Jobs that entered the queue (admitted; denominator for the drop
+    /// counters above).
+    pub queue_wait_count: u64,
+    /// Median enqueue-to-dequeue wait, microseconds (bucket upper bound).
+    pub queue_wait_p50_us: f64,
+    /// 99th-percentile queue wait, microseconds (bucket upper bound).
+    pub queue_wait_p99_us: f64,
 }
 
 /// The full `stats` response payload.
@@ -110,6 +140,8 @@ pub struct StatsReport {
     pub metrics: Vec<ModelMetricsSnapshot>,
     /// Scheduler state.
     pub queue: QueueStats,
+    /// Server-wide overload and failure counters.
+    pub health: HealthStats,
 }
 
 /// How a `stats` request wants its payload rendered.
@@ -226,6 +258,10 @@ pub enum Response {
     ShuttingDown,
     /// Any request that failed.
     Error {
+        /// Structured failure code ([`ServeError::code`]) so clients can
+        /// distinguish e.g. `overloaded` (retry later) from
+        /// `unknown_model` (permanent) without parsing message text.
+        code: String,
         /// Human-readable failure description.
         message: String,
     },
@@ -384,8 +420,9 @@ impl Response {
                 ("ok", Value::Bool(true)),
                 ("result", Value::Str("shutting_down".into())),
             ]),
-            Response::Error { message } => obj(vec![
+            Response::Error { code, message } => obj(vec![
                 ("ok", Value::Bool(false)),
+                ("code", Value::Str(code.clone())),
                 ("error", Value::Str(message.clone())),
             ]),
         };
@@ -404,7 +441,16 @@ impl Response {
             }
         };
         if !ok {
+            // `code` is optional on the wire (pre-code servers); absent
+            // means the generic `error`.
+            let code = match v.get("code") {
+                None => "error".to_string(),
+                Some(c) => c.as_str().map(str::to_string).ok_or_else(|| {
+                    ServeError::Protocol("error response: field `code` must be a string".into())
+                })?,
+            };
             return Ok(Response::Error {
+                code,
                 message: string_field(&v, "error", "error response")?,
             });
         }
@@ -432,9 +478,11 @@ impl Response {
         }
     }
 
-    /// Wraps a serving error as an error response.
+    /// Wraps a serving error as an error response, carrying its
+    /// structured code.
     pub fn from_error(e: &ServeError) -> Response {
         Response::Error {
+            code: e.code().to_string(),
             message: e.to_string(),
         }
     }
@@ -474,6 +522,17 @@ mod tests {
                 depth: 0,
                 max_batch_tuples: 64,
                 max_delay_us: 500,
+                policy: "shed".into(),
+                deadline_ms: 250,
+            },
+            health: HealthStats {
+                sheds: 3,
+                deadline_drops: 1,
+                worker_panics: 0,
+                rejected_connections: 2,
+                queue_wait_count: 10,
+                queue_wait_p50_us: 8.0,
+                queue_wait_p99_us: 64.0,
             },
         }
     }
@@ -547,6 +606,7 @@ mod tests {
             },
             Response::ShuttingDown,
             Response::Error {
+                code: "unknown_model".into(),
                 message: "unknown model \"x\"".into(),
             },
         ];
@@ -555,6 +615,23 @@ mod tests {
             assert!(!line.contains('\n'), "one line per response");
             assert_eq!(Response::parse(&line).unwrap(), resp, "line: {line}");
         }
+        // Error lines from pre-code servers (no `code` field) still parse,
+        // with the generic code filled in.
+        assert_eq!(
+            Response::parse("{\"ok\":false,\"error\":\"boom\"}").unwrap(),
+            Response::Error {
+                code: "error".into(),
+                message: "boom".into(),
+            }
+        );
+        // `from_error` stamps the structured code onto the wire.
+        let line = Response::from_error(&ServeError::Overloaded).to_line();
+        assert!(line.contains("\"code\":\"overloaded\""), "line: {line}");
+        let line = Response::from_error(&ServeError::DeadlineExceeded).to_line();
+        assert!(
+            line.contains("\"code\":\"deadline_exceeded\""),
+            "line: {line}"
+        );
     }
 
     #[test]

@@ -50,6 +50,18 @@ pub enum TreeError {
         got: String,
     },
 
+    /// A filesystem operation on a model file failed. Carries the
+    /// underlying io error rendered to a string (the enum stays
+    /// `Clone + PartialEq`), so callers see *why* — permission denied,
+    /// disk full, missing directory — instead of a generic failure.
+    #[error("model file {op} failed: {detail}")]
+    Io {
+        /// Which operation failed (`read`, `write`, `sync`, `rename`).
+        op: &'static str,
+        /// The rendered `std::io::Error`.
+        detail: String,
+    },
+
     /// A tuple presented for classification does not match the tree's
     /// schema arity.
     #[error("test tuple has {found} attributes but the tree was trained on {expected}")]

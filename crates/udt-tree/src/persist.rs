@@ -118,21 +118,46 @@ pub fn from_json(json: &str) -> Result<DecisionTree> {
     ))
 }
 
-/// Writes a tree to a JSON file in the current format.
+/// Writes a tree to a JSON file in the current format, **crash-safely**:
+/// the JSON goes to a sibling `<file>.tmp`, is fsynced, and is then
+/// atomically renamed over `path`. A crash (or a hot-swap loader racing
+/// the writer) therefore sees either the complete old file or the
+/// complete new one — never a half-written model. The underlying io
+/// error detail is preserved in [`TreeError::Io`].
 pub fn save(tree: &DecisionTree, path: &std::path::Path) -> Result<()> {
+    use std::io::Write as _;
+
     let json = to_json(tree)?;
-    std::fs::write(path, json).map_err(|_| TreeError::InvalidConfig {
-        name: "could not write model file",
-        value: 0.0,
-    })
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(".tmp");
+    let tmp = std::path::PathBuf::from(tmp);
+    fn io(op: &'static str, e: std::io::Error) -> TreeError {
+        TreeError::Io {
+            op,
+            detail: e.to_string(),
+        }
+    }
+    let result = (|| {
+        let mut file = std::fs::File::create(&tmp).map_err(|e| io("write", e))?;
+        file.write_all(json.as_bytes())
+            .map_err(|e| io("write", e))?;
+        file.sync_all().map_err(|e| io("sync", e))?;
+        drop(file);
+        std::fs::rename(&tmp, path).map_err(|e| io("rename", e))
+    })();
+    if result.is_err() {
+        // Best effort: do not leave a stale .tmp behind a failed save.
+        let _ = std::fs::remove_file(&tmp);
+    }
+    result
 }
 
 /// Reads a tree from a JSON file written by [`save`] — or by the
 /// pre-arena `save`, whose legacy format is converted transparently.
 pub fn load(path: &std::path::Path) -> Result<DecisionTree> {
-    let json = std::fs::read_to_string(path).map_err(|_| TreeError::InvalidConfig {
-        name: "could not read model file",
-        value: 0.0,
+    let json = std::fs::read_to_string(path).map_err(|e| TreeError::Io {
+        op: "read",
+        detail: e.to_string(),
     })?;
     from_json(&json)
 }
@@ -198,6 +223,39 @@ mod tests {
         let restored = load(&path).unwrap();
         assert_eq!(tree, restored);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn save_is_atomic_and_io_errors_carry_detail() {
+        let tree = trained();
+        let dir = std::env::temp_dir();
+        let path = dir.join("udt-tree-atomic-save-test.json");
+        // Overwriting an existing model leaves no .tmp sibling behind and
+        // produces a loadable file (the rename landed).
+        save(&tree, &path).unwrap();
+        save(&tree, &path).unwrap();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp).exists(),
+            "temp file cleaned up by the rename"
+        );
+        assert_eq!(load(&path).unwrap(), tree);
+        let _ = std::fs::remove_file(&path);
+
+        // A write into a nonexistent directory surfaces the io detail
+        // (not a generic "could not write" with the cause discarded).
+        let err = save(&tree, std::path::Path::new("/no/such/dir/model.json")).unwrap_err();
+        match &err {
+            TreeError::Io { op, detail } => {
+                assert_eq!(*op, "write");
+                assert!(!detail.is_empty(), "io detail preserved");
+            }
+            other => panic!("expected TreeError::Io, got {other:?}"),
+        }
+        // And the read path reports its own detail too.
+        let err = load(std::path::Path::new("/no/such/model.json")).unwrap_err();
+        assert!(matches!(err, TreeError::Io { op: "read", .. }), "{err:?}");
     }
 
     #[test]
