@@ -60,6 +60,7 @@ use crate::counts::ClassCounts;
 use crate::events::AttributeEvents;
 use crate::flat::FlatTree;
 use crate::fractional::FractionalTuple;
+use crate::kernel::ScoreProfile;
 use crate::measure::Measure;
 use crate::node::DecisionTree;
 use crate::pool::{self, WorkerPool};
@@ -215,6 +216,7 @@ impl TreeBuilder {
             root: &root_columns,
             n_classes: training.n_classes(),
             measure: self.config.measure,
+            profile: self.config.profile(),
             search: search.as_ref(),
             numerical: &numerical,
             categorical: &categorical,
@@ -362,6 +364,10 @@ struct BuildContext<'a> {
     root: &'a RootColumns,
     n_classes: usize,
     measure: Measure,
+    /// Score-kernel selection ([`UdtConfig::profile`]): which kernel
+    /// scores candidate batches and which count representation the
+    /// per-node [`AttributeEvents`] matrices use.
+    profile: ScoreProfile,
     search: &'a dyn SplitSearch,
     numerical: &'a [usize],
     categorical: &'a [(usize, usize)],
@@ -613,12 +619,13 @@ impl BuildContext<'_> {
                         worker_scratch.load_weights(state);
                         let events = slots
                             .map(|slot| {
-                                columns::events_from_column(
+                                columns::events_from_column_with(
                                     &state.columns[slot],
                                     &self.root.columns[slot],
                                     self.labels,
                                     self.n_classes,
                                     worker_scratch,
+                                    self.profile,
                                 )
                             })
                             .collect();
@@ -639,8 +646,15 @@ impl BuildContext<'_> {
             .iter()
             .zip(&self.root.columns)
             .filter_map(|(col, root_col)| {
-                columns::events_from_column(col, root_col, self.labels, self.n_classes, scratch)
-                    .map(|e| (root_col.attribute, e))
+                columns::events_from_column_with(
+                    col,
+                    root_col,
+                    self.labels,
+                    self.n_classes,
+                    scratch,
+                    self.profile,
+                )
+                .map(|e| (root_col.attribute, e))
             })
             .collect()
     }

@@ -52,6 +52,8 @@ use crate::config::PartitionMode;
 use crate::counts::WEIGHT_EPSILON;
 use crate::events::AttributeEvents;
 use crate::fractional::FractionalTuple;
+use crate::kernel::simd::CumElem;
+use crate::kernel::{CountsRepr, KernelKind, ScoreProfile};
 use crate::pool::WorkerPool;
 use crate::split::SearchStats;
 
@@ -69,6 +71,14 @@ pub struct AttrColumn {
     /// tuple). Never rescaled — domain restrictions are carried by the
     /// per-node [`ColumnState::scales`] instead.
     pub mass: Vec<f64>,
+    /// Precomputed end-point position indices for the unit fast path —
+    /// `Some` iff every event clears the mass gate at unit weight/scale
+    /// and all positions are distinct, in which case a node that keeps
+    /// every event at weight exactly 1 and no scales (the root, always)
+    /// shares this tree-invariant end-point structure and its cumulative
+    /// matrix can be built by the gate-free fused loop
+    /// (`build_events_unit_fast`).
+    pub(crate) unit_fast: Option<Vec<usize>>,
 }
 
 impl AttrColumn {
@@ -284,6 +294,9 @@ pub struct Scratch {
     touched: Vec<u32>,
     /// Reusable running per-class totals (`n_classes`-sized).
     running: Vec<f64>,
+    /// Whether every weight loaded by [`load_weights`](Self::load_weights)
+    /// was exactly 1.0 — one precondition of the unit fast path.
+    unit_weights: bool,
 }
 
 impl Scratch {
@@ -301,6 +314,7 @@ impl Scratch {
             seen: vec![false; n_tuples],
             touched: Vec::with_capacity(n_tuples),
             running: Vec::new(),
+            unit_weights: false,
         }
     }
 
@@ -316,6 +330,7 @@ impl Scratch {
         for (&t, &w) in node.alive.iter().zip(&node.weights) {
             self.weight[t as usize] = w;
         }
+        self.unit_weights = node.weights.iter().all(|&w| w == 1.0);
     }
 
     /// Clears the dense weights loaded from `node`.
@@ -323,6 +338,7 @@ impl Scratch {
         for &t in &node.alive {
             self.weight[t as usize] = 0.0;
         }
+        self.unit_weights = false;
     }
 
     /// Loads a column's sparse scales into the dense `scale` array.
@@ -414,12 +430,58 @@ fn build_attr_column(tuples: &[FractionalTuple], alive: &[u32], attribute: usize
         tuple.push(t);
         mass.push(m);
     }
+    let unit_fast = unit_fast_structure(&xs, &tuple, &mass, tuples.len());
     AttrColumn {
         attribute,
         xs,
         tuple,
         mass,
+        unit_fast,
     }
+}
+
+/// Precomputes [`AttrColumn::unit_fast`]: `Some(end-point position
+/// indices)` iff the fused construction loop over this column with every
+/// weight and scale exactly 1 would open a new position for every event
+/// and gate none out — i.e. all sample points are distinct and every
+/// mass clears `WEIGHT_EPSILON`. Under those preconditions position `p`
+/// *is* event `p`, so the per-tuple end points are the tuples'
+/// first/last event indices — a tree-invariant worth computing once at
+/// the root presort.
+fn unit_fast_structure(
+    xs: &[f64],
+    tuple: &[u32],
+    mass: &[f64],
+    n_tuples: usize,
+) -> Option<Vec<usize>> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut last = f64::NAN;
+    for (&x, &m) in xs.iter().zip(mass) {
+        if m <= WEIGHT_EPSILON || x == last {
+            return None;
+        }
+        last = x;
+    }
+    let mut lo = vec![u32::MAX; n_tuples];
+    let mut hi = vec![0u32; n_tuples];
+    for (e, &t) in tuple.iter().enumerate() {
+        let t = t as usize;
+        if lo[t] == u32::MAX {
+            lo[t] = e as u32;
+        }
+        hi[t] = e as u32;
+    }
+    let mut end: Vec<usize> = lo
+        .iter()
+        .zip(&hi)
+        .filter(|&(&l, _)| l != u32::MAX)
+        .flat_map(|(&l, &h)| [l as usize, h as usize])
+        .collect();
+    end.sort_unstable();
+    end.dedup();
+    Some(end)
 }
 
 /// Builds the immutable [`RootColumns`]: per-attribute event columns
@@ -513,48 +575,266 @@ pub fn events_from_column(
     n_classes: usize,
     scratch: &mut Scratch,
 ) -> Option<AttributeEvents> {
+    events_from_column_with(
+        col,
+        root_col,
+        labels,
+        n_classes,
+        scratch,
+        ScoreProfile::default(),
+    )
+}
+
+/// [`events_from_column`] under an explicit score profile: the count
+/// matrix is constructed directly in the requested representation (the
+/// `f32` store rounds the running f64 accumulator per stored row —
+/// exactly the values converting a finished f64 matrix would produce)
+/// and the result carries the requested kernel.
+pub fn events_from_column_with(
+    col: &ColumnState,
+    root_col: &AttrColumn,
+    labels: &[u32],
+    n_classes: usize,
+    scratch: &mut Scratch,
+    profile: ScoreProfile,
+) -> Option<AttributeEvents> {
+    match profile.counts {
+        CountsRepr::F64 => {
+            build_events_impl::<f64>(col, root_col, labels, n_classes, scratch, profile.kernel)
+        }
+        CountsRepr::F32 => {
+            build_events_impl::<f32>(col, root_col, labels, n_classes, scratch, profile.kernel)
+        }
+    }
+}
+
+/// Stack capacity (in classes) of the running-accumulator array; wider
+/// problems accumulate into the scratch's heap vector instead.
+const RUNNING_STACK_CLASSES: usize = 8;
+
+/// Expands the per-event visit over either column storage with the body
+/// *inside* the calling function. The construction kernels cannot use
+/// [`ColumnData::for_each_event`]: a closure created in a
+/// `#[target_feature]` function inherits the caller's features and so
+/// can never be inlined into the feature-less generic visitor — every
+/// event would pay an outlined call. `continue` in the body skips to the
+/// next event.
+macro_rules! for_each_event_inline {
+    ($data:expr, $root:expr, |$x:ident, $t:ident, $m:ident| $body:block) => {
+        match $data {
+            ColumnData::Owned { xs, tuple, mass } => {
+                debug_assert!(tuple.len() == xs.len() && mass.len() == xs.len());
+                for e in 0..xs.len() {
+                    // SAFETY: `e < xs.len()` and the three parallel arrays
+                    // share their length (checked above).
+                    let ($x, $t, $m) = unsafe {
+                        (
+                            *xs.get_unchecked(e),
+                            *tuple.get_unchecked(e),
+                            *mass.get_unchecked(e),
+                        )
+                    };
+                    $body
+                }
+            }
+            ColumnData::View { events } => {
+                debug_assert!(events.iter().all(|&e| (e as usize) < $root.xs.len()));
+                if events.len() == $root.xs.len() {
+                    // View event ids are a strictly increasing subset of
+                    // `0..root len`, so a full-length view is the identity
+                    // (true of every root column): iterate the root arrays
+                    // directly and skip the per-event indirection load.
+                    for e in 0..events.len() {
+                        // SAFETY: `e < xs.len()` of the root's parallel
+                        // arrays, which share their length.
+                        let ($x, $t, $m) = unsafe {
+                            (
+                                *$root.xs.get_unchecked(e),
+                                *$root.tuple.get_unchecked(e),
+                                *$root.mass.get_unchecked(e),
+                            )
+                        };
+                        $body
+                    }
+                } else {
+                    for &e in events.iter() {
+                        let e = e as usize;
+                        // SAFETY: view event ids are indices into the root
+                        // column's parallel arrays by construction (they are
+                        // produced by enumerating those arrays and only ever
+                        // filtered, never remapped).
+                        let ($x, $t, $m) = unsafe {
+                            (
+                                *$root.xs.get_unchecked(e),
+                                *$root.tuple.get_unchecked(e),
+                                *$root.mass.get_unchecked(e),
+                            )
+                        };
+                        $body
+                    }
+                }
+            }
+        }
+    };
+}
+
+/// The construction kernel behind [`events_from_column_with`], generic
+/// over the stored element. One fused pass over the presorted column:
+/// filtering, aggregation and end-point tracking, with the per-class
+/// accumulator in registers/L1 and row flushes as raw bounds-free writes
+/// (the aggregate `Vec` reserves exact capacity up front, and
+/// `n_pos <= n_events` by construction, so every write is in bounds).
+/// Arithmetic, gates and gate *order* mirror [`AttributeEvents::build`]
+/// exactly — the f64 path is bit-for-bit the historical matrix.
+fn build_events_impl<E: CumElem>(
+    col: &ColumnState,
+    root_col: &AttrColumn,
+    labels: &[u32],
+    n_classes: usize,
+    scratch: &mut Scratch,
+    kernel: KernelKind,
+) -> Option<AttributeEvents> {
+    // Unit fast path: a node that keeps every root event (full-length
+    // view or unfiltered owned copy — views/copies only ever drop
+    // events, so full length means identity) at weight exactly 1 with
+    // no rescales, over a column whose events are all gate-clearing and
+    // distinct, produces a pure prefix sum over the root arrays with
+    // the precomputed tree-invariant end points. Bit-identical to the
+    // classic loops for every profile: `1.0 * m == m` exactly, every
+    // gate passes, one event lands per row so add-then-store equals
+    // flush-then-add, and the end-point set is the same by definition.
+    if let Some(end_point_idx) = &root_col.unit_fast {
+        if scratch.unit_weights && col.scales.is_empty() && col.data.len() == root_col.xs.len() {
+            return build_events_unit_fast::<E>(root_col, labels, n_classes, end_point_idx, kernel);
+        }
+    }
+    // Columns with no ancestor split on this attribute (the common case:
+    // every column at the root, most columns below) have all-1 scales;
+    // skipping the dense lookup is bitwise free (`m * 1.0 == m`). The
+    // flag is a const-generic so the common no-scales loop carries no
+    // per-event branch or scale load at all.
+    #[cfg(target_arch = "x86_64")]
+    if kernel == KernelKind::Simd
+        && n_classes <= 4
+        && crate::kernel::detected_backend() == crate::kernel::SimdBackend::Avx2
+    {
+        // SAFETY: AVX2 support was just verified at runtime.
+        return unsafe {
+            if col.scales.is_empty() {
+                build_events_avx2::<E, false>(col, root_col, labels, n_classes, scratch, kernel)
+            } else {
+                build_events_avx2::<E, true>(col, root_col, labels, n_classes, scratch, kernel)
+            }
+        };
+    }
+    if col.scales.is_empty() {
+        build_events_scalar::<E, false>(col, root_col, labels, n_classes, scratch, kernel)
+    } else {
+        build_events_scalar::<E, true>(col, root_col, labels, n_classes, scratch, kernel)
+    }
+}
+
+/// The portable construction loop of [`build_events_impl`], monomorphized
+/// on whether the column carries ancestor rescales.
+fn build_events_scalar<E: CumElem, const HAS_SCALES: bool>(
+    col: &ColumnState,
+    root_col: &AttrColumn,
+    labels: &[u32],
+    n_classes: usize,
+    scratch: &mut Scratch,
+    kernel: KernelKind,
+) -> Option<AttributeEvents> {
+    debug_assert_eq!(HAS_SCALES, !col.scales.is_empty());
     scratch.reset_touched();
     scratch.running.clear();
     scratch.running.resize(n_classes, 0.0);
     scratch.load_scales(&col.scales);
-    let mut xs: Vec<f64> = Vec::with_capacity(col.data.len());
-    let mut cum: Vec<f64> = Vec::with_capacity(col.data.len() * n_classes);
+    let k = n_classes;
+    let n_events = col.data.len();
+    let mut xs: Vec<f64> = Vec::with_capacity(n_events);
+    let mut cum: Vec<E> = Vec::with_capacity(n_events * k);
+    let xs_ptr = xs.as_mut_ptr();
+    let cum_ptr = cum.as_mut_ptr();
+    let mut n_pos = 0usize;
+    // NaN start: the first event always opens a position, and thereafter
+    // `x != last_x` is exactly `xs.last() != Some(&x)`.
+    let mut last_x = f64::NAN;
     {
-        let scratch = &mut *scratch;
-        let xs = &mut xs;
-        let cum = &mut cum;
-        col.data.for_each_event(root_col, |x, t, m_root| {
+        let mut running_stack = [0.0f64; RUNNING_STACK_CLASSES];
+        let Scratch {
+            weight,
+            scale,
+            lo_idx,
+            hi_idx,
+            seen,
+            touched,
+            running: running_heap,
+            ..
+        } = scratch;
+        let running: &mut [f64] = if k <= RUNNING_STACK_CLASSES {
+            &mut running_stack[..k]
+        } else {
+            running_heap.as_mut_slice()
+        };
+        for_each_event_inline!(&col.data, root_col, |x, t, m_root| {
             let t = t as usize;
-            let w = scratch.weight[t];
+            debug_assert!(t < weight.len() && t < labels.len());
+            // SAFETY: tuple ids are `< n_tuples`, the length of every
+            // per-tuple scratch array and of `labels`; labels are
+            // `< n_classes == running.len()`.
+            let w = unsafe { *weight.get_unchecked(t) };
             if w <= WEIGHT_EPSILON {
-                return;
+                continue;
             }
-            let event_weight = w * (m_root * scratch.scale[t]);
+            let event_weight = if HAS_SCALES {
+                w * (m_root * unsafe { *scale.get_unchecked(t) })
+            } else {
+                w * m_root
+            };
             if event_weight <= WEIGHT_EPSILON {
                 // Same denormal gate as AttributeEvents::build.
-                return;
+                continue;
             }
-            if xs.last() != Some(&x) {
-                if !xs.is_empty() {
-                    cum.extend_from_slice(&scratch.running);
+            if x != last_x {
+                if n_pos != 0 {
+                    // Flush the finished row.
+                    unsafe {
+                        let dst = cum_ptr.add((n_pos - 1) * k);
+                        for c in 0..k {
+                            dst.add(c).write(E::from_accum(running[c]));
+                        }
+                    }
                 }
-                xs.push(x);
+                unsafe { xs_ptr.add(n_pos).write(x) };
+                n_pos += 1;
+                last_x = x;
             }
-            scratch.running[labels[t] as usize] += event_weight;
-            let pos = (xs.len() - 1) as u32;
-            if !scratch.seen[t] {
-                scratch.seen[t] = true;
-                scratch.touched.push(t as u32);
-                scratch.lo_idx[t] = pos;
+            let pos = (n_pos - 1) as u32;
+            unsafe {
+                *running.get_unchecked_mut(*labels.get_unchecked(t) as usize) += event_weight;
+                if !*seen.get_unchecked(t) {
+                    *seen.get_unchecked_mut(t) = true;
+                    touched.push(t as u32);
+                    *lo_idx.get_unchecked_mut(t) = pos;
+                }
+                *hi_idx.get_unchecked_mut(t) = pos;
             }
-            scratch.hi_idx[t] = pos;
         });
+        if n_pos != 0 {
+            unsafe {
+                let dst = cum_ptr.add((n_pos - 1) * k);
+                for c in 0..k {
+                    dst.add(c).write(E::from_accum(running[c]));
+                }
+                xs.set_len(n_pos);
+                cum.set_len(n_pos * k);
+            }
+        }
     }
     scratch.unload_scales(&col.scales);
-    if xs.is_empty() {
+    if n_pos == 0 {
         return None;
     }
-    cum.extend_from_slice(&scratch.running);
     let mut end_point_idx: Vec<usize> = scratch
         .touched
         .iter()
@@ -567,7 +847,265 @@ pub fn events_from_column(
         .collect();
     end_point_idx.sort_unstable();
     end_point_idx.dedup();
-    AttributeEvents::from_parts(xs, cum, n_classes, end_point_idx)
+    AttributeEvents::from_store(xs, E::into_store(cum), n_classes, end_point_idx, kernel)
+}
+
+/// AVX2 variant of [`build_events_impl`] for `n_classes <= 4`: the
+/// per-class running accumulator lives in one `__m256d` register, each
+/// event adds its weight to its label's lane through a lane mask, and
+/// rows are flushed with one (overlapping) 4-lane store instead of a
+/// per-class loop. Bit-identical to the scalar loop: the touched lane
+/// performs the same f64 add in the same event order, and the untouched
+/// lanes add `+0.0` — exact, because lanes hold sums of non-negative
+/// weights and are never `-0.0`. Overlapping stores are ordered (row `i`
+/// flushes before row `i+1`), so spilled lanes are overwritten by the
+/// next flush; the matrix reserves 4 spare elements for the final row's
+/// spill.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+#[allow(unused_unsafe)] // for_each_event_inline!'s unsafe blocks expand inside this unsafe fn
+unsafe fn build_events_avx2<E: CumElem, const HAS_SCALES: bool>(
+    col: &ColumnState,
+    root_col: &AttrColumn,
+    labels: &[u32],
+    n_classes: usize,
+    scratch: &mut Scratch,
+    kernel: KernelKind,
+) -> Option<AttributeEvents> {
+    use std::arch::x86_64::*;
+    debug_assert!(n_classes <= 4);
+    debug_assert_eq!(HAS_SCALES, !col.scales.is_empty());
+    scratch.reset_touched();
+    scratch.running.clear();
+    scratch.running.resize(n_classes, 0.0);
+    scratch.load_scales(&col.scales);
+    let k = n_classes;
+    let n_events = col.data.len();
+    let mut xs: Vec<f64> = Vec::with_capacity(n_events);
+    let mut cum: Vec<E> = Vec::with_capacity(n_events * k + 4);
+    let xs_ptr = xs.as_mut_ptr();
+    let cum_ptr = cum.as_mut_ptr();
+    let mut n_pos = 0usize;
+    let mut last_x = f64::NAN;
+    {
+        let lane_masks: [__m256d; 4] = [
+            _mm256_castsi256_pd(_mm256_set_epi64x(0, 0, 0, -1)),
+            _mm256_castsi256_pd(_mm256_set_epi64x(0, 0, -1, 0)),
+            _mm256_castsi256_pd(_mm256_set_epi64x(0, -1, 0, 0)),
+            _mm256_castsi256_pd(_mm256_set_epi64x(-1, 0, 0, 0)),
+        ];
+        let mut running = _mm256_setzero_pd();
+        let Scratch {
+            weight,
+            scale,
+            lo_idx,
+            hi_idx,
+            seen,
+            touched,
+            ..
+        } = scratch;
+        for_each_event_inline!(&col.data, root_col, |x, t, m_root| {
+            let t = t as usize;
+            debug_assert!(t < weight.len() && t < labels.len());
+            // SAFETY: tuple ids are `< n_tuples`, the length of every
+            // per-tuple scratch array and of `labels`; labels are
+            // `< n_classes <= 4`, indexing the four lane masks.
+            let w = *weight.get_unchecked(t);
+            if w <= WEIGHT_EPSILON {
+                continue;
+            }
+            let event_weight = if HAS_SCALES {
+                w * (m_root * *scale.get_unchecked(t))
+            } else {
+                w * m_root
+            };
+            if event_weight <= WEIGHT_EPSILON {
+                continue;
+            }
+            if x != last_x {
+                if n_pos != 0 {
+                    E::store_lanes_avx2(running, cum_ptr.add((n_pos - 1) * k));
+                }
+                xs_ptr.add(n_pos).write(x);
+                n_pos += 1;
+                last_x = x;
+            }
+            running = _mm256_add_pd(
+                running,
+                _mm256_and_pd(
+                    _mm256_set1_pd(event_weight),
+                    *lane_masks.get_unchecked(*labels.get_unchecked(t) as usize),
+                ),
+            );
+            let pos = (n_pos - 1) as u32;
+            if !*seen.get_unchecked(t) {
+                *seen.get_unchecked_mut(t) = true;
+                touched.push(t as u32);
+                *lo_idx.get_unchecked_mut(t) = pos;
+            }
+            *hi_idx.get_unchecked_mut(t) = pos;
+        });
+        if n_pos != 0 {
+            E::store_lanes_avx2(running, cum_ptr.add((n_pos - 1) * k));
+            xs.set_len(n_pos);
+            cum.set_len(n_pos * k);
+        }
+    }
+    scratch.unload_scales(&col.scales);
+    if n_pos == 0 {
+        return None;
+    }
+    let mut end_point_idx: Vec<usize> = scratch
+        .touched
+        .iter()
+        .flat_map(|&t| {
+            [
+                scratch.lo_idx[t as usize] as usize,
+                scratch.hi_idx[t as usize] as usize,
+            ]
+        })
+        .collect();
+    end_point_idx.sort_unstable();
+    end_point_idx.dedup();
+    AttributeEvents::from_store(xs, E::into_store(cum), n_classes, end_point_idx, kernel)
+}
+
+/// The unit fast path of [`build_events_impl`]: the fused loop with all
+/// its gates statically resolved (see the gate at the dispatcher). The
+/// output `xs` is the root array verbatim, the end points are the
+/// precomputed [`AttrColumn::unit_fast`] structure, and the matrix is a
+/// straight per-class prefix sum — no per-tuple scratch traffic, no
+/// position bookkeeping, no end-point sort.
+fn build_events_unit_fast<E: CumElem>(
+    root_col: &AttrColumn,
+    labels: &[u32],
+    n_classes: usize,
+    end_point_idx: &[usize],
+    kernel: KernelKind,
+) -> Option<AttributeEvents> {
+    let n = root_col.xs.len();
+    if n == 0 {
+        return None;
+    }
+    let k = n_classes;
+    // 4 spare elements for the AVX2 variant's final overlapping store.
+    let mut cum: Vec<E> = Vec::with_capacity(n * k + 4);
+    #[cfg(target_arch = "x86_64")]
+    if kernel == KernelKind::Simd
+        && k <= 4
+        && crate::kernel::detected_backend() == crate::kernel::SimdBackend::Avx2
+    {
+        // SAFETY: AVX2 support was just verified at runtime; the matrix
+        // capacity covers `n * k` plus the last store's lane spill.
+        unsafe {
+            fill_unit_rows_avx2::<E>(root_col, labels, k, cum.as_mut_ptr());
+            cum.set_len(n * k);
+        }
+        return AttributeEvents::from_store(
+            root_col.xs.clone(),
+            E::into_store(cum),
+            n_classes,
+            end_point_idx.to_vec(),
+            kernel,
+        );
+    }
+    fill_unit_rows_scalar::<E>(root_col, labels, k, &mut cum);
+    AttributeEvents::from_store(
+        root_col.xs.clone(),
+        E::into_store(cum),
+        n_classes,
+        end_point_idx.to_vec(),
+        kernel,
+    )
+}
+
+/// Portable prefix-sum fill of the unit fast path: row `e` stores the
+/// running per-class totals after adding event `e`'s mass — exactly what
+/// the classic loop's flush produces when every event opens its own
+/// position.
+fn fill_unit_rows_scalar<E: CumElem>(
+    root_col: &AttrColumn,
+    labels: &[u32],
+    k: usize,
+    cum: &mut Vec<E>,
+) {
+    let n = root_col.xs.len();
+    let cum_ptr = cum.as_mut_ptr();
+    let mut running_stack = [0.0f64; RUNNING_STACK_CLASSES];
+    let mut running_heap: Vec<f64> = if k > RUNNING_STACK_CLASSES {
+        vec![0.0; k]
+    } else {
+        Vec::new()
+    };
+    let running: &mut [f64] = if k <= RUNNING_STACK_CLASSES {
+        &mut running_stack[..k]
+    } else {
+        &mut running_heap
+    };
+    // SAFETY: tuple ids are `< n_tuples == labels.len()`, labels are
+    // `< k == running.len()`, and the caller reserved `n * k` elements.
+    unsafe {
+        for e in 0..n {
+            let t = *root_col.tuple.get_unchecked(e) as usize;
+            debug_assert!(t < labels.len());
+            let c = *labels.get_unchecked(t) as usize;
+            debug_assert!(c < k);
+            *running.get_unchecked_mut(c) += *root_col.mass.get_unchecked(e);
+            let dst = cum_ptr.add(e * k);
+            for ci in 0..k {
+                dst.add(ci).write(E::from_accum(*running.get_unchecked(ci)));
+            }
+        }
+        cum.set_len(n * k);
+    }
+}
+
+/// AVX2 prefix-sum fill of the unit fast path for `k <= 4`: the running
+/// totals live in one `__m256d`, each event adds its mass to its label's
+/// lane through a lane mask, and every row is one (overlapping) 4-lane
+/// store. Same lane arithmetic as [`build_events_avx2`], so bit-identical
+/// to it and (untouched lanes add exact `+0.0`) to the scalar fill.
+///
+/// # Safety
+///
+/// The caller must have verified AVX2 support at runtime and reserved
+/// `n * k + 4` elements behind `cum_ptr`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn fill_unit_rows_avx2<E: CumElem>(
+    root_col: &AttrColumn,
+    labels: &[u32],
+    k: usize,
+    cum_ptr: *mut E,
+) {
+    use std::arch::x86_64::*;
+    debug_assert!(k <= 4);
+    let lane_masks: [__m256d; 4] = [
+        _mm256_castsi256_pd(_mm256_set_epi64x(0, 0, 0, -1)),
+        _mm256_castsi256_pd(_mm256_set_epi64x(0, 0, -1, 0)),
+        _mm256_castsi256_pd(_mm256_set_epi64x(0, -1, 0, 0)),
+        _mm256_castsi256_pd(_mm256_set_epi64x(-1, 0, 0, 0)),
+    ];
+    let mut running = _mm256_setzero_pd();
+    // SAFETY: tuple ids are `< n_tuples == labels.len()`, labels are
+    // `< k <= 4` (indexing the lane masks), and the caller's reservation
+    // covers every store.
+    for e in 0..root_col.xs.len() {
+        let t = *root_col.tuple.get_unchecked(e) as usize;
+        debug_assert!(t < labels.len());
+        running = _mm256_add_pd(
+            running,
+            _mm256_and_pd(
+                _mm256_set1_pd(*root_col.mass.get_unchecked(e)),
+                *lane_masks.get_unchecked(*labels.get_unchecked(t) as usize),
+            ),
+        );
+        E::store_lanes_avx2(running, cum_ptr.add(e * k));
+    }
 }
 
 /// Copies the events of `column` whose tuples keep weight (per the dense
@@ -955,6 +1493,75 @@ mod tests {
                     "{mode:?} score {i}"
                 );
             }
+        }
+    }
+
+    #[test]
+    fn profile_construction_matches_scalar_bit_for_bit() {
+        use crate::events::CumStore;
+        use crate::kernel::{CountsRepr, KernelKind, ScoreProfile};
+        let tuples = vec![
+            ft(&[0.0, 1.0, 2.0], &[1.0, 2.0, 1.0], 0),
+            ft(&[1.5, 2.5, 3.5], &[1.0, 1.0, 2.0], 1),
+            ft(&[0.5, 1.0, 2.5], &[1.0, 3.0, 1.0], 2),
+        ];
+        let root = build_root(&tuples, &[0]);
+        let state = root_state(&tuples, &root, PartitionMode::View);
+        let mut scratch = Scratch::new(tuples.len());
+        let mut stats = SearchStats::default();
+        scratch.load_weights(&state);
+        // A numeric partition gives the left child non-trivial pdf scales,
+        // so the comparison below also exercises the has-scales path.
+        let (left, _right) = partition_numeric(&root, &state, 0, 1.5, &mut scratch, &mut stats);
+        scratch.unload_weights(&state);
+        assert!(!left.columns[0].scales.is_empty());
+        for node in [&state, &left] {
+            scratch.load_weights(node);
+            let base = events_from_column(
+                &node.columns[0],
+                &root.columns[0],
+                &labels(&tuples),
+                3,
+                &mut scratch,
+            )
+            .unwrap();
+            let base_cum: Vec<f64> = match base.store() {
+                CumStore::F64(c) => c.clone(),
+                CumStore::F32(_) => unreachable!("default profile stores f64"),
+            };
+            for kernel in [KernelKind::Scalar, KernelKind::Simd] {
+                for counts in [CountsRepr::F64, CountsRepr::F32] {
+                    let profile = ScoreProfile { kernel, counts };
+                    let ev = events_from_column_with(
+                        &node.columns[0],
+                        &root.columns[0],
+                        &labels(&tuples),
+                        3,
+                        &mut scratch,
+                        profile,
+                    )
+                    .unwrap();
+                    assert_eq!(ev.profile(), profile);
+                    assert_eq!(ev.xs(), base.xs(), "{profile:?}");
+                    assert_eq!(ev.end_point_indices(), base.end_point_indices());
+                    // Stored matrices are bitwise the scalar f64 matrix
+                    // (rounded once per element for the f32 store).
+                    match ev.store() {
+                        CumStore::F64(c) => {
+                            let got: Vec<u64> = c.iter().map(|v| v.to_bits()).collect();
+                            let want: Vec<u64> = base_cum.iter().map(|v| v.to_bits()).collect();
+                            assert_eq!(got, want, "{profile:?}");
+                        }
+                        CumStore::F32(c) => {
+                            let got: Vec<u32> = c.iter().map(|v| v.to_bits()).collect();
+                            let want: Vec<u32> =
+                                base_cum.iter().map(|&v| (v as f32).to_bits()).collect();
+                            assert_eq!(got, want, "{profile:?}");
+                        }
+                    }
+                }
+            }
+            scratch.unload_weights(node);
         }
     }
 

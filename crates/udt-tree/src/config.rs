@@ -8,6 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::kernel::{CountsRepr, KernelKind, ScoreProfile};
 use crate::measure::Measure;
 use crate::split::{bp, es, exhaustive::ExhaustiveSearch, gp, lp, SplitSearch};
 
@@ -257,7 +258,12 @@ impl std::str::FromStr for ThreadCount {
 }
 
 /// Configuration for [`crate::TreeBuilder`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Deserialize` is implemented by hand (below) so that configurations
+/// persisted before the score-kernel knobs existed keep loading: a
+/// missing `kernel`/`counts` field means the model was built on the
+/// scalar/f64 path, which is exactly what the defaults select.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct UdtConfig {
     /// Which split-search algorithm to use.
     pub algorithm: Algorithm,
@@ -301,6 +307,55 @@ pub struct UdtConfig {
     /// How recursion materialises child node state (owned column copies
     /// vs zero-copy root views). Builds are bit-identical either way.
     pub partition_mode: PartitionMode,
+    /// Which arithmetic kernel scores candidate splits (`UDT_KERNEL` env
+    /// override). The default [`KernelKind::Scalar`] is the bit-for-bit
+    /// determinism anchor; [`KernelKind::Simd`] chooses the same splits
+    /// at batch speed (see [`crate::kernel`]).
+    pub kernel: KernelKind,
+    /// How the cumulative count matrices are stored (`UDT_COUNTS` env
+    /// override). [`CountsRepr::F32`] halves scoring bandwidth at a
+    /// documented score tolerance; tree *structure* is unchanged.
+    pub counts: CountsRepr,
+}
+
+impl Deserialize for UdtConfig {
+    fn deserialize(v: &serde::Value) -> std::result::Result<Self, serde::Error> {
+        fn required<T: Deserialize>(
+            v: &serde::Value,
+            key: &str,
+        ) -> std::result::Result<T, serde::Error> {
+            T::deserialize(serde::map_field(v, key, "UdtConfig")?)
+        }
+        // The kernel knobs postdate the first persisted models; absent
+        // fields mean the model was built on the scalar/f64 path.
+        fn defaulted<T: Deserialize + Default>(
+            v: &serde::Value,
+            key: &str,
+        ) -> std::result::Result<T, serde::Error> {
+            match v.get(key) {
+                Some(inner) => T::deserialize(inner),
+                None => Ok(T::default()),
+            }
+        }
+        Ok(UdtConfig {
+            algorithm: required(v, "algorithm")?,
+            measure: required(v, "measure")?,
+            max_depth: required(v, "max_depth")?,
+            min_node_weight: required(v, "min_node_weight")?,
+            min_gain: required(v, "min_gain")?,
+            postprune: required(v, "postprune")?,
+            postprune_z: required(v, "postprune_z")?,
+            es_sample_rate: required(v, "es_sample_rate")?,
+            uniform_pdf_hint: required(v, "uniform_pdf_hint")?,
+            parallel_subtrees: required(v, "parallel_subtrees")?,
+            parallel_cutoff_depth: required(v, "parallel_cutoff_depth")?,
+            parallel_min_fork_tuples: required(v, "parallel_min_fork_tuples")?,
+            threads: required(v, "threads")?,
+            partition_mode: required(v, "partition_mode")?,
+            kernel: defaulted(v, "kernel")?,
+            counts: defaulted(v, "counts")?,
+        })
+    }
 }
 
 impl UdtConfig {
@@ -323,6 +378,8 @@ impl UdtConfig {
             parallel_min_fork_tuples: 8,
             threads: ThreadCount::from_env(),
             partition_mode: PartitionMode::from_env(),
+            kernel: KernelKind::from_env(),
+            counts: CountsRepr::from_env(),
         }
     }
 
@@ -386,6 +443,27 @@ impl UdtConfig {
     pub fn with_partition_mode(mut self, mode: PartitionMode) -> Self {
         self.partition_mode = mode;
         self
+    }
+
+    /// Returns a copy with a different score kernel.
+    pub fn with_kernel(mut self, kernel: KernelKind) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// Returns a copy with a different count-matrix representation.
+    pub fn with_counts(mut self, counts: CountsRepr) -> Self {
+        self.counts = counts;
+        self
+    }
+
+    /// The combined score profile (kernel × counts representation) this
+    /// configuration builds under.
+    pub fn profile(&self) -> ScoreProfile {
+        ScoreProfile {
+            kernel: self.kernel,
+            counts: self.counts,
+        }
     }
 
     /// Instantiates the split-search strategy this configuration selects.
@@ -516,7 +594,9 @@ mod tests {
             .with_parallel_cutoff_depth(6)
             .with_parallel_min_fork_tuples(32)
             .with_threads(2)
-            .with_partition_mode(PartitionMode::Owned);
+            .with_partition_mode(PartitionMode::Owned)
+            .with_kernel(KernelKind::Simd)
+            .with_counts(CountsRepr::F32);
         assert_eq!(c.measure, Measure::Gini);
         assert!(!c.postprune);
         assert_eq!(c.max_depth, 5);
@@ -527,6 +607,9 @@ mod tests {
         assert_eq!(c.parallel_min_fork_tuples, 32);
         assert_eq!(c.threads, ThreadCount::fixed(2));
         assert_eq!(c.partition_mode, PartitionMode::Owned);
+        assert_eq!(c.kernel, KernelKind::Simd);
+        assert_eq!(c.counts, CountsRepr::F32);
+        assert_eq!(c.profile().label(), "simd/f32");
         assert!(c.validate().is_ok());
     }
 
@@ -573,6 +656,40 @@ mod tests {
             Ok(ThreadCount::fixed(ThreadCount::MAX))
         );
         assert_eq!(ThreadCount::fixed(usize::MAX).get(), ThreadCount::MAX);
+    }
+
+    #[test]
+    fn kernel_knobs_default_and_survive_legacy_serde() {
+        // Without the env overrides the config defaults to the
+        // determinism anchor.
+        if std::env::var("UDT_KERNEL").is_err() && std::env::var("UDT_COUNTS").is_err() {
+            let c = UdtConfig::new(Algorithm::Udt);
+            assert_eq!(c.kernel, KernelKind::Scalar);
+            assert_eq!(c.counts, CountsRepr::F64);
+            assert_eq!(c.profile().label(), "scalar/f64");
+        }
+        // Configs persisted before the kernel knobs existed deserialize
+        // to the scalar/f64 defaults instead of failing on the missing
+        // fields.
+        let reference = UdtConfig::new(Algorithm::Udt)
+            .with_kernel(KernelKind::Simd)
+            .with_counts(CountsRepr::F32);
+        let serde::Value::Map(entries) = Serialize::serialize(&reference) else {
+            panic!("configs serialize to a map");
+        };
+        let legacy_payload = serde::Value::Map(
+            entries
+                .into_iter()
+                .filter(|(key, _)| key != "kernel" && key != "counts")
+                .collect(),
+        );
+        let legacy = UdtConfig::deserialize(&legacy_payload).unwrap();
+        assert_eq!(legacy.kernel, KernelKind::Scalar);
+        assert_eq!(legacy.counts, CountsRepr::F64);
+        assert_eq!(legacy.algorithm, reference.algorithm);
+        // And the current format round-trips the knobs faithfully.
+        let round = UdtConfig::deserialize(&Serialize::serialize(&reference)).unwrap();
+        assert_eq!(round, reference);
     }
 
     #[test]

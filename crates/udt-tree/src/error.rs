@@ -50,6 +50,24 @@ pub enum TreeError {
         got: String,
     },
 
+    /// A textual score-kernel value was neither `scalar` nor `simd`
+    /// (see [`crate::KernelKind`]'s `FromStr` impl). Carries the
+    /// offending input, like [`TreeError::InvalidPartitionMode`].
+    #[error("invalid score kernel `{got}`: expected 'scalar' or 'simd'")]
+    InvalidKernelKind {
+        /// The string that failed to parse.
+        got: String,
+    },
+
+    /// A textual count-matrix representation was neither `f64` nor `f32`
+    /// (see [`crate::CountsRepr`]'s `FromStr` impl). Carries the
+    /// offending input, like [`TreeError::InvalidPartitionMode`].
+    #[error("invalid counts representation `{got}`: expected 'f64' or 'f32'")]
+    InvalidCountsRepr {
+        /// The string that failed to parse.
+        got: String,
+    },
+
     /// A filesystem operation on a model file failed. Carries the
     /// underlying io error rendered to a string (the enum stays
     /// `Clone + PartialEq`), so callers see *why* — permission denied,

@@ -43,6 +43,15 @@
 //!   [`measure::Measure::interval_lower_bound_cum`]): eq. 1 scores and
 //!   the §5.2 eq. 3/4 bounds are pure slice arithmetic; no counter is
 //!   cloned anywhere on the per-candidate path.
+//! * **Score kernels** ([`kernel`]): *how* candidates are scored is a
+//!   runtime knob. The default [`KernelKind::Scalar`] kernel is
+//!   bit-for-bit the historical per-candidate arithmetic; the opt-in
+//!   [`KernelKind::Simd`] kernel scores batches of contiguous candidate
+//!   rows with runtime-detected AVX2/SSE2 lanes (portable fallback
+//!   elsewhere), and [`CountsRepr::F32`] opts the cumulative matrix into
+//!   an `f32` representation that halves scoring bandwidth. `scalar/f64`
+//!   remains the determinism anchor; the other combinations are gated by
+//!   a seeded parity suite (`UDT_KERNEL` / `UDT_COUNTS` env overrides).
 //! * **Baseline** ([`baseline`]): the pre-columnar engine (per-node
 //!   rebuild + re-sort, one owned counter per position, clone-based
 //!   scoring) is kept for regression tests — the columnar engine
@@ -142,6 +151,7 @@ pub mod error;
 pub mod events;
 pub mod flat;
 pub mod fractional;
+pub mod kernel;
 pub mod measure;
 pub mod node;
 pub mod persist;
@@ -156,6 +166,7 @@ pub use config::{Algorithm, PartitionMode, ThreadCount, UdtConfig};
 pub use counts::ClassCounts;
 pub use error::TreeError;
 pub use flat::{FlatTree, NodeKind};
+pub use kernel::{CountsRepr, KernelKind, ScoreProfile};
 pub use measure::Measure;
 pub use node::{DecisionTree, Node};
 pub use pool::WorkerPool;

@@ -159,9 +159,23 @@ impl Measure {
     /// (asserted by the `baseline` regression tests).
     pub fn split_score_cum(&self, left: &[f64], total: &[f64]) -> f64 {
         debug_assert_eq!(left.len(), total.len());
-        let right = |c: usize| clamp_residue(total[c] - left[c]);
+        // The right-side residues are needed up to three times per class
+        // (total mass, per-class term, gain-ratio parent), so they are
+        // materialised once on the stack instead of re-deriving the
+        // clamped subtraction at every use.
+        with_class_row(
+            left.len(),
+            |c| clamp_residue(total[c] - left[c]),
+            |right| self.split_score_cum_hoisted(left, right),
+        )
+    }
+
+    /// [`split_score_cum`](Self::split_score_cum) with the right-side
+    /// residues already materialised; the per-class arithmetic and its
+    /// order are unchanged, so the hoisting is bit-identical.
+    fn split_score_cum_hoisted(&self, left: &[f64], right: &[f64]) -> f64 {
         let nl: f64 = left.iter().sum();
-        let nr: f64 = (0..left.len()).map(&right).sum();
+        let nr: f64 = right.iter().sum();
         if nl <= WEIGHT_EPSILON || nr <= WEIGHT_EPSILON {
             return f64::INFINITY;
         }
@@ -169,7 +183,7 @@ impl Measure {
         match self {
             Measure::Entropy => {
                 let h_left = -left.iter().map(|&c| xlog2x(c / nl)).sum::<f64>();
-                let h_right = -(0..left.len()).map(|c| xlog2x(right(c) / nr)).sum::<f64>();
+                let h_right = -right.iter().map(|&c| xlog2x(c / nr)).sum::<f64>();
                 (nl / n) * h_left + (nr / n) * h_right
             }
             Measure::Gini => {
@@ -178,14 +192,15 @@ impl Measure {
                     p * p
                 };
                 let g_left = 1.0 - left.iter().map(|&c| g(c, nl)).sum::<f64>();
-                let g_right = 1.0 - (0..left.len()).map(|c| g(right(c), nr)).sum::<f64>();
+                let g_right = 1.0 - right.iter().map(|&c| g(c, nr)).sum::<f64>();
                 (nl / n) * g_left + (nr / n) * g_right
             }
             Measure::GainRatio => {
-                let parent = |c: usize| left[c] + right(c);
-                let h_parent = -(0..left.len()).map(|c| xlog2x(parent(c) / n)).sum::<f64>();
+                let h_parent = -(0..left.len())
+                    .map(|c| xlog2x((left[c] + right[c]) / n))
+                    .sum::<f64>();
                 let h_left = -left.iter().map(|&c| xlog2x(c / nl)).sum::<f64>();
-                let h_right = -(0..left.len()).map(|c| xlog2x(right(c) / nr)).sum::<f64>();
+                let h_right = -right.iter().map(|&c| xlog2x(c / nr)).sum::<f64>();
                 let gain = h_parent - ((nl / n) * h_left + (nr / n) * h_right);
                 let split_info = -(xlog2x(nl / n) + xlog2x(nr / n));
                 if split_info <= 0.0 {
@@ -210,39 +225,51 @@ impl Measure {
             return f64::NEG_INFINITY;
         }
         let classes = cum_lo.len();
-        let inside = |c: usize| clamp_residue(cum_hi[c] - cum_lo[c]);
-        let above = |c: usize| clamp_residue(total[c] - cum_hi[c]);
-        let n: f64 = cum_lo.iter().sum();
-        let m: f64 = (0..classes).map(&above).sum();
-        let k_total: f64 = (0..classes).map(&inside).sum();
-        let grand_total = n + m + k_total;
-        if grand_total <= 0.0 {
-            return f64::NEG_INFINITY;
-        }
-        let mut sum = 0.0;
-        for c in 0..classes {
-            let nc = cum_lo[c];
-            let mc = above(c);
-            let kc = inside(c);
-            let theta = safe_ratio(nc + kc, n + kc);
-            let phi = safe_ratio(mc + kc, m + kc);
-            match self {
-                Measure::Entropy => {
-                    sum += nc * safe_log2(theta)
-                        + mc * safe_log2(phi)
-                        + kc * safe_log2(theta.max(phi));
-                }
-                Measure::Gini => {
-                    sum += nc * theta + mc * phi + kc * theta.max(phi);
-                }
-                Measure::GainRatio => unreachable!("returned above"),
-            }
-        }
-        match self {
-            Measure::Entropy => -sum / grand_total,
-            Measure::Gini => 1.0 - sum / grand_total,
-            Measure::GainRatio => unreachable!("returned above"),
-        }
+        // Each inside/above residue is read twice (mass total + bound
+        // term); materialise the clamped subtractions once on the stack.
+        with_class_row(
+            classes,
+            |c| clamp_residue(cum_hi[c] - cum_lo[c]),
+            |inside| {
+                with_class_row(
+                    classes,
+                    |c| clamp_residue(total[c] - cum_hi[c]),
+                    |above| {
+                        let n: f64 = cum_lo.iter().sum();
+                        let m: f64 = above.iter().sum();
+                        let k_total: f64 = inside.iter().sum();
+                        let grand_total = n + m + k_total;
+                        if grand_total <= 0.0 {
+                            return f64::NEG_INFINITY;
+                        }
+                        let mut sum = 0.0;
+                        for c in 0..classes {
+                            let nc = cum_lo[c];
+                            let mc = above[c];
+                            let kc = inside[c];
+                            let theta = safe_ratio(nc + kc, n + kc);
+                            let phi = safe_ratio(mc + kc, m + kc);
+                            match self {
+                                Measure::Entropy => {
+                                    sum += nc * safe_log2(theta)
+                                        + mc * safe_log2(phi)
+                                        + kc * safe_log2(theta.max(phi));
+                                }
+                                Measure::Gini => {
+                                    sum += nc * theta + mc * phi + kc * theta.max(phi);
+                                }
+                                Measure::GainRatio => unreachable!("returned above"),
+                            }
+                        }
+                        match self {
+                            Measure::Entropy => -sum / grand_total,
+                            Measure::Gini => 1.0 - sum / grand_total,
+                            Measure::GainRatio => unreachable!("returned above"),
+                        }
+                    },
+                )
+            },
+        )
     }
 
     /// Lower bound of [`split_score`](Self::split_score) over every split
@@ -303,6 +330,33 @@ impl Measure {
             }
             Measure::GainRatio => f64::NEG_INFINITY,
         }
+    }
+}
+
+/// How many classes fit in the stack-allocated per-class scratch rows of
+/// the cumulative scoring paths before they fall back to the heap.
+const STACK_CLASSES: usize = 16;
+
+/// Materialises one derived per-class row (`row[c] = derive(c)` for
+/// `c < classes`) in a stack buffer — heap fallback beyond
+/// [`STACK_CLASSES`] — and hands it to `body`. Values and evaluation
+/// order match calling `derive` at each use site, so hoisting through
+/// this helper is bit-identical.
+#[inline]
+fn with_class_row<R>(
+    classes: usize,
+    derive: impl Fn(usize) -> f64,
+    body: impl FnOnce(&[f64]) -> R,
+) -> R {
+    if classes <= STACK_CLASSES {
+        let mut buf = [0.0f64; STACK_CLASSES];
+        for (c, slot) in buf[..classes].iter_mut().enumerate() {
+            *slot = derive(c);
+        }
+        body(&buf[..classes])
+    } else {
+        let row: Vec<f64> = (0..classes).map(derive).collect();
+        body(&row)
     }
 }
 

@@ -90,38 +90,44 @@ impl PrunedSearch {
         self.end_point_sample_rate
     }
 
-    /// Evaluates the score at position `idx`, updating `best` and counters.
-    fn evaluate(
+    /// Evaluates the scores at the end-point positions `idx` (ascending)
+    /// as one batch, updating `best`, the running attribute minimum and
+    /// the counters. The largest position is not a valid split point (its
+    /// right side is empty), so it is not part of the paper's `m·s − 1`
+    /// candidates and is dropped before scoring at no cost.
+    #[allow(clippy::too_many_arguments)] // shared by pass 1 and refinement: search state + counters
+    fn evaluate_end_points(
         ev: &AttributeEvents,
         attribute: usize,
-        idx: usize,
+        idx: &[usize],
         measure: Measure,
-        is_end_point: bool,
+        attribute_best: &mut Option<f64>,
         best: &mut Option<SplitChoice>,
         stats: &mut SearchStats,
-    ) -> f64 {
-        if idx + 1 == ev.n_positions() {
-            // The largest position is not a valid split point (its right
-            // side is empty), so it is not part of the paper's `m·s − 1`
-            // candidates and costs nothing to reject.
-            return f64::INFINITY;
+        scores: &mut Vec<f64>,
+    ) {
+        let mut valid = idx;
+        if let Some((&last, rest)) = idx.split_last() {
+            if last + 1 == ev.n_positions() {
+                valid = rest;
+            }
         }
-        let score = ev.score_at(idx, measure);
-        stats.entropy_calculations += 1;
-        if is_end_point {
-            stats.end_point_evaluations += 1;
+        ev.score_indices_into(valid, measure, scores);
+        stats.entropy_calculations += valid.len() as u64;
+        stats.end_point_evaluations += valid.len() as u64;
+        for (&i, &score) in valid.iter().zip(scores.iter()) {
+            if score.is_finite() {
+                merge_best(
+                    best,
+                    SplitChoice {
+                        attribute,
+                        split: ev.xs()[i],
+                        score,
+                    },
+                );
+                *attribute_best = Some(attribute_best.map_or(score, |b: f64| b.min(score)));
+            }
         }
-        if score.is_finite() {
-            merge_best(
-                best,
-                SplitChoice {
-                    attribute,
-                    split: ev.xs()[idx],
-                    score,
-                },
-            );
-        }
-        score
     }
 
     /// The pruning threshold applicable to `attribute` right now.
@@ -181,6 +187,7 @@ impl PrunedSearch {
         attribute_best: &mut Option<f64>,
         best: &mut Option<SplitChoice>,
         stats: &mut SearchStats,
+        scores: &mut Vec<f64>,
     ) {
         stats.intervals_examined += 1;
         if ev.interior_candidates(interval).is_empty() {
@@ -209,12 +216,16 @@ impl PrunedSearch {
                 .filter(|&i| i > interval.lo_idx && i < interval.hi_idx)
                 .collect();
             if !inner.is_empty() {
-                for &idx in &inner {
-                    let score = Self::evaluate(ev, attribute, idx, measure, true, best, stats);
-                    if score.is_finite() {
-                        *attribute_best = Some(attribute_best.map_or(score, |b: f64| b.min(score)));
-                    }
-                }
+                Self::evaluate_end_points(
+                    ev,
+                    attribute,
+                    &inner,
+                    measure,
+                    attribute_best,
+                    best,
+                    stats,
+                    scores,
+                );
                 let mut boundaries = Vec::with_capacity(inner.len() + 2);
                 boundaries.push(interval.lo_idx);
                 boundaries.extend(inner);
@@ -229,13 +240,31 @@ impl PrunedSearch {
                         attribute_best,
                         best,
                         stats,
+                        scores,
                     );
                 }
                 return;
             }
         }
-        for idx in ev.interior_candidates(interval) {
-            Self::evaluate(ev, attribute, idx, measure, false, best, stats);
+        // The surviving interior is one contiguous candidate batch. No
+        // interior index can be the last position (`idx < hi_idx <= n-1`),
+        // so every candidate counts one entropy calculation, exactly like
+        // the historical per-candidate loop.
+        let range = ev.interior_candidates(interval);
+        stats.entropy_calculations += range.len() as u64;
+        ev.score_range_into(range.clone(), measure, scores);
+        for (slot, idx) in range.enumerate() {
+            let score = scores[slot];
+            if score.is_finite() {
+                merge_best(
+                    best,
+                    SplitChoice {
+                        attribute,
+                        split: ev.xs()[idx],
+                        score,
+                    },
+                );
+            }
         }
     }
 }
@@ -262,20 +291,17 @@ impl SplitSearch for PrunedSearch {
             let bounds_idx = self.sampled_boundaries(ev);
             let mut local_best: Option<SplitChoice> = None;
             let mut attr_best: Option<f64> = None;
-            for &idx in &bounds_idx {
-                let score = Self::evaluate(
-                    ev,
-                    *attribute,
-                    idx,
-                    measure,
-                    true,
-                    &mut local_best,
-                    &mut local,
-                );
-                if score.is_finite() {
-                    attr_best = Some(attr_best.map_or(score, |b: f64| b.min(score)));
-                }
-            }
+            let mut scores = Vec::new();
+            Self::evaluate_end_points(
+                ev,
+                *attribute,
+                &bounds_idx,
+                measure,
+                &mut attr_best,
+                &mut local_best,
+                &mut local,
+                &mut scores,
+            );
             (bounds_idx, attr_best, local_best, local)
         });
         let mut boundaries: Vec<Vec<usize>> = Vec::with_capacity(events.len());
@@ -301,6 +327,7 @@ impl SplitSearch for PrunedSearch {
         // freely; this pass is mostly bound arithmetic over intervals
         // the pruning already discarded.
         let refine = self.end_point_sample_rate.is_some();
+        let mut scores = Vec::new();
         for (slot, (attribute, ev)) in events.iter().enumerate() {
             for interval in ev.intervals_between(&boundaries[slot]) {
                 self.process_interval(
@@ -312,6 +339,7 @@ impl SplitSearch for PrunedSearch {
                     &mut attribute_best[slot],
                     &mut best,
                     stats,
+                    &mut scores,
                 );
             }
         }

@@ -5,11 +5,13 @@
 # BENCH_serve.json and BENCH_scaling.json at the repository root.
 #
 # The criterion shim (shims/criterion) emits one JSON record per
-# benchmark when CRITERION_JSON names a file; this script points it at
-# the respective output file and prints the headline numbers afterwards:
-# naive-vs-columnar for split search, single-vs-batch for classification,
-# owned-vs-view wall-clock + bytes-allocated for partitioning, and
-# batched-vs-single-request socket throughput for serving.
+# benchmark when CRITERION_JSON names a file (under a "host" header
+# recording cpu count / arch / detected SIMD features); this script
+# points it at the respective output file and prints the headline
+# numbers afterwards: naive-vs-columnar and scalar-vs-simd-kernel for
+# split search, single-vs-batch for classification, owned-vs-view
+# wall-clock + bytes-allocated for partitioning, and batched-vs-single-
+# request socket throughput for serving.
 #
 # Usage: scripts/bench.sh [extra cargo bench args...]
 
@@ -36,7 +38,12 @@ python3 - "$split_out" <<'EOF'
 import json
 import sys
 
-results = json.load(open(sys.argv[1]))
+data = json.load(open(sys.argv[1]))
+host = data.get("host", {})
+results = data["results"]
+if host:
+    feats = ",".join(host.get("simd_features", [])) or "none"
+    print(f"host: {host.get('num_cpus')} cpus, {host.get('arch')}, simd: {feats}")
 by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
 
 def speedup(group, naive, fast):
@@ -47,6 +54,10 @@ def speedup(group, naive, fast):
 
 speedup("node_search_step", "es_naive_rebuild", "es_columnar")
 speedup("node_search_step", "exhaustive_naive_rebuild", "exhaustive_columnar")
+speedup("node_search_step", "es_columnar", "es_columnar_simd")
+speedup("node_search_step", "es_columnar", "es_columnar_simd_f32")
+speedup("score_kernel", "scalar_f64", "simd_f64")
+speedup("score_kernel", "scalar_f64", "simd_f32")
 speedup("columnar_vs_naive", "udt_es_naive_rebuild", "udt_es_columnar")
 speedup("columnar_vs_naive", "udt_exhaustive_naive_rebuild", "udt_exhaustive_columnar")
 EOF
@@ -57,7 +68,7 @@ python3 - "$classify_out" <<'EOF'
 import json
 import sys
 
-results = json.load(open(sys.argv[1]))
+results = json.load(open(sys.argv[1]))["results"]
 by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
 
 def speedup(group, single, batch):
@@ -76,7 +87,7 @@ python3 - "$partition_out" <<'EOF'
 import json
 import sys
 
-results = json.load(open(sys.argv[1]))
+results = json.load(open(sys.argv[1]))["results"]
 by_bench = {r["bench"]: r for r in results if r["group"] == "partition_traffic"}
 
 for depth in ("04", "08", "12"):
@@ -99,7 +110,7 @@ python3 - "$serve_out" <<'EOF'
 import json
 import sys
 
-results = json.load(open(sys.argv[1]))
+results = json.load(open(sys.argv[1]))["results"]
 by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
 
 def speedup(group, single, batch):
@@ -119,7 +130,7 @@ import json
 import os
 import sys
 
-results = json.load(open(sys.argv[1]))
+results = json.load(open(sys.argv[1]))["results"]
 by_key = {(r["group"], r["bench"]): r["median_ns"] for r in results}
 
 cores = os.cpu_count() or 1

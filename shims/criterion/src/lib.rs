@@ -10,8 +10,13 @@
 //! * `cargo bench -- --test` runs every benchmark exactly once (the CI
 //!   smoke mode, mirroring real criterion's behaviour);
 //! * when the `CRITERION_JSON` environment variable names a file, all
-//!   measurements are appended to it as a JSON array — this is how
-//!   `scripts/bench.sh` produces `BENCH_split.json`.
+//!   measurements are written to it as a JSON object
+//!   `{"host": {...}, "results": [...]}` — this is how
+//!   `scripts/bench.sh` produces `BENCH_split.json`. The `host` header
+//!   records the logical CPU count, target architecture and detected
+//!   SIMD feature set, so recorded numbers carry the machine context
+//!   they were measured on (the vectorized split kernel's speedups are
+//!   meaningless without it).
 
 use std::fmt::Display;
 use std::fs;
@@ -107,7 +112,9 @@ impl Criterion {
         let Some(path) = self.json_path.clone() else {
             return;
         };
-        let mut out = String::from("[\n");
+        let mut out = String::from("{\n");
+        out.push_str(&format!("\"host\": {},\n", host_json()));
+        out.push_str("\"results\": [\n");
         for (i, m) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "  {{\"group\": \"{}\", \"bench\": \"{}\", \"mean_ns\": {:.1}, \
@@ -126,7 +133,7 @@ impl Criterion {
                 if i + 1 == self.results.len() { "" } else { "," }
             ));
         }
-        out.push_str("]\n");
+        out.push_str("]\n}\n");
         if let Some(parent) = path.parent() {
             let _ = fs::create_dir_all(parent);
         }
@@ -139,6 +146,51 @@ impl Criterion {
             Err(e) => eprintln!("criterion: could not write {}: {e}", path.display()),
         }
     }
+}
+
+/// The host-metadata JSON header attached to every trajectory file:
+/// logical CPU count, target architecture, and the SIMD features the
+/// running CPU reports (the same runtime probes the score kernel's
+/// backend detection uses).
+fn host_json() -> String {
+    let num_cpus = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let simd_features = detected_simd_features().join("\", \"");
+    let simd_features = if simd_features.is_empty() {
+        String::new()
+    } else {
+        format!("\"{simd_features}\"")
+    };
+    format!(
+        "{{\"num_cpus\": {num_cpus}, \"arch\": \"{}\", \"simd_features\": [{simd_features}]}}",
+        std::env::consts::ARCH
+    )
+}
+
+/// SIMD extensions detected on the running CPU, coarsest-first.
+fn detected_simd_features() -> Vec<&'static str> {
+    let mut features = Vec::new();
+    #[cfg(target_arch = "x86_64")]
+    {
+        for (name, present) in [
+            ("sse2", is_x86_feature_detected!("sse2")),
+            ("sse4.2", is_x86_feature_detected!("sse4.2")),
+            ("avx", is_x86_feature_detected!("avx")),
+            ("avx2", is_x86_feature_detected!("avx2")),
+            ("fma", is_x86_feature_detected!("fma")),
+            ("avx512f", is_x86_feature_detected!("avx512f")),
+        ] {
+            if present {
+                features.push(name);
+            }
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            features.push("neon");
+        }
+    }
+    features
 }
 
 /// A group of related benchmarks sharing measurement settings.
@@ -347,6 +399,14 @@ mod tests {
         assert_eq!(c.results.len(), 1);
         assert!(c.results[0].mean_ns >= 0.0);
         assert!(c.results[0].iterations >= 3);
+    }
+
+    #[test]
+    fn host_header_reports_machine() {
+        let h = host_json();
+        assert!(h.contains("\"num_cpus\""));
+        assert!(h.contains(std::env::consts::ARCH));
+        assert!(h.contains("\"simd_features\""));
     }
 
     #[test]
