@@ -1,0 +1,92 @@
+//! Overhead proof for the `udt-obs` instrumentation layer.
+//!
+//! The observability contract is that a **disabled** span site costs a
+//! few relaxed atomic loads — cheap enough that instrumenting the
+//! builder's node step cannot move build times by more than noise. Two
+//! enforcement layers:
+//!
+//! * an absolute gate that runs even under `-- --test` (the CI bench
+//!   smoke): tens of millions of disabled span sites and counter
+//!   increments must average under 25 ns each. A node step costs at
+//!   least a few microseconds, so 25 ns per site keeps the
+//!   instrumented step within 2 % of an uninstrumented one on any
+//!   hardware this runs on — without comparing against checked-in
+//!   timings from a different machine;
+//! * criterion measurements of the individual site costs and of a full
+//!   instrumented build, for eyeballing trends in `BENCH` trajectories.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use udt_bench::baseline_workload;
+use udt_obs::trace;
+use udt_obs::Counter;
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+static GATE_COUNTER: Counter = Counter::new("udt_bench_overhead_gate_total", "");
+
+/// The absolute per-site bound, generous enough for slow CI hardware
+/// while still two orders of magnitude under a node step.
+const MAX_NS_PER_SITE: f64 = 25.0;
+
+/// Measures `reps` iterations of `f` and returns nanoseconds per call.
+fn ns_per_call(reps: u64, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / reps as f64
+}
+
+/// The hard gate: fails the bench (and the CI smoke) outright if a
+/// disabled instrumentation site stops being almost free.
+fn assert_disabled_sites_are_cheap() {
+    assert!(
+        !trace::active(),
+        "overhead gate must run with tracing disabled"
+    );
+    let reps = 20_000_000u64;
+    let span_ns = ns_per_call(reps, || {
+        std::hint::black_box(trace::span("gate", "bench"));
+    });
+    let counter_ns = ns_per_call(reps, || {
+        GATE_COUNTER.incr();
+    });
+    println!("disabled span site: {span_ns:.2} ns, counter incr: {counter_ns:.2} ns");
+    assert!(
+        span_ns < MAX_NS_PER_SITE,
+        "disabled span site costs {span_ns:.2} ns (bound {MAX_NS_PER_SITE} ns)"
+    );
+    assert!(
+        counter_ns < MAX_NS_PER_SITE,
+        "counter increment costs {counter_ns:.2} ns (bound {MAX_NS_PER_SITE} ns)"
+    );
+}
+
+fn bench_site_costs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("disabled_span_site", |b| {
+        b.iter(|| std::hint::black_box(trace::span("bench", "bench")))
+    });
+    group.bench_function("counter_incr", |b| b.iter(|| GATE_COUNTER.incr()));
+    group.finish();
+}
+
+fn bench_instrumented_build(c: &mut Criterion) {
+    let data = baseline_workload(20);
+    let builder = TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs).with_postprune(false));
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("instrumented_build_udt_es", |b| {
+        b.iter(|| builder.build(&data).expect("benchmark workload builds"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_site_costs, bench_instrumented_build);
+
+fn main() {
+    assert_disabled_sites_are_cheap();
+    let mut criterion = Criterion::default();
+    benches(&mut criterion);
+    criterion.final_summary();
+}

@@ -1,34 +1,43 @@
-//! Phase-level timing probe for the split engine (development utility).
+//! Pruning-effectiveness probe for the split engine (development
+//! utility).
 //!
-//! Prints per-phase timings of the columnar engine and the naive
-//! baseline on the benchmark workload so regressions in either phase are
-//! easy to localise without a profiler.
+//! Builds one tree per algorithm × dispersion measure on the benchmark
+//! workload and prints the paper's pruning-effectiveness numbers (the
+//! quantities behind Figs. 6–7): candidate split points in the search
+//! space, how many were actually scored, how many pruning discarded,
+//! and the prune fraction — alongside the entropy-like work and build
+//! wall-clock. This replaces the old ad-hoc phase timing prints; phase
+//! timings now come from the tracing layer.
+//!
+//! `--trace PATH` additionally runs one traced UDT-ES build (via
+//! [`TreeBuilder::with_trace`]) and writes a Chrome trace-event file —
+//! open it in Perfetto (<https://ui.perfetto.dev>) or `chrome://tracing`
+//! to see the per-phase and per-node spans.
 
-use std::time::Instant;
+use udt_tree::{Algorithm, Measure, ThreadCount, TreeBuilder, UdtConfig};
 
 use udt_bench::baseline_workload;
-use udt_tree::baseline::{naive_find_best, NaiveAttributeEvents};
-use udt_tree::events::AttributeEvents;
-use udt_tree::fractional::FractionalTuple;
-use udt_tree::split::{exhaustive::ExhaustiveSearch, SearchStats, SplitSearch};
-use udt_tree::{Algorithm, Measure, TreeBuilder, UdtConfig};
 
-fn time<T>(label: &str, reps: u32, mut f: impl FnMut() -> T) -> f64 {
-    let start = Instant::now();
-    for _ in 0..reps {
-        std::hint::black_box(f());
-    }
-    let per = start.elapsed().as_secs_f64() / reps as f64;
-    println!("{label:40} {:>10.3} ms", per * 1e3);
-    per
-}
+/// The algorithm ladder of the paper, cheapest pruning first.
+const ALGORITHMS: [Algorithm; 6] = [
+    Algorithm::Avg,
+    Algorithm::Udt,
+    Algorithm::UdtBp,
+    Algorithm::UdtLp,
+    Algorithm::UdtGp,
+    Algorithm::UdtEs,
+];
+
+const MEASURES: [Measure; 3] = [Measure::Entropy, Measure::Gini, Measure::GainRatio];
 
 fn main() {
-    // `profile_split [S] [--threads auto|N]` — S is the pdf sample
-    // count; the thread flag goes through the canonical `ThreadCount`
-    // parser shared with `UDT_THREADS` and `udt-serve --threads`.
+    // `profile_split [S] [--threads auto|N] [--trace PATH]` — S is the
+    // pdf sample count; the thread flag goes through the canonical
+    // `ThreadCount` parser shared with `UDT_THREADS` and
+    // `udt-serve --threads`.
     let mut s: usize = 40;
-    let mut threads = udt_tree::ThreadCount::from_env();
+    let mut threads = ThreadCount::from_env();
+    let mut trace: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if arg == "--threads" {
@@ -37,10 +46,18 @@ fn main() {
                 eprintln!("profile_split: {e}");
                 std::process::exit(2);
             });
+        } else if arg == "--trace" {
+            match args.next() {
+                Some(path) if !path.is_empty() => trace = Some(path),
+                _ => {
+                    eprintln!("profile_split: --trace needs an output path");
+                    std::process::exit(2);
+                }
+            }
         } else if let Ok(n) = arg.parse() {
             s = n;
         } else {
-            eprintln!("usage: profile_split [S] [--threads auto|N]");
+            eprintln!("usage: profile_split [S] [--threads auto|N] [--trace PATH]");
             std::process::exit(2);
         }
     }
@@ -50,61 +67,46 @@ fn main() {
         data.len(),
         data.n_attributes()
     );
-    let tuples: Vec<FractionalTuple> = data
-        .tuples()
-        .iter()
-        .map(FractionalTuple::from_tuple)
-        .collect();
-    let k = data.n_attributes();
-    let n_classes = data.n_classes();
-
-    time("naive: build events (all attrs)", 50, || {
-        (0..k)
-            .filter_map(|j| NaiveAttributeEvents::build(&tuples, j, n_classes))
-            .count()
-    });
-    time("columnar: build events (all attrs)", 50, || {
-        (0..k)
-            .filter_map(|j| AttributeEvents::build(&tuples, j, n_classes))
-            .count()
-    });
-
-    let naive_events: Vec<(usize, NaiveAttributeEvents)> = (0..k)
-        .filter_map(|j| NaiveAttributeEvents::build(&tuples, j, n_classes).map(|e| (j, e)))
-        .collect();
-    let columnar_events: Vec<(usize, AttributeEvents)> = (0..k)
-        .filter_map(|j| AttributeEvents::build(&tuples, j, n_classes).map(|e| (j, e)))
-        .collect();
-    let candidates: usize = columnar_events
-        .iter()
-        .map(|(_, e)| e.n_positions() - 1)
-        .sum();
-    println!("candidates at root: {candidates}");
-
-    time("naive: exhaustive scan", 50, || {
-        naive_find_best(&naive_events, Measure::Entropy)
-    });
-    time("columnar: exhaustive scan", 50, || {
-        let mut stats = SearchStats::default();
-        ExhaustiveSearch.find_best(&columnar_events, Measure::Entropy, &mut stats)
-    });
-
-    time("naive: full build (exhaustive)", 10, || {
-        udt_tree::baseline::naive_build_splits(
-            &data,
-            Measure::Entropy,
-            udt_tree::baseline::NaiveSearch::Exhaustive,
-            25,
-            2.0,
-            1e-6,
-        )
-    });
-    let builder = TreeBuilder::new(
-        UdtConfig::new(Algorithm::Udt)
-            .with_postprune(false)
-            .with_threads(threads),
+    println!(
+        "{:8} {:10} {:>12} {:>12} {:>12} {:>8} {:>13} {:>10}",
+        "algo", "measure", "candidates", "scored", "pruned", "prune%", "entropy-like", "build ms"
     );
-    time("columnar: full build (exhaustive)", 10, || {
-        builder.build(&data).expect("build succeeds")
-    });
+    for measure in MEASURES {
+        for algorithm in ALGORITHMS {
+            let report = TreeBuilder::new(
+                UdtConfig::new(algorithm)
+                    .with_measure(measure)
+                    .with_postprune(false)
+                    .with_threads(threads),
+            )
+            .build(&data)
+            .expect("benchmark workload builds");
+            let stats = &report.stats;
+            println!(
+                "{:8} {:10} {:>12} {:>12} {:>12} {:>7.1}% {:>13} {:>10.3}",
+                algorithm.name(),
+                format!("{measure:?}"),
+                stats.candidate_points,
+                stats.candidates_scored,
+                stats.candidates_pruned(),
+                stats.prune_fraction() * 100.0,
+                stats.entropy_like_calculations(),
+                report.elapsed.as_secs_f64() * 1e3,
+            );
+        }
+    }
+    if let Some(path) = trace {
+        let report = TreeBuilder::new(
+            UdtConfig::new(Algorithm::UdtEs)
+                .with_postprune(false)
+                .with_threads(threads),
+        )
+        .with_trace(&path)
+        .build(&data)
+        .expect("benchmark workload builds");
+        println!(
+            "trace: UDT-ES build ({} nodes) written to {path} — load it in Perfetto",
+            report.tree.size()
+        );
+    }
 }

@@ -1,0 +1,124 @@
+//! Validates a Chrome trace-event JSON file produced by `udt-obs`
+//! (`UDT_TRACE=...` or [`udt_tree::TreeBuilder::with_trace`]).
+//!
+//! Used by the CI trace smoke leg: parses the file, checks every event
+//! is a complete `X` event with the fields Perfetto needs, and verifies
+//! the spans on each thread are well-nested (pairwise disjoint or fully
+//! contained). Exits 0 on a valid trace, 1 otherwise.
+//!
+//! ```text
+//! validate_trace PATH
+//! ```
+
+use std::process::ExitCode;
+
+use serde_json::Value;
+
+fn num(v: &Value) -> Option<f64> {
+    match v {
+        Value::Num(n) => Some(*n),
+        _ => None,
+    }
+}
+
+fn fail(msg: String) -> ExitCode {
+    eprintln!("validate_trace: {msg}");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        return fail("usage: validate_trace PATH".into());
+    };
+    let raw = match std::fs::read_to_string(&path) {
+        Ok(raw) => raw,
+        Err(e) => return fail(format!("cannot read {path}: {e}")),
+    };
+    let root: Value = match serde_json::from_str(&raw) {
+        Ok(root) => root,
+        Err(e) => return fail(format!("{path} is not valid JSON: {e}")),
+    };
+    let Some(events) = root.get("traceEvents").and_then(Value::as_seq) else {
+        return fail(format!("{path} has no traceEvents array"));
+    };
+    if events.is_empty() {
+        return fail(format!("{path} contains no events"));
+    }
+
+    // Per-thread (tid → [(start, end)]) span lists, in file order.
+    let mut threads: Vec<(u64, Vec<(f64, f64)>)> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let check = |field: &str| {
+            event
+                .get(field)
+                .ok_or_else(|| format!("event {i} is missing `{field}`"))
+        };
+        for field in ["name", "cat"] {
+            match check(field).map(|v| v.as_str()) {
+                Ok(Some(_)) => {}
+                _ => return fail(format!("event {i}: `{field}` must be a string")),
+            }
+        }
+        match check("ph").map(|v| v.as_str()) {
+            Ok(Some("X")) => {}
+            _ => return fail(format!("event {i} is not a complete `X` event")),
+        }
+        let number = |field: &str| match check(field).map(num) {
+            Ok(Some(n)) if n >= 0.0 => Ok(n),
+            _ => Err(format!(
+                "event {i}: `{field}` must be a non-negative number"
+            )),
+        };
+        for field in ["pid", "tid"] {
+            if let Err(e) = number(field) {
+                return fail(e);
+            }
+        }
+        let (ts, dur) = match (number("ts"), number("dur")) {
+            (Ok(ts), Ok(dur)) => (ts, dur),
+            (Err(e), _) | (_, Err(e)) => return fail(e),
+        };
+        let tid = num(event.get("tid").expect("checked above")).expect("checked above") as u64;
+        match threads.iter_mut().find(|(t, _)| *t == tid) {
+            Some((_, spans)) => spans.push((ts, ts + dur)),
+            None => threads.push((tid, vec![(ts, ts + dur)])),
+        }
+    }
+
+    // Well-nestedness per thread: with events sorted by start time
+    // (ties: longest first — the writer's order), a span must either
+    // start after the enclosing span ends, or end inside it.
+    for (tid, spans) in &mut threads {
+        spans.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap()
+                .then(b.1.partial_cmp(&a.1).unwrap())
+        });
+        let mut stack: Vec<(f64, f64)> = Vec::new();
+        for &(start, end) in spans.iter() {
+            while let Some(&(_, open_end)) = stack.last() {
+                if start >= open_end {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&(_, open_end)) = stack.last() {
+                if end > open_end {
+                    return fail(format!(
+                        "tid {tid}: span [{start}, {end}] straddles an enclosing \
+                         span ending at {open_end}"
+                    ));
+                }
+            }
+            stack.push((start, end));
+        }
+    }
+
+    println!(
+        "trace OK: {} events across {} threads in {path}",
+        events.len(),
+        threads.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -45,6 +45,14 @@ pub struct SweepRow {
     /// Seconds spent in per-node split search (cumulative across pool
     /// workers; equals wall-clock at one thread).
     pub build_search_s: f64,
+    /// Candidate split points available across all attributes and nodes
+    /// (the `k·(m·s − 1)` search space of §4.2, summed over nodes).
+    pub candidates_total: u64,
+    /// Candidate split points pruned before scoring.
+    pub candidates_pruned: u64,
+    /// `candidates_pruned / candidates_total` (0 when no candidates) —
+    /// how pruning effectiveness holds up as `s` or `w` grows.
+    pub prune_fraction: f64,
 }
 
 fn injectable_specs(settings: &Settings) -> Vec<udt_data::repository::DatasetSpec> {
@@ -86,6 +94,9 @@ fn measure(
         partition_peak_bytes: report.stats.partition_peak_bytes,
         build_presort_s: report.stats.presort_ns as f64 / 1e9,
         build_search_s: report.stats.search_ns as f64 / 1e9,
+        candidates_total: report.stats.candidate_points,
+        candidates_pruned: report.stats.candidates_pruned(),
+        prune_fraction: report.stats.prune_fraction(),
     })
 }
 
@@ -162,7 +173,7 @@ pub fn render(title: &str, parameter: &str, rows: &[SweepRow]) -> String {
 /// The CSV header matching [`csv_rows`]. The per-phase columns show
 /// where build time goes as `s` and `w` grow: `build_presort_s` is the
 /// root sort, `build_search_s` the per-node split search.
-pub const CSV_HEADER: [&str; 8] = [
+pub const CSV_HEADER: [&str; 11] = [
     "dataset",
     "value",
     "build_seconds",
@@ -171,6 +182,9 @@ pub const CSV_HEADER: [&str; 8] = [
     "partition_peak_bytes",
     "build_presort_s",
     "build_search_s",
+    "candidates_total",
+    "candidates_pruned",
+    "prune_fraction",
 ];
 
 /// Flattens sweep rows into CSV cells (pair with [`CSV_HEADER`] and
@@ -190,6 +204,9 @@ pub fn csv_rows(rows: &[SweepRow]) -> Vec<Vec<String>> {
                 r.partition_peak_bytes.to_string(),
                 format!("{:.6}", r.build_presort_s),
                 format!("{:.6}", r.build_search_s),
+                r.candidates_total.to_string(),
+                r.candidates_pruned.to_string(),
+                format!("{:.6}", r.prune_fraction),
             ]
         })
         .collect()
@@ -233,6 +250,14 @@ mod tests {
         assert!(rows.iter().all(|r| r.build_presort_s > 0.0));
         assert!(rows.iter().all(|r| r.build_search_s > 0.0));
         assert!(rows.iter().all(|r| r.build_presort_s < r.seconds));
+        // UDT-ES prunes: the candidate space is populated and a
+        // nontrivial fraction of it goes unscored.
+        assert!(rows.iter().all(|r| r.candidates_total > 0));
+        assert!(rows
+            .iter()
+            .all(|r| r.candidates_pruned <= r.candidates_total));
+        assert!(rows.iter().all(|r| r.prune_fraction > 0.0));
+        assert!(rows.iter().all(|r| r.prune_fraction <= 1.0));
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! The workspace-wide metric registry: every counter and histogram the
+//! build engine, work-stealing pool, score kernels, and pruning
+//! searches record into. Entries are `static`, so hot-path recording is
+//! a direct relaxed atomic op with no lookup; [`counters`] and
+//! [`histograms`] enumerate them for rendering and snapshots.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::{escape_label_value, render_counter_into, Counter, Histogram};
+
+// ---------------------------------------------------------------------
+// Work-stealing pool (udt-tree/src/pool.rs)
+// ---------------------------------------------------------------------
+
+/// Tasks executed across all pools (workers and map-participating
+/// callers alike).
+pub static POOL_TASKS_EXECUTED: Counter = Counter::new(
+    "udt_pool_tasks_executed_total",
+    "Pool tasks executed, including by map-participating caller threads.",
+);
+/// Tasks a thread popped from another worker's deque.
+pub static POOL_TASKS_STOLEN: Counter = Counter::new(
+    "udt_pool_tasks_stolen_total",
+    "Pool tasks stolen from another worker's deque.",
+);
+/// Tasks pushed onto the shared injector (external submissions).
+pub static POOL_INJECTOR_PUSHES: Counter = Counter::new(
+    "udt_pool_injector_pushes_total",
+    "Tasks pushed onto a pool's shared injector queue by non-worker threads.",
+);
+/// Total worker nanoseconds spent parked waiting for work.
+pub static POOL_IDLE_NS: Counter = Counter::new(
+    "udt_pool_idle_nanoseconds_total",
+    "Worker nanoseconds spent parked waiting for work.",
+);
+/// Distribution of individual idle park waits.
+pub static POOL_IDLE_WAIT: Histogram = Histogram::new(
+    "udt_pool_idle_wait_seconds",
+    "Duration of individual worker idle waits.",
+);
+
+// ---------------------------------------------------------------------
+// Score kernels (udt-tree/src/kernel/, events.rs)
+// ---------------------------------------------------------------------
+
+/// Candidate batches scored by the SIMD kernel.
+pub static KERNEL_SIMD_BATCHES: Counter = Counter::new(
+    "udt_kernel_simd_batches_total",
+    "Candidate-score batches executed by the SIMD kernel.",
+);
+/// Candidate batches scored by the scalar kernel (the default profile).
+pub static KERNEL_SCALAR_BATCHES: Counter = Counter::new(
+    "udt_kernel_scalar_batches_total",
+    "Candidate-score batches executed by the scalar kernel.",
+);
+/// Batches that requested SIMD but fell back to scalar (below the
+/// minimum batch width).
+pub static KERNEL_SIMD_FALLBACK_BATCHES: Counter = Counter::new(
+    "udt_kernel_simd_fallback_batches_total",
+    "SIMD-profile batches that fell back to scalar scoring (batch shorter than the SIMD minimum).",
+);
+/// Per-node cumulative count matrices built in f64.
+pub static KERNEL_MATRIX_BUILDS_F64: Counter = Counter::new(
+    "udt_kernel_matrix_builds_f64_total",
+    "Per-node cumulative count matrices built with f64 storage.",
+);
+/// Per-node cumulative count matrices built in f32.
+pub static KERNEL_MATRIX_BUILDS_F32: Counter = Counter::new(
+    "udt_kernel_matrix_builds_f32_total",
+    "Per-node cumulative count matrices built with f32 storage.",
+);
+
+// ---------------------------------------------------------------------
+// Tree builds (udt-tree/src/builder.rs)
+// ---------------------------------------------------------------------
+
+/// Completed tree builds.
+pub static BUILD_TOTAL: Counter = Counter::new("udt_builds_total", "Completed tree builds.");
+/// Nodes across all built trees.
+pub static BUILD_NODES: Counter =
+    Counter::new("udt_build_nodes_total", "Nodes across all built trees.");
+/// Nanoseconds in the root presort phase, summed over builds.
+pub static BUILD_PRESORT_NS: Counter = Counter::new(
+    "udt_build_presort_nanoseconds_total",
+    "Nanoseconds spent in the root presort phase, summed over builds.",
+);
+/// Nanoseconds in per-node split search, summed over builds and threads.
+pub static BUILD_SEARCH_NS: Counter = Counter::new(
+    "udt_build_search_nanoseconds_total",
+    "Nanoseconds spent in per-node split search, summed over builds and building threads.",
+);
+/// Nanoseconds partitioning node state, summed over builds and threads.
+pub static BUILD_PARTITION_NS: Counter = Counter::new(
+    "udt_build_partition_nanoseconds_total",
+    "Nanoseconds spent partitioning node state, summed over builds and building threads.",
+);
+/// Nanoseconds grafting subtree fragments, summed over builds.
+pub static BUILD_GRAFT_NS: Counter = Counter::new(
+    "udt_build_graft_nanoseconds_total",
+    "Nanoseconds spent grafting subtree fragments and renumbering arenas, summed over builds.",
+);
+/// Distribution of per-node split-search durations.
+pub static NODE_SEARCH_DURATION: Histogram = Histogram::new(
+    "udt_build_node_search_seconds",
+    "Per-node split-search duration.",
+);
+
+static ALL_COUNTERS: [&Counter; 15] = [
+    &BUILD_TOTAL,
+    &BUILD_NODES,
+    &BUILD_PRESORT_NS,
+    &BUILD_SEARCH_NS,
+    &BUILD_PARTITION_NS,
+    &BUILD_GRAFT_NS,
+    &POOL_TASKS_EXECUTED,
+    &POOL_TASKS_STOLEN,
+    &POOL_INJECTOR_PUSHES,
+    &POOL_IDLE_NS,
+    &KERNEL_SIMD_BATCHES,
+    &KERNEL_SCALAR_BATCHES,
+    &KERNEL_SIMD_FALLBACK_BATCHES,
+    &KERNEL_MATRIX_BUILDS_F64,
+    &KERNEL_MATRIX_BUILDS_F32,
+];
+
+static ALL_HISTOGRAMS: [&Histogram; 2] = [&NODE_SEARCH_DURATION, &POOL_IDLE_WAIT];
+
+/// Every registered counter, in render order.
+pub fn counters() -> &'static [&'static Counter] {
+    &ALL_COUNTERS
+}
+
+/// Every registered histogram, in render order.
+pub fn histograms() -> &'static [&'static Histogram] {
+    &ALL_HISTOGRAMS
+}
+
+/// Records the per-build aggregates the builder flushes once per
+/// completed build (hot-path increments stay in the builder's private
+/// `SearchStats`, preserving the determinism contract; this is one
+/// batch of relaxed adds at the end).
+pub fn record_build(nodes: u64, presort_ns: u64, search_ns: u64, partition_ns: u64, graft_ns: u64) {
+    BUILD_TOTAL.incr();
+    BUILD_NODES.add(nodes);
+    BUILD_PRESORT_NS.add(presort_ns);
+    BUILD_SEARCH_NS.add(search_ns);
+    BUILD_PARTITION_NS.add(partition_ns);
+    BUILD_GRAFT_NS.add(graft_ns);
+}
+
+/// Per-algorithm pruning-effectiveness counters — the paper's headline
+/// quantities (candidates considered vs. pruned vs. scored, plus the
+/// eq. 3/4 interval-bound hit counters) as live process metrics.
+pub mod pruning {
+    use super::*;
+
+    /// The algorithm labels tracked as distinct Prometheus series. The
+    /// final slot aggregates any unrecognised name.
+    pub const ALGORITHMS: [&str; 7] = [
+        "AVG", "UDT", "UDT-BP", "UDT-LP", "UDT-GP", "UDT-ES", "other",
+    ];
+
+    #[derive(Debug)]
+    struct AlgoStats {
+        candidates: AtomicU64,
+        scored: AtomicU64,
+        intervals_pruned_bound: AtomicU64,
+        intervals_pruned_theorem: AtomicU64,
+        bound_calculations: AtomicU64,
+    }
+
+    impl AlgoStats {
+        const fn new() -> Self {
+            AlgoStats {
+                candidates: AtomicU64::new(0),
+                scored: AtomicU64::new(0),
+                intervals_pruned_bound: AtomicU64::new(0),
+                intervals_pruned_theorem: AtomicU64::new(0),
+                bound_calculations: AtomicU64::new(0),
+            }
+        }
+    }
+
+    static STATS: [AlgoStats; ALGORITHMS.len()] = [
+        AlgoStats::new(),
+        AlgoStats::new(),
+        AlgoStats::new(),
+        AlgoStats::new(),
+        AlgoStats::new(),
+        AlgoStats::new(),
+        AlgoStats::new(),
+    ];
+
+    fn slot(algorithm: &str) -> &'static AlgoStats {
+        let i = ALGORITHMS
+            .iter()
+            .position(|&a| a == algorithm)
+            .unwrap_or(ALGORITHMS.len() - 1);
+        &STATS[i]
+    }
+
+    /// A point-in-time view of one algorithm's pruning counters.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+    pub struct PruningSnapshot {
+        /// Candidate split points considered.
+        pub candidates: u64,
+        /// Candidates actually scored (end points + surviving interior).
+        pub scored: u64,
+        /// Intervals discarded by the eq. 3/4 lower bound.
+        pub intervals_pruned_bound: u64,
+        /// Intervals discarded outright by theorems 1–3.
+        pub intervals_pruned_theorem: u64,
+        /// Interval lower bounds computed.
+        pub bound_calculations: u64,
+    }
+
+    impl PruningSnapshot {
+        /// Candidates never scored (pruned away before scoring).
+        pub fn pruned(&self) -> u64 {
+            self.candidates.saturating_sub(self.scored)
+        }
+
+        /// Fraction of candidates pruned (0 when none were considered).
+        pub fn prune_fraction(&self) -> f64 {
+            if self.candidates == 0 {
+                0.0
+            } else {
+                self.pruned() as f64 / self.candidates as f64
+            }
+        }
+    }
+
+    /// Accumulates one build's pruning totals under `algorithm`.
+    pub fn record(algorithm: &str, snapshot: PruningSnapshot) {
+        let s = slot(algorithm);
+        s.candidates
+            .fetch_add(snapshot.candidates, Ordering::Relaxed);
+        s.scored.fetch_add(snapshot.scored, Ordering::Relaxed);
+        s.intervals_pruned_bound
+            .fetch_add(snapshot.intervals_pruned_bound, Ordering::Relaxed);
+        s.intervals_pruned_theorem
+            .fetch_add(snapshot.intervals_pruned_theorem, Ordering::Relaxed);
+        s.bound_calculations
+            .fetch_add(snapshot.bound_calculations, Ordering::Relaxed);
+    }
+
+    /// The accumulated counters for `algorithm` (the catch-all slot for
+    /// unrecognised names).
+    pub fn snapshot(algorithm: &str) -> PruningSnapshot {
+        let s = slot(algorithm);
+        PruningSnapshot {
+            candidates: s.candidates.load(Ordering::Relaxed),
+            scored: s.scored.load(Ordering::Relaxed),
+            intervals_pruned_bound: s.intervals_pruned_bound.load(Ordering::Relaxed),
+            intervals_pruned_theorem: s.intervals_pruned_theorem.load(Ordering::Relaxed),
+            bound_calculations: s.bound_calculations.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Renders the per-algorithm series (algorithms with zero recorded
+    /// candidates are skipped to keep the exposition compact).
+    pub(crate) fn render_into(out: &mut String) {
+        let rows: Vec<(&str, PruningSnapshot)> = ALGORITHMS
+            .iter()
+            .map(|&a| (a, snapshot(a)))
+            .filter(|(_, s)| s.candidates > 0)
+            .collect();
+        if rows.is_empty() {
+            return;
+        }
+        type SeriesGetter = fn(&PruningSnapshot) -> u64;
+        let series: [(&str, &str, SeriesGetter); 5] = [
+            (
+                "udt_split_candidates_total",
+                "Candidate split points considered, by algorithm.",
+                |s| s.candidates,
+            ),
+            (
+                "udt_split_candidates_scored_total",
+                "Candidate split points actually scored, by algorithm.",
+                |s| s.scored,
+            ),
+            (
+                "udt_split_candidates_pruned_total",
+                "Candidate split points pruned before scoring, by algorithm.",
+                |s| s.pruned(),
+            ),
+            (
+                "udt_split_intervals_pruned_bound_total",
+                "Intervals discarded by the eq. 3/4 lower bound, by algorithm.",
+                |s| s.intervals_pruned_bound,
+            ),
+            (
+                "udt_split_intervals_pruned_theorem_total",
+                "Intervals discarded outright by pruning theorems 1-3, by algorithm.",
+                |s| s.intervals_pruned_theorem,
+            ),
+        ];
+        for (name, help, get) in series {
+            for (i, (algorithm, snap)) in rows.iter().enumerate() {
+                let label = format!("algorithm=\"{}\"", escape_label_value(algorithm));
+                render_counter_into(out, name, if i == 0 { help } else { "" }, &label, get(snap));
+            }
+        }
+        // The fraction is a derived gauge, rendered for convenience.
+        out.push_str(
+            "# HELP udt_split_prune_fraction Fraction of candidate split points pruned before scoring, by algorithm.\n# TYPE udt_split_prune_fraction gauge\n",
+        );
+        for (algorithm, snap) in &rows {
+            out.push_str(&format!(
+                "udt_split_prune_fraction{{algorithm=\"{}\"}} {:.6}\n",
+                escape_label_value(algorithm),
+                snap.prune_fraction()
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_legal() {
+        let mut names: Vec<&str> = counters().iter().map(|c| c.name()).collect();
+        names.extend(histograms().iter().map(|h| h.name()));
+        let mut deduped = names.clone();
+        deduped.sort_unstable();
+        deduped.dedup();
+        assert_eq!(deduped.len(), names.len(), "duplicate metric names");
+        for name in names {
+            assert_eq!(
+                crate::sanitize_metric_name(name),
+                name,
+                "catalog names must already be legal"
+            );
+        }
+    }
+
+    #[test]
+    fn pruning_records_accumulate_per_algorithm() {
+        let before = pruning::snapshot("UDT-GP");
+        pruning::record(
+            "UDT-GP",
+            pruning::PruningSnapshot {
+                candidates: 100,
+                scored: 25,
+                intervals_pruned_bound: 7,
+                intervals_pruned_theorem: 3,
+                bound_calculations: 20,
+            },
+        );
+        let after = pruning::snapshot("UDT-GP");
+        assert_eq!(after.candidates - before.candidates, 100);
+        assert_eq!(after.scored - before.scored, 25);
+        assert_eq!(
+            after.intervals_pruned_bound - before.intervals_pruned_bound,
+            7
+        );
+        assert_eq!(
+            after.intervals_pruned_theorem - before.intervals_pruned_theorem,
+            3
+        );
+        let snap = pruning::PruningSnapshot {
+            candidates: 100,
+            scored: 25,
+            ..Default::default()
+        };
+        assert_eq!(snap.pruned(), 75);
+        assert!((snap.prune_fraction() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_algorithm_lands_in_the_catch_all_slot() {
+        let before = pruning::snapshot("other");
+        pruning::record(
+            "UDT-FUTURE",
+            pruning::PruningSnapshot {
+                candidates: 5,
+                scored: 5,
+                ..Default::default()
+            },
+        );
+        let after = pruning::snapshot("other");
+        assert_eq!(after.candidates - before.candidates, 5);
+    }
+
+    #[test]
+    fn prometheus_render_includes_recorded_series() {
+        pruning::record(
+            "UDT-ES",
+            pruning::PruningSnapshot {
+                candidates: 1000,
+                scored: 100,
+                intervals_pruned_bound: 40,
+                intervals_pruned_theorem: 10,
+                bound_calculations: 90,
+            },
+        );
+        KERNEL_SCALAR_BATCHES.incr();
+        let text = crate::render_prometheus();
+        assert!(text.contains("# TYPE udt_kernel_scalar_batches_total counter"));
+        assert!(text.contains("udt_split_candidates_total{algorithm=\"UDT-ES\"}"));
+        assert!(text.contains("udt_split_prune_fraction{algorithm=\"UDT-ES\"}"));
+        assert!(text.contains("# TYPE udt_build_node_search_seconds histogram"));
+        assert!(text.contains("udt_pool_idle_wait_seconds_bucket{le=\"+Inf\"}"));
+    }
+}

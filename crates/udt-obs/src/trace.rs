@@ -1,0 +1,287 @@
+//! Lightweight spans with Chrome trace-event export.
+//!
+//! Tracing is off by default and the disabled fast path is a single
+//! relaxed atomic load per span site, so instrumentation stays in the
+//! build hot path unconditionally. When a collector is active
+//! ([`start`]), every [`span`] that drops records one **complete**
+//! Chrome trace event (`"ph": "X"` — begin time plus duration, so the
+//! exported JSON is well-nested by construction) into a process-global
+//! buffer; [`finish`] drains the buffer and [`write_chrome_trace`]
+//! serialises it into a JSON file loadable by Perfetto or
+//! `chrome://tracing`.
+//!
+//! Per-node spans go through [`node_span`], which additionally gates on
+//! the depth limit passed to [`start`] (wired to `UDT_TRACE_DEPTH` by
+//! the builder) so deep trees don't produce multi-gigabyte traces.
+//!
+//! One collector can be active at a time: [`start`] returns `false`
+//! when tracing is already live, and concurrent builds simply skip
+//! activation (their span sites still cost only the relaxed load).
+
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Whether a collector is currently active (one relaxed load — the
+/// entire cost of a span site while tracing is off).
+static ENABLED: AtomicBool = AtomicBool::new(false);
+/// Maximum node depth for [`node_span`] while the collector is active.
+static NODE_DEPTH_LIMIT: AtomicUsize = AtomicUsize::new(0);
+/// Collector generation: spans stamp it at creation and only record on
+/// drop if it is unchanged, so a span outliving [`finish`] can never
+/// leak into the next collector's buffer.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Recorded events for the active collector.
+static EVENTS: Mutex<Vec<TraceEvent>> = Mutex::new(Vec::new());
+/// Monotonic source for per-thread trace ids.
+static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// A small stable integer naming this thread in the trace.
+    static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// The process-wide trace epoch: all timestamps are relative to the
+/// first collector activation, keeping `ts` values small and positive.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// One complete (`"ph": "X"`) Chrome trace event.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Event name (static — dynamic values travel in [`args`](Self::args)).
+    pub name: &'static str,
+    /// Event category (`cat` in the JSON).
+    pub cat: &'static str,
+    /// Start time in nanoseconds since the trace epoch.
+    pub ts_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// The recording thread's trace id.
+    pub tid: u64,
+    /// Numeric key/value annotations (`args` in the JSON).
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Activates the collector. `node_depth_limit` caps the depth at which
+/// [`node_span`] still records (depth values are 1-based like the
+/// builder's). Returns `false` — and changes nothing — if a collector
+/// is already active.
+pub fn start(node_depth_limit: usize) -> bool {
+    if ENABLED
+        .compare_exchange(false, true, Ordering::SeqCst, Ordering::SeqCst)
+        .is_err()
+    {
+        return false;
+    }
+    epoch(); // pin the epoch before the first span
+    NODE_DEPTH_LIMIT.store(node_depth_limit, Ordering::SeqCst);
+    GENERATION.fetch_add(1, Ordering::SeqCst);
+    lock_events().clear();
+    true
+}
+
+/// Whether a collector is currently active.
+pub fn active() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Deactivates the collector and returns its events, sorted by start
+/// time (ties broken longest-first so parents precede their children).
+pub fn finish() -> Vec<TraceEvent> {
+    GENERATION.fetch_add(1, Ordering::SeqCst);
+    ENABLED.store(false, Ordering::SeqCst);
+    let mut events = std::mem::take(&mut *lock_events());
+    events.sort_by(|a, b| {
+        a.ts_ns
+            .cmp(&b.ts_ns)
+            .then(b.dur_ns.cmp(&a.dur_ns))
+            .then(a.tid.cmp(&b.tid))
+    });
+    events
+}
+
+/// Locks the event buffer, recovering from a poisoned lock (a panicking
+/// span drop must not take tracing down with it).
+fn lock_events() -> std::sync::MutexGuard<'static, Vec<TraceEvent>> {
+    EVENTS.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+/// An RAII span: records one complete trace event when dropped.
+#[must_use = "a span records its duration when dropped"]
+pub struct Span {
+    name: &'static str,
+    cat: &'static str,
+    started: Instant,
+    generation: u64,
+    args: Vec<(&'static str, u64)>,
+}
+
+impl Span {
+    /// Attaches a numeric annotation (rendered under `args`).
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Self {
+        self.args.push((key, value));
+        self
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let dur_ns = self.started.elapsed().as_nanos() as u64;
+        if !ENABLED.load(Ordering::Relaxed) || GENERATION.load(Ordering::Relaxed) != self.generation
+        {
+            return;
+        }
+        let ts_ns = self
+            .started
+            .checked_duration_since(epoch())
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let tid = TID.with(|t| *t);
+        lock_events().push(TraceEvent {
+            name: self.name,
+            cat: self.cat,
+            ts_ns,
+            dur_ns,
+            tid,
+            args: std::mem::take(&mut self.args),
+        });
+    }
+}
+
+/// Opens a span. Returns `None` — after exactly one relaxed atomic
+/// load — when no collector is active.
+#[inline]
+pub fn span(name: &'static str, cat: &'static str) -> Option<Span> {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    Some(Span {
+        name,
+        cat,
+        started: Instant::now(),
+        generation: GENERATION.load(Ordering::Relaxed),
+        args: Vec::new(),
+    })
+}
+
+/// Opens a per-node span, additionally gated on the collector's node
+/// depth limit — nodes deeper than the limit record nothing.
+#[inline]
+pub fn node_span(depth: usize, name: &'static str, cat: &'static str) -> Option<Span> {
+    if !ENABLED.load(Ordering::Relaxed) || depth > NODE_DEPTH_LIMIT.load(Ordering::Relaxed) {
+        return None;
+    }
+    span(name, cat)
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders events as a Chrome trace-event JSON document (the
+/// `{"traceEvents": [...]}` object form; timestamps and durations in
+/// fractional microseconds, as the format specifies).
+pub fn render_chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96 + 64);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    for (i, e) in events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}",
+            json_escape(e.name),
+            json_escape(e.cat),
+            e.tid,
+            e.ts_ns as f64 / 1e3,
+            e.dur_ns as f64 / 1e3,
+        ));
+        if !e.args.is_empty() {
+            out.push_str(",\"args\":{");
+            for (j, (k, v)) in e.args.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+            }
+            out.push('}');
+        }
+        out.push('}');
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Writes events to `path` as Chrome trace-event JSON.
+pub fn write_chrome_trace(path: &Path, events: &[TraceEvent]) -> std::io::Result<()> {
+    std::fs::write(path, render_chrome_trace(events))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Tests that *activate* the collector live in tests/trace_golden.rs
+    // (their own process) so they cannot race the disabled-path
+    // assertions in the unit-test binary.
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("nl\ntab\t"), "nl\\ntab\\t");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn render_produces_complete_events() {
+        let events = vec![
+            TraceEvent {
+                name: "build",
+                cat: "build",
+                ts_ns: 0,
+                dur_ns: 5_000_000,
+                tid: 1,
+                args: vec![],
+            },
+            TraceEvent {
+                name: "node",
+                cat: "node",
+                ts_ns: 1_000,
+                dur_ns: 2_000,
+                tid: 1,
+                args: vec![("depth", 1), ("alive", 42)],
+            },
+        ];
+        let json = render_chrome_trace(&events);
+        assert!(json.contains("\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"args\":{\"depth\":1,\"alive\":42}"));
+        assert!(json.contains("\"ts\":1.000"));
+        assert!(json.contains("\"dur\":2.000"));
+    }
+
+    #[test]
+    fn render_empty_trace_is_valid() {
+        let json = render_chrome_trace(&[]);
+        assert!(json.starts_with("{\"displayTimeUnit\""));
+        assert!(json.contains("\"traceEvents\":[\n]}"));
+    }
+}

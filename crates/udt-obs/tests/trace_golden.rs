@@ -1,0 +1,150 @@
+//! Golden tests for the Chrome trace-event export: the JSON must parse,
+//! every event must be a complete `X` event, and events on one thread
+//! must be well-nested (properly contained or disjoint — never
+//! partially overlapping). These tests activate the global collector,
+//! so they live in their own integration-test process (the unit-test
+//! binary asserts the *disabled* path) and serialise on a local mutex.
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+use udt_obs::trace;
+
+static COLLECTOR: Mutex<()> = Mutex::new(());
+
+fn with_collector<T>(depth_limit: usize, f: impl FnOnce() -> T) -> (T, Vec<trace::TraceEvent>) {
+    let _guard = COLLECTOR.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(trace::start(depth_limit), "collector already active");
+    let out = f();
+    (out, trace::finish())
+}
+
+#[test]
+fn start_is_exclusive() {
+    let _guard = COLLECTOR.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(trace::start(8));
+    assert!(!trace::start(8), "second start must be refused");
+    assert!(trace::active());
+    trace::finish();
+    assert!(!trace::active());
+}
+
+#[test]
+fn spans_record_nested_events_across_threads() {
+    let (_, events) = with_collector(4, || {
+        let outer = trace::span("build", "build").expect("collector is active");
+        {
+            let _inner = trace::node_span(2, "node", "node")
+                .expect("depth 2 within limit")
+                .with_arg("depth", 2);
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(
+            trace::node_span(5, "node", "node").is_none(),
+            "depth 5 exceeds the limit of 4"
+        );
+        let handle = std::thread::spawn(|| {
+            let _s = trace::span("worker", "pool");
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        handle.join().unwrap();
+        drop(outer);
+    });
+
+    assert_eq!(events.len(), 3, "build + node + worker");
+    // Sorted parents-first: the enclosing build span leads.
+    assert_eq!(events[0].name, "build");
+    let node = events.iter().find(|e| e.name == "node").unwrap();
+    assert_eq!(node.args, vec![("depth", 2)]);
+    let worker = events.iter().find(|e| e.name == "worker").unwrap();
+    assert_ne!(worker.tid, events[0].tid, "worker ran on its own thread");
+
+    // The node span is contained in the build span.
+    let build = &events[0];
+    assert!(node.ts_ns >= build.ts_ns);
+    assert!(node.ts_ns + node.dur_ns <= build.ts_ns + build.dur_ns);
+}
+
+#[test]
+fn exported_json_parses_and_is_well_nested() {
+    let (_, events) = with_collector(16, || {
+        let _a = trace::span("phase-a", "phase");
+        for depth in 1..=3u64 {
+            let _n = trace::node_span(depth as usize, "node", "node")
+                .expect("within limit")
+                .with_arg("depth", depth);
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    });
+    let json = trace::render_chrome_trace(&events);
+    let doc: serde_json::Value = serde_json::from_str(&json).expect("trace JSON must parse");
+    let trace_events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_seq())
+        .expect("traceEvents array");
+    assert_eq!(trace_events.len(), events.len());
+
+    let as_num = |v: &serde_json::Value| match v {
+        serde_json::Value::Num(n) => Some(*n),
+        _ => None,
+    };
+
+    // Every event is complete: ph == "X" with name/cat/ts/dur/pid/tid.
+    let mut per_tid: std::collections::BTreeMap<u64, Vec<(f64, f64)>> = Default::default();
+    for e in trace_events {
+        assert_eq!(e.get("ph").and_then(|v| v.as_str()), Some("X"));
+        assert!(e.get("name").and_then(|v| v.as_str()).is_some());
+        assert!(e.get("cat").and_then(|v| v.as_str()).is_some());
+        assert!(e.get("pid").and_then(as_num).is_some());
+        let tid = e.get("tid").and_then(as_num).expect("tid") as u64;
+        let ts = e.get("ts").and_then(as_num).expect("ts");
+        let dur = e.get("dur").and_then(as_num).expect("dur");
+        assert!(ts >= 0.0 && dur >= 0.0);
+        per_tid.entry(tid).or_default().push((ts, ts + dur));
+    }
+
+    // Well-nested per thread: any two intervals are disjoint or one
+    // contains the other.
+    for intervals in per_tid.values() {
+        for (i, &(s1, e1)) in intervals.iter().enumerate() {
+            for &(s2, e2) in &intervals[i + 1..] {
+                let disjoint = e1 <= s2 || e2 <= s1;
+                let nested = (s1 <= s2 && e2 <= e1) || (s2 <= s1 && e1 <= e2);
+                assert!(
+                    disjoint || nested,
+                    "events [{s1}, {e1}] and [{s2}, {e2}] partially overlap"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spans_opened_before_finish_do_not_leak_into_the_next_trace() {
+    let _guard = COLLECTOR.lock().unwrap_or_else(|p| p.into_inner());
+    assert!(trace::start(8));
+    let stale = trace::span("stale", "test");
+    let first = trace::finish();
+    assert!(first.is_empty());
+
+    assert!(trace::start(8));
+    drop(stale); // records nothing: its generation is gone
+    let second = trace::finish();
+    assert!(
+        second.iter().all(|e| e.name != "stale"),
+        "a span from a finished trace leaked into the next one"
+    );
+}
+
+#[test]
+fn write_chrome_trace_round_trips_through_a_file() {
+    let (_, events) = with_collector(8, || {
+        let _s = trace::span("io", "test");
+    });
+    let path = std::env::temp_dir().join(format!("udt_obs_trace_{}.json", std::process::id()));
+    trace::write_chrome_trace(&path, &events).expect("write trace");
+    let text = std::fs::read_to_string(&path).expect("read trace back");
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("parse trace file");
+    assert!(doc.get("traceEvents").is_some());
+    std::fs::remove_file(&path).ok();
+}

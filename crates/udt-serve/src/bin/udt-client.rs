@@ -4,6 +4,7 @@
 //! udt-client --addr HOST:PORT classify MODEL --point V1,V2,...
 //! udt-client --addr HOST:PORT classify MODEL --uniform LO,HI[,SAMPLES]
 //! udt-client --addr HOST:PORT stats [--format json|prometheus]
+//! udt-client --addr HOST:PORT stats --watch SECS [--samples N]
 //! udt-client --addr HOST:PORT load NAME PATH
 //! udt-client --addr HOST:PORT swap NAME PATH
 //! udt-client --addr HOST:PORT shutdown
@@ -25,19 +26,31 @@
 //! kind** of failure survived the retries: `0` success, `1` usage /
 //! local errors, `2` transport errors (could not reach or keep the
 //! connection), `3` server-reported errors.
+//!
+//! ## Watch mode
+//!
+//! `stats --watch SECS` re-polls the server every `SECS` seconds and
+//! prints **delta rates** for the monotone counters (requests, tuples,
+//! errors, sheds, deadline drops) between consecutive samples — a
+//! poor-man's `top` for a serving box with no Prometheus scraper
+//! around. `--samples N` stops after `N` polls (handy for scripts and
+//! the CI smoke); without it the loop runs until interrupted or the
+//! server goes away. The exit-code contract is unchanged: a transport
+//! failure that survives the retries exits 2, a server error 3.
 
 // `!(hi > lo)` is a deliberate NaN guard (same convention as udt-tree):
 // a NaN bound must take the rejection branch.
 #![allow(clippy::neg_cmp_op_on_partial_ord)]
 
 use std::fmt::Write as _;
+use std::io::Write as _;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use udt_data::{Tuple, UncertainValue};
 use udt_prob::SampledPdf;
 use udt_serve::client::RetryPolicy;
-use udt_serve::{Client, ServeError, StatsFormat};
+use udt_serve::{Client, ServeError, StatsFormat, StatsReport};
 
 /// What failed, for the exit code.
 enum CliError {
@@ -53,10 +66,27 @@ enum CliError {
 /// first connection attempt, so the retry loop only ever sees transport
 /// and server failures.
 enum Command {
-    Classify { model: String, tuple: Tuple },
-    Stats { format: StatsFormat },
-    Load { name: String, path: String },
-    Swap { name: String, path: String },
+    Classify {
+        model: String,
+        tuple: Tuple,
+    },
+    Stats {
+        format: StatsFormat,
+    },
+    /// `stats --watch SECS [--samples N]`: periodic re-poll with delta
+    /// rates; `samples: None` polls until interrupted.
+    StatsWatch {
+        period: Duration,
+        samples: Option<u64>,
+    },
+    Load {
+        name: String,
+        path: String,
+    },
+    Swap {
+        name: String,
+        path: String,
+    },
     Shutdown,
 }
 
@@ -130,7 +160,7 @@ fn run() -> Result<String, CliError> {
                     "usage: udt-client [--addr HOST:PORT] [--timeout-ms MS] \
                      [--retries N] [--retry-base-ms MS] [--retry-seed N] \
                      <classify MODEL (--point CSV | --uniform LO,HI[,SAMPLES]) | \
-                     stats [--format json|prometheus] | \
+                     stats [--format json|prometheus] [--watch SECS [--samples N]] | \
                      load NAME PATH | swap NAME PATH | shutdown>"
                 );
                 return Ok(String::new());
@@ -139,6 +169,9 @@ fn run() -> Result<String, CliError> {
         }
     }
     let command = parse_command(&command).map_err(CliError::Usage)?;
+    if let Command::StatsWatch { period, samples } = command {
+        return run_watch(&addr, timeout, &policy, period, samples);
+    }
     // Each attempt gets a fresh connection: after a transport failure or
     // a shed, the old socket proves nothing about the next try.
     let result = policy.run(|attempt| {
@@ -155,12 +188,142 @@ fn run() -> Result<String, CliError> {
         .map_err(|e| ServeError::Io(format!("cannot connect to {addr}: {e}")))?;
         execute(&mut client, &command)
     });
-    result.map_err(|e| match e {
-        // Usage-shaped problems were rejected before the first connect,
-        // so an error here is the wire's fault or the server's word.
+    result.map_err(classify_error)
+}
+
+/// Maps a post-validation serve error onto the exit-code taxonomy.
+/// Usage-shaped problems were rejected before the first connect, so an
+/// error here is the wire's fault or the server's word.
+fn classify_error(e: ServeError) -> CliError {
+    match e {
         ServeError::Io(_) | ServeError::Protocol(_) => CliError::Transport(e.to_string()),
         other => CliError::Server(other.to_string()),
-    })
+    }
+}
+
+/// The `stats --watch` loop: polls the server every `period`, printing
+/// each sample as it lands (absolute values first, then deltas and
+/// per-second rates against the previous sample). Every poll opens a
+/// fresh connection under the same retry policy as one-shot commands,
+/// so a restarting server only kills the watch once the retries are
+/// exhausted.
+fn run_watch(
+    addr: &str,
+    timeout: Option<Duration>,
+    policy: &RetryPolicy,
+    period: Duration,
+    samples: Option<u64>,
+) -> Result<String, CliError> {
+    let mut prev: Option<(Instant, StatsReport)> = None;
+    let mut tick = 0u64;
+    loop {
+        let report = policy
+            .run(|attempt| {
+                if attempt > 0 {
+                    eprintln!(
+                        "udt-client: transient failure, retry {attempt}/{}",
+                        policy.attempts - 1
+                    );
+                }
+                let mut client = match timeout {
+                    Some(t) => Client::connect_with_timeout(addr, t),
+                    None => Client::connect(addr),
+                }
+                .map_err(|e| ServeError::Io(format!("cannot connect to {addr}: {e}")))?;
+                client.stats()
+            })
+            .map_err(classify_error)?;
+        let now = Instant::now();
+        let delta = prev
+            .as_ref()
+            .map(|(at, report)| (now.duration_since(*at), report));
+        print!("{}", render_watch_sample(tick, &report, delta));
+        let _ = std::io::stdout().flush();
+        prev = Some((now, report));
+        tick += 1;
+        if samples.is_some_and(|n| tick >= n) {
+            return Ok(String::new());
+        }
+        std::thread::sleep(period);
+    }
+}
+
+/// Renders one watch sample. The first sample shows absolute counter
+/// values; later samples show the increment since the previous one and
+/// its per-second rate. Counters are compared with saturating
+/// subtraction so a server restart (counters reset to zero) renders as
+/// a quiet sample instead of an underflow.
+fn render_watch_sample(
+    tick: u64,
+    report: &StatsReport,
+    prev: Option<(Duration, &StatsReport)>,
+) -> String {
+    let mut out = String::new();
+    match prev {
+        None => {
+            let _ = writeln!(
+                out,
+                "sample {tick}: uptime {:.1}s, queue {}/{}, {} sheds, {} deadline drops, \
+                 {} worker panics",
+                report.uptime_seconds,
+                report.queue.depth,
+                report.queue.capacity,
+                report.health.sheds,
+                report.health.deadline_drops,
+                report.health.worker_panics
+            );
+            for m in &report.metrics {
+                let _ = writeln!(
+                    out,
+                    "  {}: {} requests, {} tuples, {} errors, p99 {:.1} us",
+                    m.model, m.requests, m.tuples, m.errors, m.p99_us
+                );
+            }
+        }
+        Some((dt, old)) => {
+            let secs = dt.as_secs_f64().max(1e-9);
+            let _ = writeln!(
+                out,
+                "sample {tick} (+{:.1}s): queue {}/{}, +{} sheds, +{} deadline drops, \
+                 +{} worker panics",
+                dt.as_secs_f64(),
+                report.queue.depth,
+                report.queue.capacity,
+                report.health.sheds.saturating_sub(old.health.sheds),
+                report
+                    .health
+                    .deadline_drops
+                    .saturating_sub(old.health.deadline_drops),
+                report
+                    .health
+                    .worker_panics
+                    .saturating_sub(old.health.worker_panics)
+            );
+            for m in &report.metrics {
+                // A model first seen this sample diffs against zero.
+                let (requests, tuples, errors) = old
+                    .metrics
+                    .iter()
+                    .find(|o| o.model == m.model)
+                    .map_or((0, 0, 0), |o| (o.requests, o.tuples, o.errors));
+                let d_requests = m.requests.saturating_sub(requests);
+                let d_tuples = m.tuples.saturating_sub(tuples);
+                let _ = writeln!(
+                    out,
+                    "  {}: +{} requests ({:.1}/s), +{} tuples ({:.1}/s), +{} errors, \
+                     p99 {:.1} us",
+                    m.model,
+                    d_requests,
+                    d_requests as f64 / secs,
+                    d_tuples,
+                    d_tuples as f64 / secs,
+                    m.errors.saturating_sub(errors),
+                    m.p99_us
+                );
+            }
+        }
+    }
+    out
 }
 
 /// Validates the positional arguments into a [`Command`].
@@ -175,17 +338,60 @@ fn parse_command(command: &[String]) -> Result<Command, String> {
             Ok(Command::Classify { model, tuple })
         }
         Some("stats") => {
-            // `stats [--format json|prometheus]`, parsed by the
-            // canonical `StatsFormat` parser the wire field shares.
-            let format = match command.get(1).map(String::as_str) {
-                None => StatsFormat::Json,
-                Some("--format") => {
-                    let raw = command.get(2).ok_or("--format needs a value")?;
-                    raw.parse().map_err(|e| format!("{e}"))?
+            // `stats [--format json|prometheus] [--watch SECS
+            // [--samples N]]`; the format is parsed by the canonical
+            // `StatsFormat` parser the wire field shares.
+            let mut format: Option<StatsFormat> = None;
+            let mut watch: Option<Duration> = None;
+            let mut samples: Option<u64> = None;
+            let mut rest = command[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--format" => {
+                        let raw = rest.next().ok_or("--format needs a value")?;
+                        format = Some(raw.parse().map_err(|e| format!("{e}"))?);
+                    }
+                    "--watch" => {
+                        let secs: u64 = rest
+                            .next()
+                            .ok_or("--watch needs a period in seconds")?
+                            .parse()
+                            .ok()
+                            .filter(|&s| s > 0)
+                            .ok_or("--watch wants a positive integer of seconds")?;
+                        watch = Some(Duration::from_secs(secs));
+                    }
+                    "--samples" => {
+                        let n: u64 = rest
+                            .next()
+                            .ok_or("--samples needs a value")?
+                            .parse()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or("--samples wants a positive integer")?;
+                        samples = Some(n);
+                    }
+                    other => return Err(format!("unknown stats argument `{other}`")),
                 }
-                Some(other) => return Err(format!("unknown stats argument `{other}`")),
-            };
-            Ok(Command::Stats { format })
+            }
+            match watch {
+                Some(period) => {
+                    // Watch renders human-readable delta rates; the raw
+                    // expositions don't fit a rolling display.
+                    if format.is_some() && format != Some(StatsFormat::Json) {
+                        return Err("stats --watch only supports the json format".into());
+                    }
+                    Ok(Command::StatsWatch { period, samples })
+                }
+                None => {
+                    if samples.is_some() {
+                        return Err("--samples only makes sense with --watch".into());
+                    }
+                    Ok(Command::Stats {
+                        format: format.unwrap_or(StatsFormat::Json),
+                    })
+                }
+            }
         }
         Some("load") | Some("swap") => {
             let name = command.get(1).ok_or("load/swap needs NAME PATH")?.clone();
@@ -284,6 +490,9 @@ fn execute(client: &mut Client, command: &Command) -> udt_serve::Result<String> 
             client.shutdown()?;
             let _ = writeln!(out, "server shutting down");
         }
+        // Watch mode never reaches the one-shot path: `run` dispatches
+        // it to `run_watch` right after parsing.
+        Command::StatsWatch { .. } => unreachable!("watch is handled before the retry loop"),
     }
     Ok(out)
 }
@@ -330,5 +539,134 @@ fn parse_tuple(spec: &[String]) -> Result<Tuple, String> {
             Ok(Tuple::new(vec![UncertainValue::Numeric(pdf)], 0))
         }
         _ => Err("classify needs --point CSV or --uniform LO,HI[,SAMPLES]".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use udt_serve::protocol::{HealthStats, ModelMetricsSnapshot, QueueStats};
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn stats_watch_arguments_parse() {
+        match parse_command(&argv(&["stats", "--watch", "2"])).unwrap() {
+            Command::StatsWatch { period, samples } => {
+                assert_eq!(period, Duration::from_secs(2));
+                assert_eq!(samples, None);
+            }
+            _ => panic!("expected watch mode"),
+        }
+        match parse_command(&argv(&["stats", "--watch", "1", "--samples", "3"])).unwrap() {
+            Command::StatsWatch { period, samples } => {
+                assert_eq!(period, Duration::from_secs(1));
+                assert_eq!(samples, Some(3));
+            }
+            _ => panic!("expected watch mode"),
+        }
+        // Order does not matter, and an explicit json format is fine.
+        assert!(matches!(
+            parse_command(&argv(&[
+                "stats",
+                "--samples",
+                "2",
+                "--format",
+                "json",
+                "--watch",
+                "5"
+            ]))
+            .unwrap(),
+            Command::StatsWatch { .. }
+        ));
+    }
+
+    #[test]
+    fn bad_watch_combinations_are_usage_errors() {
+        assert!(parse_command(&argv(&["stats", "--watch"])).is_err());
+        assert!(parse_command(&argv(&["stats", "--watch", "0"])).is_err());
+        assert!(parse_command(&argv(&["stats", "--watch", "nope"])).is_err());
+        assert!(parse_command(&argv(&["stats", "--samples", "2"])).is_err());
+        assert!(
+            parse_command(&argv(&["stats", "--watch", "1", "--format", "prometheus"])).is_err()
+        );
+        // The plain forms still parse.
+        assert!(matches!(
+            parse_command(&argv(&["stats"])).unwrap(),
+            Command::Stats {
+                format: StatsFormat::Json
+            }
+        ));
+        assert!(matches!(
+            parse_command(&argv(&["stats", "--format", "prometheus"])).unwrap(),
+            Command::Stats {
+                format: StatsFormat::Prometheus
+            }
+        ));
+    }
+
+    fn report(requests: u64, tuples: u64, errors: u64, sheds: u64) -> StatsReport {
+        StatsReport {
+            uptime_seconds: 10.0,
+            models: Vec::new(),
+            metrics: vec![ModelMetricsSnapshot {
+                model: "toy".into(),
+                requests,
+                tuples,
+                errors,
+                mean_us: 5.0,
+                p50_us: 4.0,
+                p95_us: 8.0,
+                p99_us: 9.0,
+            }],
+            queue: QueueStats {
+                workers: 2,
+                capacity: 64,
+                depth: 1,
+                max_batch_tuples: 32,
+                max_delay_us: 500,
+                policy: "block".into(),
+                deadline_ms: 0,
+            },
+            health: HealthStats {
+                sheds,
+                deadline_drops: 0,
+                worker_panics: 0,
+                rejected_connections: 0,
+                queue_wait_count: requests,
+                queue_wait_p50_us: 1.0,
+                queue_wait_p99_us: 2.0,
+            },
+        }
+    }
+
+    #[test]
+    fn first_watch_sample_is_absolute() {
+        let text = render_watch_sample(0, &report(3, 12, 1, 0), None);
+        assert!(text.contains("sample 0: uptime 10.0s, queue 1/64"));
+        assert!(text.contains("toy: 3 requests, 12 tuples, 1 errors"));
+    }
+
+    #[test]
+    fn later_watch_samples_show_deltas_and_rates() {
+        let old = report(3, 12, 1, 0);
+        let new = report(7, 32, 1, 2);
+        let text = render_watch_sample(1, &new, Some((Duration::from_secs(2), &old)));
+        assert!(text.contains("sample 1 (+2.0s)"), "{text}");
+        assert!(text.contains("+2 sheds"), "{text}");
+        assert!(text.contains("toy: +4 requests (2.0/s), +20 tuples (10.0/s), +0 errors"));
+    }
+
+    #[test]
+    fn counter_resets_render_as_quiet_samples() {
+        // The server restarted: counters went backwards. Saturating
+        // deltas keep the output sane.
+        let old = report(100, 400, 5, 9);
+        let new = report(2, 8, 0, 0);
+        let text = render_watch_sample(2, &new, Some((Duration::from_secs(1), &old)));
+        assert!(text.contains("+0 sheds"), "{text}");
+        assert!(text.contains("toy: +0 requests (0.0/s), +0 tuples (0.0/s), +0 errors"));
     }
 }

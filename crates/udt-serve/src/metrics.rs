@@ -429,6 +429,12 @@ impl ServeMetrics {
                 h.count
             );
         }
+
+        // Workspace-wide build/pool/kernel/pruning counters from
+        // `udt-obs`: any tree built inside this process (warm-start
+        // builds, admin-triggered rebuilds) shows up here next to the
+        // serving metrics, so one scrape covers both planes.
+        udt_obs::render_prometheus_into(&mut out);
         out
     }
 }
@@ -550,6 +556,79 @@ mod tests {
             assert!(n >= prev, "cumulative buckets: {line}");
             prev = n;
         }
+    }
+
+    #[test]
+    fn request_counters_survive_model_hot_swaps() {
+        use crate::registry::ModelRegistry;
+        use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+        let trained = |algorithm| {
+            TreeBuilder::new(UdtConfig::new(algorithm).with_postprune(false))
+                .build(&udt_data::toy::table1_dataset().unwrap())
+                .unwrap()
+                .tree
+        };
+        let reg = ModelRegistry::new();
+        let m = ServeMetrics::new();
+        reg.insert_tree("m", trained(Algorithm::UdtEs)).unwrap();
+        m.record("m", 3, Duration::from_micros(5));
+        // Hot-swap bumps the generation but the per-model counters are
+        // keyed by name, so traffic keeps accumulating on one series.
+        let info = reg.swap_tree("m", trained(Algorithm::Avg));
+        assert_eq!(info.generation, 2);
+        m.record("m", 7, Duration::from_micros(5));
+        let queue = QueueStats {
+            workers: 1,
+            capacity: 8,
+            depth: 0,
+            max_batch_tuples: 32,
+            max_delay_us: 500,
+            policy: "block".into(),
+            deadline_ms: 0,
+        };
+        let text = m.render_prometheus(&reg.info(), &queue, 1.0);
+        assert!(text.contains("udt_serve_model_generation{model=\"m\"} 2"));
+        assert!(text.contains("udt_serve_requests_total{model=\"m\"} 2"));
+        assert!(text.contains("udt_serve_tuples_total{model=\"m\"} 10"));
+        assert!(text.contains("udt_serve_request_latency_seconds_count{model=\"m\"} 2"));
+    }
+
+    #[test]
+    fn exposition_includes_workspace_build_metrics() {
+        use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+        // Building a tree in-process flushes its per-build stats into the
+        // udt-obs catalog, and the serve exposition appends the whole
+        // catalog after its own series.
+        TreeBuilder::new(UdtConfig::new(Algorithm::UdtEs).with_postprune(false))
+            .build(&udt_data::toy::table1_dataset().unwrap())
+            .unwrap();
+        let m = ServeMetrics::new();
+        let queue = QueueStats {
+            workers: 1,
+            capacity: 8,
+            depth: 0,
+            max_batch_tuples: 32,
+            max_delay_us: 500,
+            policy: "block".into(),
+            deadline_ms: 0,
+        };
+        let text = m.render_prometheus(&[], &queue, 1.0);
+        assert!(text.contains("# TYPE udt_builds_total counter"));
+        assert!(text.contains("udt_pool_tasks_executed_total"));
+        assert!(text.contains("udt_kernel_scalar_batches_total"));
+        assert!(text.contains("udt_split_candidates_total{algorithm=\"UDT-ES\"}"));
+        assert!(text.contains("udt_split_prune_fraction{algorithm=\"UDT-ES\"}"));
+        // The global catalog counted at least this build.
+        let builds: u64 = text
+            .lines()
+            .find(|l| l.starts_with("udt_builds_total "))
+            .and_then(|l| l.rsplit(' ').next())
+            .unwrap()
+            .parse()
+            .unwrap();
+        assert!(builds >= 1, "udt_builds_total should count the build");
     }
 
     #[test]

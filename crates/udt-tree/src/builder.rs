@@ -47,11 +47,13 @@
 //! every test run.
 
 use std::collections::HashSet;
+use std::path::PathBuf;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use serde::{Deserialize, Serialize};
 use udt_data::{AttributeKind, Dataset};
+use udt_obs::{catalog, trace};
 
 use crate::categorical;
 use crate::columns::{self, NodeTuples, RootColumns, Scratch};
@@ -116,6 +118,14 @@ pub struct BuildSummary {
     /// Seconds spent grafting subtree fragments and renumbering the
     /// arena to preorder (wall-clock).
     pub build_graft_s: f64,
+    /// Candidate split points available across all attributes and nodes
+    /// (the `k·(m·s − 1)` search space of §4.2, summed over nodes).
+    pub candidates_total: u64,
+    /// Candidate split points pruned before scoring — the paper's
+    /// headline pruning-effectiveness quantity (Fig. 6).
+    pub candidates_pruned: u64,
+    /// `candidates_pruned / candidates_total` (0 when no candidates).
+    pub prune_fraction: f64,
 }
 
 impl BuildReport {
@@ -134,7 +144,37 @@ impl BuildReport {
             build_search_s: self.stats.search_ns as f64 / 1e9,
             build_partition_s: self.stats.partition_ns as f64 / 1e9,
             build_graft_s: self.stats.graft_ns as f64 / 1e9,
+            candidates_total: self.stats.candidate_points,
+            candidates_pruned: self.stats.candidates_pruned(),
+            prune_fraction: self.stats.prune_fraction(),
         }
+    }
+}
+
+/// Default node-span depth gate when `UDT_TRACE_DEPTH` is unset: deep
+/// trees emit spans for the first few levels only, keeping traces small
+/// while still showing where the wall-clock goes (the top of the tree
+/// dominates).
+const DEFAULT_TRACE_DEPTH: usize = 6;
+
+/// `UDT_TRACE_DEPTH`, or the default. Invalid values fall back with a
+/// one-time warning, mirroring the other `UDT_*` knobs.
+fn trace_depth_from_env() -> usize {
+    match std::env::var("UDT_TRACE_DEPTH") {
+        Ok(raw) => match raw.trim().parse::<usize>() {
+            Ok(depth) => depth,
+            Err(_) => {
+                static WARN: std::sync::Once = std::sync::Once::new();
+                WARN.call_once(|| {
+                    eprintln!(
+                        "udt: ignoring invalid UDT_TRACE_DEPTH={raw:?} \
+                         (expected a non-negative integer); using {DEFAULT_TRACE_DEPTH}"
+                    );
+                });
+                DEFAULT_TRACE_DEPTH
+            }
+        },
+        Err(_) => DEFAULT_TRACE_DEPTH,
     }
 }
 
@@ -142,17 +182,45 @@ impl BuildReport {
 #[derive(Debug, Clone)]
 pub struct TreeBuilder {
     config: UdtConfig,
+    /// Chrome-trace output path set by [`with_trace`](Self::with_trace)
+    /// (takes precedence over the `UDT_TRACE` env var).
+    trace_path: Option<PathBuf>,
 }
 
 impl TreeBuilder {
     /// Creates a builder with the given configuration.
     pub fn new(config: UdtConfig) -> Self {
-        TreeBuilder { config }
+        TreeBuilder {
+            config,
+            trace_path: None,
+        }
     }
 
     /// The builder's configuration.
     pub fn config(&self) -> &UdtConfig {
         &self.config
+    }
+
+    /// Writes a Chrome trace-event JSON file (loadable in Perfetto or
+    /// `chrome://tracing`) of the next [`build`](Self::build) to `path`.
+    /// Equivalent to setting `UDT_TRACE=path` but scoped to this
+    /// builder. Per-node spans are gated by `UDT_TRACE_DEPTH`
+    /// (default 6). When another trace is already being collected in
+    /// the process, the build proceeds untraced.
+    #[must_use]
+    pub fn with_trace(mut self, path: impl Into<PathBuf>) -> Self {
+        self.trace_path = Some(path.into());
+        self
+    }
+
+    /// The trace output path for the next build, if any: the explicit
+    /// [`with_trace`](Self::with_trace) path, else `UDT_TRACE`.
+    fn trace_target(&self) -> Option<PathBuf> {
+        self.trace_path.clone().or_else(|| {
+            std::env::var_os("UDT_TRACE")
+                .filter(|v| !v.is_empty())
+                .map(PathBuf::from)
+        })
     }
 
     /// Builds a decision tree from `data`.
@@ -167,6 +235,12 @@ impl TreeBuilder {
         if data.n_classes() == 0 {
             return Err(TreeError::NoClasses);
         }
+        // Trace activation: only when a target is configured, and only
+        // if no other collector is live (the span sites below then cost
+        // one relaxed load each and record nothing).
+        let trace_target = self.trace_target();
+        let tracing = trace_target.is_some() && trace::start(trace_depth_from_env());
+        let build_span = trace::span("build", "build");
         let averaged;
         let training: &Dataset = if self.config.algorithm.uses_distributions() {
             data
@@ -207,9 +281,11 @@ impl TreeBuilder {
         // here on and recursion below never sorts again — child nodes
         // reference them through event-id views (or copy them, in the
         // owned A/B mode).
+        let presort_span = trace::span("presort", "phase");
         let presort_started = Instant::now();
         let root_columns = columns::build_root_with(&tuples, &numerical, &build_pool);
         stats.presort_ns += presort_started.elapsed().as_nanos() as u64;
+        drop(presort_span);
         let ctx = BuildContext {
             tuples: &tuples,
             labels: &labels,
@@ -244,7 +320,11 @@ impl TreeBuilder {
             );
             if !jobs.is_empty() {
                 let patches: Vec<usize> = jobs.iter().map(|j| j.patch).collect();
+                let subtree_span = trace::span("subtree-queue", "phase")
+                    .map(|s| s.with_arg("jobs", patches.len() as u64));
                 let results = run_subtree_jobs(&ctx, jobs, &build_pool, tuples.len(), &mut scratch);
+                drop(subtree_span);
+                let graft_span = trace::span("graft", "phase");
                 let graft_started = Instant::now();
                 for (patch, (fragment, job_stats)) in patches.into_iter().zip(results) {
                     let root = flat.graft(&fragment);
@@ -254,6 +334,7 @@ impl TreeBuilder {
                 // Canonical layout: bit-identical to a sequential build.
                 flat = flat.to_preorder();
                 stats.graft_ns += graft_started.elapsed().as_nanos() as u64;
+                drop(graft_span);
             }
         } else {
             ctx.build_node(
@@ -274,6 +355,38 @@ impl TreeBuilder {
         let mut nodes_pruned = 0;
         if self.config.postprune {
             nodes_pruned = postprune::prune(&mut tree, self.config.postprune_z);
+        }
+        // Flush this build's aggregates into the process-wide registry
+        // (hot-path increments stayed in the private `stats`, so the
+        // determinism contract is untouched — this is one batch of
+        // relaxed adds per build).
+        catalog::record_build(
+            tree.size() as u64,
+            stats.presort_ns,
+            stats.search_ns,
+            stats.partition_ns,
+            stats.graft_ns,
+        );
+        catalog::pruning::record(
+            self.config.algorithm.name(),
+            catalog::pruning::PruningSnapshot {
+                candidates: stats.candidate_points,
+                scored: stats.candidates_scored,
+                intervals_pruned_bound: stats.intervals_pruned_bound,
+                intervals_pruned_theorem: stats
+                    .intervals_pruned
+                    .saturating_sub(stats.intervals_pruned_bound),
+                bound_calculations: stats.bound_calculations,
+            },
+        );
+        drop(build_span);
+        if tracing {
+            let events = trace::finish();
+            if let Some(path) = &trace_target {
+                if let Err(e) = trace::write_chrome_trace(path, &events) {
+                    eprintln!("udt: could not write trace to {}: {e}", path.display());
+                }
+            }
         }
         Ok(BuildReport {
             tree,
@@ -439,13 +552,24 @@ impl BuildContext<'_> {
             return arena.push_leaf(&counts);
         }
 
+        // Depth-gated per-node span (`UDT_TRACE_DEPTH`): one relaxed
+        // load when tracing is off.
+        let _node_span = trace::node_span(depth, "node", "node").map(|s| {
+            s.with_arg("depth", depth as u64)
+                .with_arg("alive", state.alive.len() as u64)
+        });
+
         // The dense per-tuple weight lookup for this node: loaded once,
         // used by scoring and partitioning, and released before recursing
         // (children load their own).
         scratch.load_weights(&state);
+        let search_span = trace::node_span(depth, "search", "node");
         let search_started = Instant::now();
         let found = self.best_split(&state, used_categorical, stats, scratch);
-        stats.search_ns += search_started.elapsed().as_nanos() as u64;
+        let search_ns = search_started.elapsed().as_nanos() as u64;
+        stats.search_ns += search_ns;
+        catalog::NODE_SEARCH_DURATION.record_ns(search_ns);
+        drop(search_span);
         let Some(best) = found else {
             scratch.unload_weights(&state);
             return arena.push_leaf(&counts);
@@ -475,8 +599,10 @@ impl BuildContext<'_> {
                     .iter()
                     .position(|&j| j == attribute)
                     .expect("numeric split attribute has a column");
+                let partition_span = trace::node_span(depth, "partition", "node");
                 let (left, right) =
                     columns::partition_numeric(self.root, &state, slot, split, scratch, stats);
+                drop(partition_span);
                 scratch.unload_weights(&state);
                 if left.alive.is_empty() || right.alive.is_empty() {
                     return arena.push_leaf(&counts);
@@ -503,6 +629,7 @@ impl BuildContext<'_> {
                 cardinality,
                 ..
             } => {
+                let partition_span = trace::node_span(depth, "partition", "node");
                 let buckets = columns::partition_categorical(
                     self.root,
                     &state,
@@ -512,6 +639,7 @@ impl BuildContext<'_> {
                     scratch,
                     stats,
                 );
+                drop(partition_span);
                 scratch.unload_weights(&state);
                 drop(state);
                 let id = arena.push_categorical(attribute, cardinality, &counts);

@@ -26,6 +26,7 @@ use crate::counts::{clamp_residue, ClassCounts, CountsView, WEIGHT_EPSILON};
 use crate::fractional::FractionalTuple;
 use crate::kernel::{simd, CountsRepr, KernelKind, ScoreProfile};
 use crate::measure::Measure;
+use udt_obs::catalog;
 
 /// Classification of an end-point interval `(a, b]` (Definitions 2–4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -297,6 +298,10 @@ impl AttributeEvents {
         if xs.len() < 2 {
             return None;
         }
+        match &cum {
+            CumStore::F64(_) => catalog::KERNEL_MATRIX_BUILDS_F64.incr(),
+            CumStore::F32(_) => catalog::KERNEL_MATRIX_BUILDS_F32.incr(),
+        }
         let mut ev = AttributeEvents {
             xs,
             cum,
@@ -520,16 +525,19 @@ impl AttributeEvents {
         const SIMD_MIN_BATCH: usize = 8;
         match self.kernel {
             KernelKind::Scalar => {
+                catalog::KERNEL_SCALAR_BATCHES.incr();
                 for (slot, i) in range.enumerate() {
                     out[slot] = self.score_at(i, measure);
                 }
             }
             KernelKind::Simd if range.len() < SIMD_MIN_BATCH => {
+                catalog::KERNEL_SIMD_FALLBACK_BATCHES.incr();
                 for (slot, i) in range.enumerate() {
                     out[slot] = self.score_at(i, measure);
                 }
             }
             KernelKind::Simd => {
+                catalog::KERNEL_SIMD_BATCHES.incr();
                 let store = match &self.cum {
                     CumStore::F64(c) => simd::StoreRef::F64(c),
                     CumStore::F32(c) => simd::StoreRef::F32(c),
@@ -560,12 +568,21 @@ impl AttributeEvents {
         const SIMD_MIN_BATCH: usize = 8;
         out.clear();
         out.resize(idx.len(), 0.0);
+        if idx.is_empty() {
+            return;
+        }
         if self.kernel == KernelKind::Scalar || idx.len() < SIMD_MIN_BATCH {
+            if self.kernel == KernelKind::Scalar {
+                catalog::KERNEL_SCALAR_BATCHES.incr();
+            } else {
+                catalog::KERNEL_SIMD_FALLBACK_BATCHES.incr();
+            }
             for (slot, &i) in idx.iter().enumerate() {
                 out[slot] = self.score_at(i, measure);
             }
             return;
         }
+        catalog::KERNEL_SIMD_BATCHES.incr();
         let k = self.n_classes;
         let mut staged: Vec<f64> = Vec::with_capacity(idx.len() * k);
         match &self.cum {

@@ -55,7 +55,9 @@ use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+use udt_obs::catalog;
 
 /// A unit of work queued on the pool.
 type Task = Box<dyn FnOnce() + Send>;
@@ -112,6 +114,11 @@ impl Shared {
                 continue;
             }
             if let Some(t) = queue.lock().expect("pool queue lock").pop_front() {
+                // Popping another worker's deque is a steal; claiming
+                // from the injector (queue 0) is ordinary intake.
+                if q != 0 {
+                    catalog::POOL_TASKS_STOLEN.incr();
+                }
                 return Some(t);
             }
         }
@@ -156,6 +163,7 @@ fn worker_main(shared: Arc<Shared>, slot: usize) {
             // Tasks are panic-wrapped at submission; they never unwind.
             let _depth = DepthGuard::enter();
             task();
+            catalog::POOL_TASKS_EXECUTED.incr();
             continue;
         }
         if shared.shutdown.load(Ordering::Acquire) {
@@ -168,10 +176,14 @@ fn worker_main(shared: Arc<Shared>, slot: usize) {
         if shared.has_work() || shared.shutdown.load(Ordering::Acquire) {
             continue;
         }
+        let parked = Instant::now();
         let _ = shared
             .wake
             .wait_timeout(guard, IDLE_PARK)
             .expect("pool idle lock");
+        let idle_ns = parked.elapsed().as_nanos() as u64;
+        catalog::POOL_IDLE_NS.add(idle_ns);
+        catalog::POOL_IDLE_WAIT.record_ns(idle_ns);
     }
 }
 
@@ -271,6 +283,9 @@ impl WorkerPool {
             Some((id, own)) if id == self.shared.id() => own,
             _ => 0,
         };
+        if own == 0 {
+            catalog::POOL_INJECTOR_PUSHES.incr();
+        }
         self.shared.queues[own]
             .lock()
             .expect("pool queue lock")

@@ -41,6 +41,7 @@ impl SplitSearch for ExhaustiveSearch {
             let mut scores = Vec::new();
             ev.score_range_into(0..n - 1, measure, &mut scores);
             local.entropy_calculations += (n - 1) as u64;
+            local.candidates_scored += (n - 1) as u64;
             for (i, &score) in scores.iter().enumerate() {
                 if !score.is_finite() {
                     continue;

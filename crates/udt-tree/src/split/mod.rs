@@ -112,11 +112,18 @@ pub struct SearchStats {
     /// Candidate split points available across all attributes (the search
     /// space size `k·(m·s − 1)` of §4.2).
     pub candidate_points: u64,
+    /// Candidate split points actually scored: end-point evaluations
+    /// plus surviving interval interiors (a subset of
+    /// `candidate_points`; the gap is what pruning saved).
+    pub candidates_scored: u64,
     /// End-point intervals examined.
     pub intervals_examined: u64,
     /// Intervals whose interiors were pruned (by Theorems 1–3 or by
     /// bounding).
     pub intervals_pruned: u64,
+    /// The subset of `intervals_pruned` discarded by the eq. 3/4
+    /// interval lower bound (rather than outright by Theorems 1–3).
+    pub intervals_pruned_bound: u64,
     /// Tree nodes for which a split search was run.
     pub nodes_searched: u64,
     /// Total bytes allocated for child node state by the partition layer
@@ -150,14 +157,32 @@ impl SearchStats {
         self.entropy_calculations + self.bound_calculations
     }
 
+    /// Candidate split points pruned before scoring — the paper's
+    /// headline pruning-effectiveness quantity (Fig. 6).
+    pub fn candidates_pruned(&self) -> u64 {
+        self.candidate_points.saturating_sub(self.candidates_scored)
+    }
+
+    /// Fraction of candidate split points pruned before scoring (0 when
+    /// no candidates existed).
+    pub fn prune_fraction(&self) -> f64 {
+        if self.candidate_points == 0 {
+            0.0
+        } else {
+            self.candidates_pruned() as f64 / self.candidate_points as f64
+        }
+    }
+
     /// Accumulates `other` into `self`.
     pub fn merge(&mut self, other: &SearchStats) {
         self.entropy_calculations += other.entropy_calculations;
         self.bound_calculations += other.bound_calculations;
         self.end_point_evaluations += other.end_point_evaluations;
         self.candidate_points += other.candidate_points;
+        self.candidates_scored += other.candidates_scored;
         self.intervals_examined += other.intervals_examined;
         self.intervals_pruned += other.intervals_pruned;
+        self.intervals_pruned_bound += other.intervals_pruned_bound;
         self.nodes_searched += other.nodes_searched;
         self.partition_bytes += other.partition_bytes;
         self.partition_peak_bytes = self.partition_peak_bytes.max(other.partition_peak_bytes);
@@ -229,8 +254,10 @@ mod tests {
             bound_calculations: 2,
             end_point_evaluations: 4,
             candidate_points: 100,
+            candidates_scored: 30,
             intervals_examined: 5,
             intervals_pruned: 3,
+            intervals_pruned_bound: 2,
             nodes_searched: 1,
             partition_bytes: 64,
             partition_peak_bytes: 48,
@@ -245,6 +272,12 @@ mod tests {
         assert_eq!(a.bound_calculations, 4);
         assert_eq!(a.entropy_like_calculations(), 24);
         assert_eq!(a.nodes_searched, 2);
+        // Pruning effectiveness: scored and bound-pruned accumulate,
+        // and the derived quantities follow.
+        assert_eq!(a.candidates_scored, 60);
+        assert_eq!(a.intervals_pruned_bound, 4);
+        assert_eq!(a.candidates_pruned(), 140);
+        assert!((a.prune_fraction() - 0.7).abs() < 1e-12);
         // Totals add; the peak is the max across merged stats.
         assert_eq!(a.partition_bytes, 128);
         assert_eq!(a.partition_peak_bytes, 48);

@@ -115,6 +115,7 @@ impl PrunedSearch {
         ev.score_indices_into(valid, measure, scores);
         stats.entropy_calculations += valid.len() as u64;
         stats.end_point_evaluations += valid.len() as u64;
+        stats.candidates_scored += valid.len() as u64;
         for (&i, &score) in valid.iter().zip(scores.iter()) {
             if score.is_finite() {
                 merge_best(
@@ -203,6 +204,7 @@ impl PrunedSearch {
             stats.bound_calculations += 1;
             if bound >= threshold {
                 stats.intervals_pruned += 1;
+                stats.intervals_pruned_bound += 1;
                 return;
             }
         }
@@ -252,6 +254,7 @@ impl PrunedSearch {
         // the historical per-candidate loop.
         let range = ev.interior_candidates(interval);
         stats.entropy_calculations += range.len() as u64;
+        stats.candidates_scored += range.len() as u64;
         ev.score_range_into(range.clone(), measure, scores);
         for (slot, idx) in range.enumerate() {
             let score = scores[slot];

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Chrome-trace export smoke test, run by CI:
+#
+#   1. run a UDT-ES build with tracing enabled through the builder API
+#      (`profile_split --trace`) and through the `UDT_TRACE` /
+#      `UDT_TRACE_DEPTH` environment knobs;
+#   2. validate both trace files with `validate_trace`: well-formed
+#      JSON, complete `X` events only, spans well-nested per thread —
+#      i.e. the file Perfetto will actually load.
+#
+# Usage: scripts/trace_smoke.sh  (from anywhere; builds in release mode)
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cargo build --release -p udt-bench --bin profile_split --bin validate_trace
+
+out="$(mktemp -d)"
+trap 'rm -rf "$out"' EXIT
+
+# Builder API path: --trace goes through `TreeBuilder::with_trace`.
+target/release/profile_split 20 --trace "$out/api.json" >/dev/null
+test -s "$out/api.json"
+target/release/validate_trace "$out/api.json"
+
+# Environment path: every build sees `UDT_TRACE`; the deepest node
+# spans are gated off by `UDT_TRACE_DEPTH`.
+UDT_TRACE="$out/env.json" UDT_TRACE_DEPTH=3 \
+    target/release/profile_split 10 >/dev/null
+test -s "$out/env.json"
+target/release/validate_trace "$out/env.json"
+
+echo "trace smoke OK"
