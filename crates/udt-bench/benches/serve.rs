@@ -14,6 +14,13 @@
 //!   the intended integration; framing, syscalls, queue hops and reply
 //!   wake-ups amortise across the batch.
 //!
+//! A third pair measures the failover machinery itself: the same
+//! sequential point stream through a bare `Client` vs a two-replica
+//! `ReplicaSet` whose preferred endpoint is healthy, so every request
+//! pays the circuit-breaker bookkeeping (availability check, attempt
+//! accounting, success recording) but never actually reroutes. ISSUE 10
+//! pins that overhead below 1% of the direct path.
+//!
 //! `scripts/bench.sh` writes these measurements to `BENCH_serve.json`
 //! and prints the batched-vs-single speedup; ISSUE 4 requires ≥ 3× on
 //! the uncertain workload.
@@ -23,7 +30,7 @@ use std::time::Duration;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use udt_bench::baseline_workload;
-use udt_serve::{Client, ModelRegistry, ServeConfig, Server};
+use udt_serve::{Client, ModelRegistry, ReplicaSet, ReplicaSetOptions, ServeConfig, Server};
 use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
 
 fn bench_serve(c: &mut Criterion) {
@@ -93,6 +100,40 @@ fn bench_serve(c: &mut Criterion) {
                 .expect("served")
                 .1
                 .len()
+        });
+    });
+    group.finish();
+
+    // Failover overhead on the healthy path: both replica-set endpoints
+    // point at the live server, so the preferred one always answers and
+    // the measured gap vs the direct client is pure breaker bookkeeping.
+    let mut group = c.benchmark_group("serve_failover");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    group.bench_function("direct_point", |b| {
+        let mut client = Client::connect(addr).expect("connect");
+        b.iter(|| {
+            averaged
+                .tuples()
+                .iter()
+                .map(|t| client.classify("bench", t).expect("served").1)
+                .sum::<usize>()
+        });
+    });
+    group.bench_function("replica_set_point", |b| {
+        let mut set = ReplicaSet::new(
+            vec![addr.to_string(), addr.to_string()],
+            ReplicaSetOptions::default(),
+        )
+        .expect("two endpoints");
+        b.iter(|| {
+            averaged
+                .tuples()
+                .iter()
+                .map(|t| set.classify("bench", t).expect("served").1)
+                .sum::<usize>()
         });
     });
     group.finish();

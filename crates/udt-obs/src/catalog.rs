@@ -6,7 +6,7 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use crate::{escape_label_value, render_counter_into, Counter, Histogram};
+use crate::{escape_label_value, render_counter_into, Counter, Gauge, Histogram};
 
 // ---------------------------------------------------------------------
 // Work-stealing pool (udt-tree/src/pool.rs)
@@ -105,7 +105,57 @@ pub static NODE_SEARCH_DURATION: Histogram = Histogram::new(
     "Per-node split-search duration.",
 );
 
-static ALL_COUNTERS: [&Counter; 15] = [
+// ---------------------------------------------------------------------
+// Replica-set serving (udt-serve/src/client.rs, registry.rs)
+// ---------------------------------------------------------------------
+
+/// Counters and breaker-state gauges for the replica-set client and the
+/// model store. The counters live here — not in `udt-serve`'s per-model
+/// metrics map — because the failing-over side is the *client*: the same
+/// statics record in `udt-client`, in embedding applications, and in the
+/// server process itself (a server using a `ReplicaSet` to call peers),
+/// and whichever process renders the exposition reports its own view.
+pub mod serve {
+    use super::{Counter, Gauge};
+
+    /// Requests that failed on one replica and were retried on another.
+    pub static FAILOVERS: Counter = Counter::new(
+        "udt_replica_failovers_total",
+        "Requests re-routed to another replica after a transient failure.",
+    );
+    /// Hedged duplicate requests launched after the hedge delay expired.
+    pub static HEDGES_LAUNCHED: Counter = Counter::new(
+        "udt_replica_hedges_launched_total",
+        "Hedged duplicate requests launched against a second replica.",
+    );
+    /// Hedged duplicates that answered before the primary.
+    pub static HEDGES_WON: Counter = Counter::new(
+        "udt_replica_hedges_won_total",
+        "Hedged duplicate requests that answered before the primary attempt.",
+    );
+    /// Corrupt model files set aside at startup preload.
+    pub static MODELS_QUARANTINED: Counter = Counter::new(
+        "udt_serve_models_quarantined_total",
+        "Model files quarantined at startup preload instead of being served.",
+    );
+    /// Endpoint circuit breakers currently Closed (healthy).
+    pub static BREAKERS_CLOSED: Gauge = Gauge::new(
+        "udt_replica_breakers_closed",
+        "Endpoint circuit breakers currently in the Closed (healthy) state.",
+    );
+    /// Endpoint circuit breakers currently Open (cooling down).
+    pub static BREAKERS_OPEN: Gauge = Gauge::new(
+        "udt_replica_breakers_open",
+        "Endpoint circuit breakers currently in the Open (cooling down) state.",
+    );
+    /// Endpoint circuit breakers currently HalfOpen (probing).
+    pub static BREAKERS_HALF_OPEN: Gauge = Gauge::new(
+        "udt_replica_breakers_half_open",
+        "Endpoint circuit breakers currently in the HalfOpen (probing) state.",
+    );
+}
+
+static ALL_COUNTERS: [&Counter; 19] = [
     &BUILD_TOTAL,
     &BUILD_NODES,
     &BUILD_PRESORT_NS,
@@ -121,6 +171,16 @@ static ALL_COUNTERS: [&Counter; 15] = [
     &KERNEL_SIMD_FALLBACK_BATCHES,
     &KERNEL_MATRIX_BUILDS_F64,
     &KERNEL_MATRIX_BUILDS_F32,
+    &serve::FAILOVERS,
+    &serve::HEDGES_LAUNCHED,
+    &serve::HEDGES_WON,
+    &serve::MODELS_QUARANTINED,
+];
+
+static ALL_GAUGES: [&Gauge; 3] = [
+    &serve::BREAKERS_CLOSED,
+    &serve::BREAKERS_OPEN,
+    &serve::BREAKERS_HALF_OPEN,
 ];
 
 static ALL_HISTOGRAMS: [&Histogram; 2] = [&NODE_SEARCH_DURATION, &POOL_IDLE_WAIT];
@@ -128,6 +188,11 @@ static ALL_HISTOGRAMS: [&Histogram; 2] = [&NODE_SEARCH_DURATION, &POOL_IDLE_WAIT
 /// Every registered counter, in render order.
 pub fn counters() -> &'static [&'static Counter] {
     &ALL_COUNTERS
+}
+
+/// Every registered gauge, in render order.
+pub fn gauges() -> &'static [&'static Gauge] {
+    &ALL_GAUGES
 }
 
 /// Every registered histogram, in render order.
@@ -323,6 +388,7 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_legal() {
         let mut names: Vec<&str> = counters().iter().map(|c| c.name()).collect();
+        names.extend(gauges().iter().map(|g| g.name()));
         names.extend(histograms().iter().map(|h| h.name()));
         let mut deduped = names.clone();
         deduped.sort_unstable();
@@ -400,6 +466,9 @@ mod tests {
         KERNEL_SCALAR_BATCHES.incr();
         let text = crate::render_prometheus();
         assert!(text.contains("# TYPE udt_kernel_scalar_batches_total counter"));
+        assert!(text.contains("# TYPE udt_replica_failovers_total counter"));
+        assert!(text.contains("# TYPE udt_replica_breakers_open gauge"));
+        assert!(text.contains("# TYPE udt_serve_models_quarantined_total counter"));
         assert!(text.contains("udt_split_candidates_total{algorithm=\"UDT-ES\"}"));
         assert!(text.contains("udt_split_prune_fraction{algorithm=\"UDT-ES\"}"));
         assert!(text.contains("# TYPE udt_build_node_search_seconds histogram"));

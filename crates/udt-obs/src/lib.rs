@@ -7,6 +7,9 @@
 //!   incremented with `Ordering::Relaxed`. The hot-path cost of an
 //!   increment is one uncontended atomic add; counters never allocate
 //!   and never take locks.
+//! * [`Gauge`] — a named `AtomicI64` that can move in both directions,
+//!   for level-style quantities (circuit breakers currently open,
+//!   connections active). Same relaxed-atomic cost model as counters.
 //! * [`Histogram`] — 48 log2-bucketed atomic counters over nanosecond
 //!   durations (bucket *i* covers `[2^i, 2^(i+1))` ns), mirroring the
 //!   latency histograms `udt-serve` already exposes.
@@ -26,7 +29,7 @@
 
 #![warn(missing_docs)]
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 pub mod catalog;
 pub mod trace;
@@ -78,6 +81,65 @@ impl Counter {
 
     /// The current value.
     pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A named level gauge. Unlike a [`Counter`] it can decrease; like one,
+/// every operation is a relaxed atomic and never allocates.
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge (const, so catalog entries can be `static`).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Gauge {
+            name,
+            help,
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// The metric name (sanitised at render time, not here).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The help text rendered into the Prometheus `# HELP` line.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+
+    /// Adds `delta` (possibly negative) to the gauge.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increments the gauge by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrements the gauge by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
         self.value.load(Ordering::Relaxed)
     }
 }
@@ -210,6 +272,16 @@ pub(crate) fn render_counter_into(
     }
 }
 
+/// Renders one gauge as Prometheus text exposition into `out`.
+fn render_gauge_into(out: &mut String, g: &Gauge) {
+    let name = sanitize_metric_name(g.name());
+    out.push_str(&format!(
+        "# HELP {name} {}\n# TYPE {name} gauge\n{name} {}\n",
+        g.help(),
+        g.get()
+    ));
+}
+
 /// Renders one histogram (seconds-valued, cumulative `le` buckets up to
 /// the last non-empty one, then `+Inf`, `_sum`, `_count`) into `out`.
 fn render_histogram_into(out: &mut String, h: &Histogram) {
@@ -243,6 +315,9 @@ pub fn render_prometheus_into(out: &mut String) {
     for c in catalog::counters() {
         render_counter_into(out, c.name(), c.help(), "", c.get());
     }
+    for g in catalog::gauges() {
+        render_gauge_into(out, g);
+    }
     for h in catalog::histograms() {
         render_histogram_into(out, h);
     }
@@ -267,6 +342,22 @@ mod tests {
         C.incr();
         C.add(4);
         assert_eq!(C.get(), 5);
+    }
+
+    #[test]
+    fn gauge_moves_both_ways_and_renders() {
+        static G: Gauge = Gauge::new("test_gauge", "a test gauge");
+        assert_eq!(G.get(), 0);
+        G.inc();
+        G.inc();
+        G.dec();
+        assert_eq!(G.get(), 1);
+        G.add(-3);
+        assert_eq!(G.get(), -2, "gauges may go negative");
+        G.set(7);
+        let mut out = String::new();
+        render_gauge_into(&mut out, &G);
+        assert!(out.contains("# TYPE test_gauge gauge\ntest_gauge 7\n"));
     }
 
     #[test]

@@ -305,6 +305,14 @@ impl Batcher {
         rx.recv().map_err(|_| ServeError::QueueClosed)?
     }
 
+    /// Whether the queue is open to new submissions — the scheduler's
+    /// contribution to the `health` readiness signal. `false` once
+    /// [`Batcher::shutdown`] has begun (already-accepted jobs still
+    /// drain).
+    pub fn is_accepting(&self) -> bool {
+        self.shared.lock().open
+    }
+
     /// Current queue occupancy and configuration, for `stats`.
     pub fn queue_stats(&self) -> QueueStats {
         let depth = self.shared.lock().jobs.len();

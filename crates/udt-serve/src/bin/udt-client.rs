@@ -7,7 +7,9 @@
 //! udt-client --addr HOST:PORT stats --watch SECS [--samples N]
 //! udt-client --addr HOST:PORT load NAME PATH
 //! udt-client --addr HOST:PORT swap NAME PATH
+//! udt-client --addr HOST:PORT health
 //! udt-client --addr HOST:PORT shutdown
+//! udt-client --replicas H1:P1,H2:P2 [--hedge-ms MS] classify MODEL --point ... [--repeat N]
 //! ```
 //!
 //! `--point` sends a certain (point-valued) tuple; `--uniform` sends a
@@ -37,6 +39,22 @@
 //! the CI smoke); without it the loop runs until interrupted or the
 //! server goes away. The exit-code contract is unchanged: a transport
 //! failure that survives the retries exits 2, a server error 3.
+//!
+//! ## Replica sets, hedging and health
+//!
+//! `--replicas H1:P1,H2:P2,...` (env `UDT_REPLICAS`; the flag wins)
+//! routes `classify` and `health` through a
+//! [`udt_serve::client::ReplicaSet`]: per-endpoint circuit breakers,
+//! failover to the next healthy replica on transient failures, and —
+//! with `--hedge-ms MS` (env `UDT_HEDGE_MS`, `0` disables) — a hedged
+//! second attempt for point classifies that have not answered in time.
+//! `--repeat N` streams `N` classifies through the same replica set and
+//! reports `replies: N/N` plus the failover/hedge counters, which the
+//! failover smoke test asserts on. `health` prints the liveness /
+//! readiness report and exits `0` when the server is ready, `3` when it
+//! is live but not ready (draining, empty registry, wedged scheduler),
+//! `2` when it cannot be reached at all — exactly the trichotomy a load
+//! balancer probe wants.
 
 // `!(hi > lo)` is a deliberate NaN guard (same convention as udt-tree):
 // a NaN bound must take the rejection branch.
@@ -49,8 +67,8 @@ use std::time::{Duration, Instant};
 
 use udt_data::{Tuple, UncertainValue};
 use udt_prob::SampledPdf;
-use udt_serve::client::RetryPolicy;
-use udt_serve::{Client, ServeError, StatsFormat, StatsReport};
+use udt_serve::client::{ReplicaSet, ReplicaSetOptions, RetryPolicy};
+use udt_serve::{Client, HealthReport, ServeError, StatsFormat, StatsReport};
 
 /// What failed, for the exit code.
 enum CliError {
@@ -87,6 +105,9 @@ enum Command {
         name: String,
         path: String,
     },
+    /// `health`: liveness/readiness probe — exit 0 when ready, 3 when
+    /// live but not ready, 2 when unreachable.
+    Health,
     Shutdown,
 }
 
@@ -120,6 +141,9 @@ fn run() -> Result<String, CliError> {
         attempts: 1,
         ..RetryPolicy::default()
     };
+    let mut replicas: Option<String> = None;
+    let mut hedge_ms: Option<u64> = None;
+    let mut repeat: u64 = 1;
     let mut command: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         let mut value_for = |flag: &str| {
@@ -155,13 +179,28 @@ fn run() -> Result<String, CliError> {
                     .parse()
                     .map_err(|_| usage("--retry-seed wants an integer".into()))?;
             }
+            "--replicas" => replicas = Some(value_for("--replicas")?),
+            "--hedge-ms" => {
+                let ms: u64 = value_for("--hedge-ms")?
+                    .parse()
+                    .map_err(|_| usage("--hedge-ms wants an integer >= 0".into()))?;
+                hedge_ms = Some(ms);
+            }
+            "--repeat" => {
+                repeat = value_for("--repeat")?
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| usage("--repeat wants a positive integer".into()))?;
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: udt-client [--addr HOST:PORT] [--timeout-ms MS] \
                      [--retries N] [--retry-base-ms MS] [--retry-seed N] \
+                     [--replicas H1:P1,H2:P2,...] [--hedge-ms MS] [--repeat N] \
                      <classify MODEL (--point CSV | --uniform LO,HI[,SAMPLES]) | \
                      stats [--format json|prometheus] [--watch SECS [--samples N]] | \
-                     load NAME PATH | swap NAME PATH | shutdown>"
+                     load NAME PATH | swap NAME PATH | health | shutdown>"
                 );
                 return Ok(String::new());
             }
@@ -169,6 +208,62 @@ fn run() -> Result<String, CliError> {
         }
     }
     let command = parse_command(&command).map_err(CliError::Usage)?;
+    // Flags win over env for the replica knobs, matching udt-serve.
+    let replicas = replicas.or_else(|| std::env::var("UDT_REPLICAS").ok());
+    let hedge_ms = match hedge_ms {
+        Some(ms) => Some(ms),
+        None => match std::env::var("UDT_HEDGE_MS") {
+            Ok(raw) => Some(
+                raw.trim()
+                    .parse()
+                    .map_err(|_| usage(format!("UDT_HEDGE_MS: `{raw}` is not an integer")))?,
+            ),
+            Err(_) => None,
+        },
+    };
+    let endpoints: Vec<String> = match &replicas {
+        Some(raw) => {
+            let list: Vec<String> = raw
+                .split(',')
+                .map(str::trim)
+                .filter(|s| !s.is_empty())
+                .map(str::to_string)
+                .collect();
+            if list.is_empty() {
+                return Err(usage(
+                    "--replicas wants a comma-separated endpoint list".into(),
+                ));
+            }
+            list
+        }
+        None => vec![addr.clone()],
+    };
+    let replicated = matches!(command, Command::Classify { .. } | Command::Health);
+    if !replicated {
+        if replicas.is_some() {
+            return Err(usage(
+                "--replicas only applies to classify and health".into(),
+            ));
+        }
+        if repeat != 1 {
+            return Err(usage("--repeat only applies to classify".into()));
+        }
+    }
+    if replicated {
+        let options = ReplicaSetOptions {
+            timeout,
+            hedge: hedge_ms.filter(|&ms| ms > 0).map(Duration::from_millis),
+            seed: policy.seed,
+            ..ReplicaSetOptions::default()
+        };
+        return match command {
+            Command::Classify { model, tuple } => {
+                run_classify(endpoints, options, &policy, &model, &tuple, repeat)
+            }
+            Command::Health => run_health(endpoints, options, &policy),
+            _ => unreachable!("replicated commands are classify and health"),
+        };
+    }
     if let Command::StatsWatch { period, samples } = command {
         return run_watch(&addr, timeout, &policy, period, samples);
     }
@@ -189,6 +284,89 @@ fn run() -> Result<String, CliError> {
         execute(&mut client, &command)
     });
     result.map_err(classify_error)
+}
+
+/// Streams `repeat` classifies through one replica set (so breaker
+/// state, failover decisions and connections persist across requests)
+/// and renders the last reply plus a delivery/failover summary. Every
+/// reply is accounted for: the loop aborts on the first undelivered
+/// request, so `replies: N/N` on stdout means nothing was lost.
+fn run_classify(
+    endpoints: Vec<String>,
+    options: ReplicaSetOptions,
+    policy: &RetryPolicy,
+    model: &str,
+    tuple: &Tuple,
+    repeat: u64,
+) -> Result<String, CliError> {
+    let mut set = ReplicaSet::new(endpoints, options)
+        .map_err(|e| CliError::Usage(format!("bad replica set: {e}")))?;
+    let mut last = None;
+    let mut replies = 0u64;
+    for _ in 0..repeat {
+        let result = policy
+            .run(|attempt| {
+                if attempt > 0 {
+                    eprintln!(
+                        "udt-client: transient failure, retry {attempt}/{}",
+                        policy.attempts - 1
+                    );
+                }
+                set.classify(model, tuple)
+            })
+            .map_err(classify_error)?;
+        replies += 1;
+        last = Some(result);
+    }
+    let (distribution, label) = last.expect("repeat >= 1 is enforced at parse time");
+    let mut out = String::new();
+    let _ = writeln!(out, "label: {label}");
+    for (c, p) in distribution.iter().enumerate() {
+        let _ = writeln!(out, "P(class {c}) = {p:.6}");
+    }
+    let _ = writeln!(out, "replies: {replies}/{repeat}");
+    let obs = udt_obs::catalog::serve::FAILOVERS.get();
+    let _ = writeln!(out, "failovers: {obs}");
+    let _ = writeln!(
+        out,
+        "hedges: launched {}, won {}",
+        udt_obs::catalog::serve::HEDGES_LAUNCHED.get(),
+        udt_obs::catalog::serve::HEDGES_WON.get()
+    );
+    Ok(out)
+}
+
+/// The `health` command: prints the report and maps readiness onto the
+/// exit-code taxonomy (ready ⇒ 0, live-but-not-ready ⇒ 3 via a server
+/// error, unreachable ⇒ 2 via a transport error).
+fn run_health(
+    endpoints: Vec<String>,
+    options: ReplicaSetOptions,
+    policy: &RetryPolicy,
+) -> Result<String, CliError> {
+    let mut set = ReplicaSet::new(endpoints, options)
+        .map_err(|e| CliError::Usage(format!("bad replica set: {e}")))?;
+    let report = policy.run(|_| set.health()).map_err(classify_error)?;
+    let text = render_health(&report);
+    if report.ready {
+        Ok(text)
+    } else {
+        // The report still lands on stdout for the operator; the exit
+        // code carries the verdict for scripts and probes.
+        print!("{text}");
+        Err(CliError::Server("server is live but not ready".into()))
+    }
+}
+
+fn render_health(report: &HealthReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "live: {}", report.live);
+    let _ = writeln!(out, "ready: {}", report.ready);
+    let _ = writeln!(out, "models: {}", report.models);
+    let _ = writeln!(out, "accepting: {}", report.accepting);
+    let _ = writeln!(out, "draining: {}", report.draining);
+    let _ = writeln!(out, "quarantined: {}", report.quarantined);
+    out
 }
 
 /// Maps a post-validation serve error onto the exit-code taxonomy.
@@ -402,6 +580,7 @@ fn parse_command(command: &[String]) -> Result<Command, String> {
                 Ok(Command::Swap { name, path })
             }
         }
+        Some("health") => Ok(Command::Health),
         Some("shutdown") => Ok(Command::Shutdown),
         Some(other) => Err(format!("unknown command `{other}`")),
         None => Err("no command given (try --help)".to_string()),
@@ -413,13 +592,6 @@ fn parse_command(command: &[String]) -> Result<Command, String> {
 fn execute(client: &mut Client, command: &Command) -> udt_serve::Result<String> {
     let mut out = String::new();
     match command {
-        Command::Classify { model, tuple } => {
-            let (distribution, label) = client.classify(model, tuple)?;
-            let _ = writeln!(out, "label: {label}");
-            for (c, p) in distribution.iter().enumerate() {
-                let _ = writeln!(out, "P(class {c}) = {p:.6}");
-            }
-        }
         Command::Stats { format } => {
             if *format == StatsFormat::Prometheus {
                 let _ = write!(out, "{}", client.stats_prometheus()?);
@@ -490,9 +662,13 @@ fn execute(client: &mut Client, command: &Command) -> udt_serve::Result<String> 
             client.shutdown()?;
             let _ = writeln!(out, "server shutting down");
         }
-        // Watch mode never reaches the one-shot path: `run` dispatches
-        // it to `run_watch` right after parsing.
+        // Watch, classify and health never reach the one-shot path:
+        // `run` dispatches them right after parsing (the latter two via
+        // the replica-set path, even with a single endpoint).
         Command::StatsWatch { .. } => unreachable!("watch is handled before the retry loop"),
+        Command::Classify { .. } | Command::Health => {
+            unreachable!("replicated commands are handled before the retry loop")
+        }
     }
     Ok(out)
 }

@@ -7,14 +7,19 @@
 //!           [--drain-deadline-ms MS] [--max-connections N]
 //!           [--idle-timeout-ms MS] [--write-timeout-ms MS]
 //!           [--faults SPEC] [--fault-seed N]
-//!           [--model NAME=PATH]... [--train-toy NAME]
+//!           [--model NAME=PATH]... [--preload NAME=PATH]...
+//!           [--train-toy NAME]
 //!           [--partition-mode owned|view] [--threads auto|N]
 //! ```
 //!
 //! Loads every `--model` file into the registry (refusing to start on a
 //! corrupt model — better to fail loud at boot than at first request),
-//! optionally trains the paper's Table 1 toy model in-process, prints
-//! one `udt-serve listening on ADDR` line (scripts wait for it), and
+//! loads every `--preload` file best-effort (a corrupt or unreadable
+//! file is *quarantined*: counted, logged, surfaced by the `health`
+//! request — and the server starts without it, so one bad artifact in a
+//! model directory cannot take a whole replica down), optionally trains
+//! the paper's Table 1 toy model in-process, prints one
+//! `udt-serve listening on ADDR` line (scripts wait for it), and
 //! serves until a `shutdown` request arrives. The robustness knobs are
 //! also env-settable (`UDT_QUEUE_POLICY`, `UDT_REQUEST_DEADLINE_MS`,
 //! `UDT_DRAIN_DEADLINE_MS`, `UDT_FAULTS`, `UDT_FAULT_SEED`); flags win.
@@ -36,7 +41,7 @@ fn main() -> ExitCode {
              [--queue-policy block|shed] [--request-deadline-ms MS] \
              [--drain-deadline-ms MS] [--max-connections N] [--idle-timeout-ms MS] \
              [--write-timeout-ms MS] [--faults SPEC] [--fault-seed N] \
-             [--model NAME=PATH]... \
+             [--model NAME=PATH]... [--preload NAME=PATH]... \
              [--train-toy NAME] [--partition-mode owned|view] [--threads auto|N]"
         );
         return ExitCode::SUCCESS;
@@ -80,6 +85,25 @@ fn main() -> ExitCode {
                     path.display()
                 );
                 return ExitCode::FAILURE;
+            }
+        }
+    }
+    for (name, path) in &config.preload {
+        match registry.load(name, Path::new(path)) {
+            Ok(info) => eprintln!(
+                "udt-serve: preloaded model {name} from {} ({} nodes, {} bytes)",
+                path.display(),
+                info.nodes,
+                info.heap_bytes
+            ),
+            Err(e) => {
+                // Best-effort by contract: quarantine the file and keep
+                // booting so one corrupt artifact cannot down a replica.
+                registry.record_quarantined();
+                eprintln!(
+                    "udt-serve: quarantined {name} from {}: {e} (starting without it)",
+                    path.display()
+                );
             }
         }
     }

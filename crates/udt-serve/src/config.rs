@@ -22,7 +22,8 @@ use crate::Result;
 ///           [--drain-deadline-ms MS] [--max-connections N]
 ///           [--idle-timeout-ms MS] [--write-timeout-ms MS]
 ///           [--faults SPEC] [--fault-seed N]
-///           [--model NAME=PATH]... [--train-toy NAME]
+///           [--model NAME=PATH]... [--preload NAME=PATH]...
+///           [--train-toy NAME]
 ///           [--partition-mode owned|view] [--threads auto|N]
 /// ```
 ///
@@ -61,8 +62,13 @@ pub struct ServeConfig {
     pub write_timeout: Duration,
     /// Fault-injection plan (empty in production).
     pub faults: FaultPlan,
-    /// Models to load at startup, as `(name, path)` pairs.
+    /// Models to load at startup, as `(name, path)` pairs. A corrupt or
+    /// unreadable file refuses startup — these models are *required*.
     pub models: Vec<(String, PathBuf)>,
+    /// Best-effort startup models: a corrupt or unreadable file is
+    /// quarantined (counted, logged, surfaced by `health`) and the
+    /// server starts without it instead of dying.
+    pub preload: Vec<(String, PathBuf)>,
     /// When set, train the paper's Table 1 toy model in-process at
     /// startup and serve it under this name — lets the smoke test and
     /// walkthrough start a useful server with no model file at hand.
@@ -97,6 +103,7 @@ impl Default for ServeConfig {
             write_timeout: Duration::from_secs(10),
             faults: FaultPlan::default(),
             models: Vec::new(),
+            preload: Vec::new(),
             train_toy: None,
             partition_mode: PartitionMode::from_env(),
             threads: ThreadCount::from_env(),
@@ -233,15 +240,11 @@ impl ServeConfig {
                 }
                 "--model" => {
                     let spec = value_for("--model")?;
-                    let (name, path) = spec.split_once('=').ok_or_else(|| {
-                        ServeError::Config(format!("--model expects NAME=PATH, got `{spec}`"))
-                    })?;
-                    if name.is_empty() || path.is_empty() {
-                        return Err(ServeError::Config(format!(
-                            "--model expects NAME=PATH, got `{spec}`"
-                        )));
-                    }
-                    config.models.push((name.to_string(), PathBuf::from(path)));
+                    config.models.push(parse_model_spec(&spec, "--model")?);
+                }
+                "--preload" => {
+                    let spec = value_for("--preload")?;
+                    config.preload.push(parse_model_spec(&spec, "--preload")?);
                 }
                 "--train-toy" => config.train_toy = Some(value_for("--train-toy")?),
                 "--partition-mode" => {
@@ -298,6 +301,14 @@ fn parse_num<T: std::str::FromStr>(raw: &str, flag: &str) -> Result<T> {
         .map_err(|_| ServeError::Config(format!("{flag}: `{raw}` is not a valid number")))
 }
 
+fn parse_model_spec(spec: &str, flag: &str) -> Result<(String, PathBuf)> {
+    let (name, path) = spec
+        .split_once('=')
+        .filter(|(name, path)| !name.is_empty() && !path.is_empty())
+        .ok_or_else(|| ServeError::Config(format!("{flag} expects NAME=PATH, got `{spec}`")))?;
+    Ok((name.to_string(), PathBuf::from(path)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,6 +342,8 @@ mod tests {
             "iris=models/iris.json",
             "--model",
             "toy=models/toy.json",
+            "--preload",
+            "extra=models/extra.json",
             "--train-toy",
             "demo",
             "--partition-mode",
@@ -347,6 +360,10 @@ mod tests {
         assert_eq!(c.models.len(), 2);
         assert_eq!(c.models[0].0, "iris");
         assert_eq!(c.models[1].1, PathBuf::from("models/toy.json"));
+        assert_eq!(
+            c.preload,
+            vec![("extra".to_string(), PathBuf::from("models/extra.json"))]
+        );
         assert_eq!(c.train_toy.as_deref(), Some("demo"));
         assert_eq!(c.partition_mode, PartitionMode::Owned);
         assert_eq!(c.threads, ThreadCount::fixed(4));
@@ -429,6 +446,7 @@ mod tests {
             (vec!["--fault-seed", "abc"], "--fault-seed"),
             (vec!["--model", "nameonly"], "NAME=PATH"),
             (vec!["--model", "=path"], "NAME=PATH"),
+            (vec!["--preload", "nameonly"], "--preload"),
             (vec!["--partition-mode", "both"], "owned"),
         ] {
             let err = ServeConfig::from_args(args.clone()).unwrap_err();

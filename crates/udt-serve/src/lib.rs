@@ -35,6 +35,12 @@
 //! * [`faults`] — a deterministic fault-injection harness (seeded,
 //!   env/flag-driven) that the chaos suite uses to prove the survival
 //!   properties below; disabled injectors cost one branch per check.
+//! * [`client::ReplicaSet`] — a client over N replica endpoints with
+//!   per-endpoint circuit breakers (closed/open/half-open, seeded-jitter
+//!   cooldowns), transparent failover on transient failures, and
+//!   optional hedged point classifies; the `health` request separates
+//!   liveness from readiness so probes and load balancers can tell a
+//!   draining server from a dead one.
 //!
 //! Two binaries wrap the library: `udt-serve` (the server; see
 //! [`config::ServeConfig`] for its flags) and `udt-client` (a small CLI
@@ -74,12 +80,17 @@ pub mod registry;
 pub mod server;
 
 pub use batcher::{BatchOptions, Batcher, QueuePolicy};
-pub use client::Client;
+pub use client::{
+    BreakerPolicy, BreakerSnapshot, BreakerState, Client, ReplicaSet, ReplicaSetOptions,
+    RetryPolicy,
+};
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use faults::{FaultInjector, FaultPlan, FaultPoint};
 pub use metrics::ServeMetrics;
-pub use protocol::{HealthStats, ModelInfo, Request, Response, StatsFormat, StatsReport};
+pub use protocol::{
+    HealthReport, HealthStats, ModelInfo, Request, Response, StatsFormat, StatsReport,
+};
 pub use registry::ModelRegistry;
 pub use server::Server;
 

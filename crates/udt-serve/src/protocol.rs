@@ -16,6 +16,8 @@
 //! ← {"ok":true,"result":"model_loaded","model":{…}}
 //! → {"cmd":"stats"}
 //! ← {"ok":true,"result":"stats","stats":{…}}
+//! → {"cmd":"health"}
+//! ← {"ok":true,"result":"health","health":{"live":true,"ready":true,…}}
 //! → {"cmd":"stats","format":"prometheus"}
 //! ← {"ok":true,"result":"stats_text","text":"# HELP udt_serve_…"}
 //! → {"cmd":"shutdown"}
@@ -129,6 +131,34 @@ pub struct HealthStats {
     pub queue_wait_p99_us: f64,
 }
 
+/// The `health` response payload: the probe surface load balancers and
+/// replica-set clients route on. **Liveness** (`live`) is "the process
+/// answered at all" — it is `true` in every health response, because a
+/// dead server sends nothing. **Readiness** (`ready`) is "this replica
+/// can serve a classify right now": at least one model is registered,
+/// the scheduler is accepting submissions, and no drain is in progress.
+/// Unlike `stats`, the payload is intentionally small and allocation-
+/// light — probes arrive every few hundred milliseconds, forever.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// The process is up and answering its socket (always `true` in a
+    /// response; its absence — a refused or timed-out probe — is what
+    /// "not live" looks like).
+    pub live: bool,
+    /// `models > 0 && accepting && !draining`: a classify sent now
+    /// would be admitted and has a model to run against.
+    pub ready: bool,
+    /// Registered model count.
+    pub models: usize,
+    /// The scheduler queue is open to new submissions.
+    pub accepting: bool,
+    /// A shutdown has been requested; in-flight work is being drained.
+    pub draining: bool,
+    /// Corrupt model files quarantined at startup (`--preload`) instead
+    /// of loaded. Nonzero means an operator has a disk to inspect.
+    pub quarantined: u64,
+}
+
 /// The full `stats` response payload.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct StatsReport {
@@ -223,6 +253,8 @@ pub enum Request {
         /// wire and defaults to JSON.
         format: StatsFormat,
     },
+    /// Report liveness and readiness (see [`HealthReport`]).
+    Health,
     /// Stop accepting connections and shut down cleanly.
     Shutdown,
 }
@@ -254,6 +286,8 @@ pub enum Response {
         /// The rendered text, newlines included.
         text: String,
     },
+    /// Answer to [`Request::Health`].
+    Health(HealthReport),
     /// Answer to [`Request::Shutdown`].
     ShuttingDown,
     /// Any request that failed.
@@ -331,6 +365,7 @@ impl Request {
                 ("cmd", Value::Str("stats".into())),
                 ("format", Value::Str(format.name().into())),
             ]),
+            Request::Health => obj(vec![("cmd", Value::Str("health".into()))]),
             Request::Shutdown => obj(vec![("cmd", Value::Str("shutdown".into()))]),
         };
         render(&v)
@@ -371,6 +406,7 @@ impl Request {
                 };
                 Ok(Request::Stats { format })
             }
+            "health" => Ok(Request::Health),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(ServeError::Protocol(format!("unknown cmd `{other}`"))),
         }
@@ -415,6 +451,11 @@ impl Response {
                 ("ok", Value::Bool(true)),
                 ("result", Value::Str("stats_text".into())),
                 ("text", Value::Str(text.clone())),
+            ]),
+            Response::Health(report) => obj(vec![
+                ("ok", Value::Bool(true)),
+                ("result", Value::Str("health".into())),
+                ("health", report.serialize()),
             ]),
             Response::ShuttingDown => obj(vec![
                 ("ok", Value::Bool(true)),
@@ -473,6 +514,11 @@ impl Response {
             "stats_text" => Ok(Response::StatsText {
                 text: string_field(&v, "text", "stats_text response")?,
             }),
+            "health" => Ok(Response::Health(typed_field(
+                &v,
+                "health",
+                "health response",
+            )?)),
             "shutting_down" => Ok(Response::ShuttingDown),
             other => Err(ServeError::Protocol(format!("unknown result `{other}`"))),
         }
@@ -562,6 +608,7 @@ mod tests {
             Request::Stats {
                 format: StatsFormat::Prometheus,
             },
+            Request::Health,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -604,6 +651,14 @@ mod tests {
             Response::StatsText {
                 text: "# HELP udt_serve_uptime_seconds x\nudt_serve_uptime_seconds 1\n".into(),
             },
+            Response::Health(HealthReport {
+                live: true,
+                ready: false,
+                models: 0,
+                accepting: true,
+                draining: false,
+                quarantined: 1,
+            }),
             Response::ShuttingDown,
             Response::Error {
                 code: "unknown_model".into(),

@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use udt_tree::{persist, DecisionTree};
@@ -32,6 +33,9 @@ struct Entry {
 #[derive(Default)]
 pub struct ModelRegistry {
     models: RwLock<HashMap<String, Entry>>,
+    /// Model files refused at startup preload (corrupt, unreadable) and
+    /// set aside instead of aborting the server; surfaced by `health`.
+    quarantined: AtomicU64,
 }
 
 impl ModelRegistry {
@@ -116,6 +120,17 @@ impl ModelRegistry {
     /// Whether the registry holds no models.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Records one model file quarantined at startup preload.
+    pub fn record_quarantined(&self) {
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        udt_obs::catalog::serve::MODELS_QUARANTINED.incr();
+    }
+
+    /// Model files quarantined at startup preload so far.
+    pub fn quarantined(&self) -> u64 {
+        self.quarantined.load(Ordering::Relaxed)
     }
 }
 

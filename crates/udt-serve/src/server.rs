@@ -39,7 +39,7 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::faults::{FaultInjector, FaultPoint};
 use crate::metrics::ServeMetrics;
-use crate::protocol::{Request, Response, StatsFormat, StatsReport};
+use crate::protocol::{HealthReport, Request, Response, StatsFormat, StatsReport};
 use crate::registry::ModelRegistry;
 use crate::Result;
 
@@ -434,6 +434,27 @@ fn dispatch(line: &str, ctx: &Ctx) -> (Response, bool) {
                 false,
             ),
         },
+        Request::Health => {
+            // Liveness is answering at all; readiness is the conjunction
+            // an upstream router needs before sending a classify here:
+            // something to serve, a scheduler that will admit it, and no
+            // drain in progress. Each signal is also reported raw so a
+            // probe can say *why* a replica is out.
+            let models = ctx.registry.len();
+            let accepting = ctx.batcher.is_accepting();
+            let draining = ctx.stopping.load(Ordering::SeqCst);
+            (
+                Response::Health(HealthReport {
+                    live: true,
+                    ready: models > 0 && accepting && !draining,
+                    models,
+                    accepting,
+                    draining,
+                    quarantined: ctx.registry.quarantined(),
+                }),
+                false,
+            )
+        }
         Request::Shutdown => (Response::ShuttingDown, true),
     }
 }

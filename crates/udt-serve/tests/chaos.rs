@@ -21,7 +21,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use udt_data::toy;
-use udt_serve::client::RetryPolicy;
+use udt_serve::client::{BreakerState, ReplicaSet, ReplicaSetOptions, RetryPolicy};
 use udt_serve::{Client, FaultPlan, ModelRegistry, QueuePolicy, ServeConfig, ServeError, Server};
 use udt_tree::{
     classify_batch, persist, Algorithm, BatchScratch, DecisionTree, TreeBuilder, UdtConfig,
@@ -398,6 +398,214 @@ fn idle_connections_are_disconnected_after_the_idle_timeout() {
     }
     client.shutdown().expect("shutdown");
     handle.join().expect("server thread");
+}
+
+/// A replica set over freshly started chaos servers, with a short
+/// connect/read budget so a dead replica fails fast instead of hanging
+/// the suite.
+fn replica_set(addrs: &[std::net::SocketAddr], hedge: Option<Duration>, seed: u64) -> ReplicaSet {
+    ReplicaSet::new(
+        addrs.iter().map(|a| a.to_string()).collect(),
+        ReplicaSetOptions {
+            timeout: Some(Duration::from_secs(2)),
+            hedge,
+            seed,
+            ..ReplicaSetOptions::default()
+        },
+    )
+    .expect("at least one endpoint")
+}
+
+#[test]
+fn replica_killed_mid_stream_loses_no_request_and_no_bits() {
+    let tree = trained(Algorithm::UdtEs);
+    let (tuples, direct, k) = direct_distributions(&tree);
+    let (addr_a, handle_a) = chaos_server("", 0, |_| {});
+    let (addr_b, handle_b) = chaos_server("", 0, |_| {});
+    let mut set = replica_set(&[addr_a, addr_b], None, 77);
+
+    // Stream classifies; kill replica A (the preferred endpoint) a third
+    // of the way through. The contract: every request in the stream is
+    // answered exactly once, bit-for-bit, and the set routes around the
+    // corpse without the caller doing anything.
+    const STREAM: usize = 30;
+    let mut replies = 0usize;
+    let mut handle_a = Some(handle_a);
+    for i in 0..STREAM {
+        if i == STREAM / 3 {
+            let mut direct_client = Client::connect(addr_a).expect("connect to A");
+            direct_client.shutdown().expect("A shuts down");
+            handle_a
+                .take()
+                .expect("A killed once")
+                .join()
+                .expect("A joins");
+        }
+        let tuple = &tuples[i % tuples.len()];
+        let (dist, _) = set
+            .classify("toy", tuple)
+            .expect("stream survives the kill");
+        assert_bits(
+            &dist,
+            &direct[(i % tuples.len()) * k..(i % tuples.len() + 1) * k],
+            "stream",
+        );
+        replies += 1;
+    }
+    assert_eq!(replies, STREAM, "exactly one reply per request");
+
+    let snap = set.snapshot();
+    assert!(snap[0].trips >= 1, "A's breaker tripped after the kill");
+    assert!(
+        snap[1].attempts >= (STREAM - STREAM / 3) as u64,
+        "B served the rest of the stream ({} attempts)",
+        snap[1].attempts
+    );
+    assert_eq!(snap[1].state, BreakerState::Closed, "B stayed healthy");
+
+    let mut client = Client::connect(addr_b).expect("connect to B");
+    client.shutdown().expect("B shuts down");
+    handle_b.join().expect("B joins");
+}
+
+#[test]
+fn flapping_replica_is_routed_around_without_losing_bits() {
+    let tree = trained(Algorithm::UdtEs);
+    let (tuples, direct, k) = direct_distributions(&tree);
+    // Replica A answers, then truncates, alternating — a flapping
+    // half-dead node. Replica B is clean. Every classify must still land
+    // exactly one bit-for-bit reply, transparently.
+    let (addr_a, handle_a) = chaos_server("truncate_frame:every=2", 9, |c| {
+        c.max_batch_tuples = 1;
+    });
+    let (addr_b, handle_b) = chaos_server("", 0, |_| {});
+    let mut set = replica_set(&[addr_a, addr_b], None, 123);
+
+    const STREAM: usize = 16;
+    for i in 0..STREAM {
+        let tuple = &tuples[i % tuples.len()];
+        let (dist, _) = set.classify("toy", tuple).expect("flapping is survivable");
+        assert_bits(
+            &dist,
+            &direct[(i % tuples.len()) * k..(i % tuples.len() + 1) * k],
+            "flap",
+        );
+    }
+    let snap = set.snapshot();
+    assert!(
+        snap[1].attempts >= 1,
+        "the truncations actually failed over"
+    );
+    // The flap alternates success and truncation, so A's consecutive
+    // failure count keeps resetting below the trip threshold: a
+    // half-dead replica is tolerated and drained, not amputated.
+    assert_eq!(snap[0].trips, 0, "alternating failures never trip A");
+    assert_eq!(snap[0].state, BreakerState::Closed);
+    assert_eq!(
+        snap[0].attempts, STREAM as u64,
+        "with A never tripped, every request begins at A"
+    );
+
+    for (addr, handle) in [(addr_a, handle_a), (addr_b, handle_b)] {
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("join");
+    }
+}
+
+#[test]
+fn checksum_corruption_on_disk_is_refused_and_the_old_generation_serves() {
+    let tree = trained(Algorithm::UdtEs);
+    let (tuples, direct, k) = direct_distributions(&tree);
+    let avg = trained(Algorithm::Avg);
+    let path = std::env::temp_dir().join("udt-serve-chaos-corrupt.json");
+    persist::save(&avg, &path).expect("save replacement");
+    // Flip one bit in the body: the v3 footer checksum must catch it at
+    // load, long before the registry considers swapping.
+    let mut bytes = std::fs::read(&path).expect("read back");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&path, &bytes).expect("write corrupted");
+
+    let (addr, handle) = chaos_server("", 0, |_| {});
+    let mut client = Client::connect(addr).expect("connect");
+
+    let err = client
+        .swap("toy", path.to_str().expect("utf-8 path"))
+        .expect_err("corrupt file is refused");
+    assert_eq!(err.code(), "model", "typed model error, not a crash: {err}");
+    assert!(
+        err.to_string().contains("corrupt") || err.to_string().contains("deserialisation"),
+        "the error names the corruption: {err}"
+    );
+    // Generation 1 never stopped serving, bit-for-bit.
+    let (dist, _) = client
+        .classify("toy", &tuples[0])
+        .expect("old model serves");
+    assert_bits(&dist, &direct[0..k], "old generation after refused swap");
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.models[0].generation, 1, "no half-applied swap");
+
+    // Restore the file; the swap lands and answers change.
+    persist::save(&avg, &path).expect("save clean");
+    let info = client
+        .swap("toy", path.to_str().unwrap())
+        .expect("swap lands");
+    assert_eq!(info.generation, 2);
+    let mut scratch = BatchScratch::new();
+    let avg_direct = classify_batch(&avg, &tuples[..1], &mut scratch).expect("direct avg");
+    let (dist, _) = client
+        .classify("toy", &tuples[0])
+        .expect("new model serves");
+    assert_bits(&dist, &avg_direct[0..k], "new generation");
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server thread");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn hedge_storm_returns_one_exact_reply_per_request() {
+    let tree = trained(Algorithm::UdtEs);
+    let (tuples, direct, k) = direct_distributions(&tree);
+    // Replica A is always slow (80 ms per flush); B is fast. With a
+    // 10 ms hedge, every classify should race B and win there — and the
+    // caller must still see exactly one reply, bit-for-bit, per request,
+    // with the slow loser cancelled rather than leaking.
+    let (addr_a, handle_a) = chaos_server("delay_in_worker:always:80ms", 31, |c| {
+        c.workers = 1;
+        c.max_batch_tuples = 1;
+    });
+    let (addr_b, handle_b) = chaos_server("", 0, |_| {});
+    let launched_before = udt_obs::catalog::serve::HEDGES_LAUNCHED.get();
+    let won_before = udt_obs::catalog::serve::HEDGES_WON.get();
+    let mut set = replica_set(&[addr_a, addr_b], Some(Duration::from_millis(10)), 55);
+
+    const STORM: usize = 8;
+    for i in 0..STORM {
+        let tuple = &tuples[i % tuples.len()];
+        let (dist, _) = set.classify("toy", tuple).expect("hedged classify");
+        assert_bits(
+            &dist,
+            &direct[(i % tuples.len()) * k..(i % tuples.len() + 1) * k],
+            "hedge",
+        );
+    }
+    let launched = udt_obs::catalog::serve::HEDGES_LAUNCHED.get() - launched_before;
+    let won = udt_obs::catalog::serve::HEDGES_WON.get() - won_before;
+    assert!(
+        launched >= STORM as u64,
+        "the slow primary forced a hedge per request (launched {launched})"
+    );
+    assert!(won >= 1, "the fast replica won at least one race");
+    let snap = set.snapshot();
+    assert!(snap[1].attempts >= STORM as u64, "B joined every race");
+
+    for (addr, handle) in [(addr_a, handle_a), (addr_b, handle_b)] {
+        let mut client = Client::connect(addr).expect("connect");
+        client.shutdown().expect("shutdown");
+        handle.join().expect("join");
+    }
 }
 
 #[test]

@@ -1,0 +1,158 @@
+//! Seeded determinism for the retry and circuit-breaker jitter.
+//!
+//! The robustness layer leans on randomness twice — retry backoff
+//! jitter and breaker cooldown jitter — and both are seeded so chaos
+//! runs can be replayed exactly. These tests pin the contract: the same
+//! seed produces the same backoff schedule and the same failover /
+//! trip / cooldown sequence, run after run; different seeds actually
+//! diverge.
+
+use std::net::{SocketAddr, TcpListener};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use udt_data::toy;
+use udt_serve::client::{BreakerPolicy, BreakerState, ReplicaSet, ReplicaSetOptions, RetryPolicy};
+use udt_serve::{ModelRegistry, ServeConfig, Server};
+use udt_tree::{Algorithm, TreeBuilder, UdtConfig};
+
+fn toy_server() -> (SocketAddr, JoinHandle<()>) {
+    let registry = Arc::new(ModelRegistry::new());
+    let tree = TreeBuilder::new(
+        UdtConfig::new(Algorithm::UdtEs)
+            .with_postprune(false)
+            .with_min_node_weight(0.0),
+    )
+    .build(&toy::table1_dataset().expect("toy data"))
+    .expect("toy build")
+    .tree;
+    registry.insert_tree("toy", tree).expect("fresh name");
+    let config = ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        ..ServeConfig::default()
+    };
+    let server = Server::bind(&config, registry).expect("bind on loopback");
+    let addr = server.local_addr();
+    let handle = std::thread::spawn(move || server.run().expect("clean shutdown"));
+    (addr, handle)
+}
+
+/// An address that refuses connections: bind an ephemeral port, then
+/// drop the listener. Nothing is listening there for the rest of the
+/// test, and connect attempts fail fast.
+fn dead_endpoint() -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+    listener.local_addr().expect("local addr")
+}
+
+fn replica_set(endpoints: &[SocketAddr], seed: u64) -> ReplicaSet {
+    ReplicaSet::new(
+        endpoints.iter().map(|a| a.to_string()).collect(),
+        ReplicaSetOptions {
+            timeout: Some(Duration::from_secs(2)),
+            hedge: None,
+            // A trip parks the breaker for the rest of the test: the
+            // sequences under comparison then cannot depend on how fast
+            // the test loop happens to run.
+            breaker: BreakerPolicy {
+                failure_threshold: 3,
+                base_cooldown: Duration::from_secs(600),
+                max_cooldown: Duration::from_secs(600),
+            },
+            seed,
+        },
+    )
+    .expect("non-empty set")
+}
+
+#[test]
+fn backoff_schedule_is_identical_for_identical_seeds_and_diverges_otherwise() {
+    let policy = RetryPolicy {
+        attempts: 12,
+        base_backoff: Duration::from_millis(10),
+        max_backoff: Duration::from_secs(2),
+        seed: 0xfeed,
+    };
+    // Two independent jitter streams from the same state walk the same
+    // schedule, draw for draw.
+    let mut rng_a = 0xfeed_u64;
+    let mut rng_b = 0xfeed_u64;
+    let a: Vec<Duration> = (0..12).map(|n| policy.backoff(n, &mut rng_a)).collect();
+    let b: Vec<Duration> = (0..12).map(|n| policy.backoff(n, &mut rng_b)).collect();
+    assert_eq!(a, b, "same seed, same backoff schedule");
+
+    // A different seed diverges somewhere in the schedule.
+    let mut rng_c = 0xbeef_u64;
+    let c: Vec<Duration> = (0..12).map(|n| policy.backoff(n, &mut rng_c)).collect();
+    assert_ne!(a, c, "different seeds draw different jitter");
+
+    // And the jitter never escapes its envelope: [exp/2, exp].
+    for (n, d) in a.iter().enumerate() {
+        let exp = Duration::from_millis(10)
+            .saturating_mul(1 << n.min(20))
+            .min(Duration::from_secs(2));
+        assert!(*d >= exp.mul_f64(0.5) && *d <= exp, "attempt {n}: {d:?}");
+    }
+}
+
+#[test]
+fn failover_and_trip_sequences_are_identical_for_identical_seeds() {
+    let dead = dead_endpoint();
+    let (live, handle) = toy_server();
+    let endpoints = [dead, live];
+    let tuple = toy::fig1_test_tuple().expect("tuple");
+
+    // Two replica sets, same seed, driven in lockstep through the same
+    // failure sequence: the dead preferred replica fails three times,
+    // trips, and everything lands on the live one.
+    let mut set_a = replica_set(&endpoints, 42);
+    let mut set_b = replica_set(&endpoints, 42);
+    for step in 0..6 {
+        let (dist_a, label_a) = set_a.classify("toy", &tuple).expect("A fails over");
+        let (dist_b, label_b) = set_b.classify("toy", &tuple).expect("B fails over");
+        assert_eq!(label_a, label_b);
+        assert_eq!(dist_a, dist_b, "identical replies at step {step}");
+        assert_eq!(
+            set_a.snapshot(),
+            set_b.snapshot(),
+            "identical breaker state (attempts, trips, cooldowns) at step {step}"
+        );
+    }
+    let snap = set_a.snapshot();
+    assert_eq!(
+        snap[0].attempts, 3,
+        "dead replica probed exactly to threshold"
+    );
+    assert_eq!(snap[0].trips, 1);
+    assert_eq!(snap[0].state, BreakerState::Open);
+    assert_eq!(
+        snap[1].attempts, 6,
+        "every request served by the live replica"
+    );
+    assert_eq!(snap[1].state, BreakerState::Closed);
+    // The drawn cooldown sits in the jitter envelope [base/2, base].
+    assert!(
+        snap[0].last_cooldown >= Duration::from_secs(300)
+            && snap[0].last_cooldown <= Duration::from_secs(600),
+        "cooldown {:?} outside the jitter envelope",
+        snap[0].last_cooldown
+    );
+
+    // A different seed reaches the same routing decisions (those are
+    // structural) but draws a different cooldown.
+    let mut set_c = replica_set(&endpoints, 4242);
+    for _ in 0..6 {
+        set_c.classify("toy", &tuple).expect("C fails over");
+    }
+    let snap_c = set_c.snapshot();
+    assert_eq!(snap_c[0].trips, 1);
+    assert_ne!(
+        snap_c[0].last_cooldown, snap[0].last_cooldown,
+        "different seeds draw different cooldowns"
+    );
+
+    let mut client = udt_serve::Client::connect(live).expect("connect");
+    client.shutdown().expect("shutdown");
+    handle.join().expect("server joins");
+}

@@ -80,6 +80,29 @@ pub enum TreeError {
         detail: String,
     },
 
+    /// A model file failed integrity verification: its checksum footer
+    /// is malformed, truncated, or does not match the bytes on disk
+    /// (see `persist` for the version-3 footer format). Distinct from
+    /// [`TreeError::InvalidModel`] — that is a *structurally* wrong tree,
+    /// this is bytes that changed after they were written.
+    #[error("corrupt model file: {detail}")]
+    Corrupt {
+        /// What the integrity check found.
+        detail: String,
+    },
+
+    /// Serialising or deserialising a model failed in serde itself
+    /// (malformed JSON, unrepresentable value), as opposed to a model
+    /// that parsed but failed validation.
+    #[error("model {op} failed: {detail}")]
+    Serde {
+        /// Which operation failed (`serialisation`, `deserialisation`,
+        /// `version-2 deserialisation`).
+        op: &'static str,
+        /// The rendered serde error.
+        detail: String,
+    },
+
     /// A tuple presented for classification does not match the tree's
     /// schema arity.
     #[error("test tuple has {found} attributes but the tree was trained on {expected}")]
@@ -127,5 +150,15 @@ mod tests {
             found: 1,
         };
         assert!(e.to_string().contains('3'));
+        let e = TreeError::Corrupt {
+            detail: "checksum mismatch".to_string(),
+        };
+        assert!(e.to_string().contains("corrupt model file"));
+        assert!(e.to_string().contains("checksum mismatch"));
+        let e = TreeError::Serde {
+            op: "serialisation",
+            detail: "unrepresentable float".to_string(),
+        };
+        assert!(e.to_string().contains("serialisation"));
     }
 }

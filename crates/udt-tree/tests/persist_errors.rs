@@ -8,7 +8,7 @@
 //! `to_legacy_json → from_json` reconverging to the exact same arena.
 
 use udt_data::toy;
-use udt_tree::persist::{from_json, to_json, to_legacy_json};
+use udt_tree::persist::{from_json, to_json, to_json_v3, to_legacy_json};
 use udt_tree::{Algorithm, DecisionTree, TreeBuilder, TreeError, UdtConfig};
 
 fn trained() -> DecisionTree {
@@ -99,8 +99,8 @@ fn unknown_and_malformed_version_tags_are_refused() {
     let garbled = json.replace("\"format_version\":2", "\"format_version\":\"two\"");
     assert_ne!(garbled, json);
     match from_json(&garbled) {
-        Err(TreeError::InvalidConfig { name, .. }) => {
-            assert!(name.contains("version-2"), "got: {name}")
+        Err(TreeError::Serde { op, .. }) => {
+            assert!(op.contains("version-2"), "got: {op}")
         }
         other => panic!("expected a v2 parse error, got {other:?}"),
     }
@@ -131,6 +131,88 @@ fn legacy_round_trip_reconverges_to_the_same_arena() {
     // And the re-serialised v2 text of the restored tree is identical to
     // the original's: the legacy format loses no information.
     assert_eq!(to_json(&restored).unwrap(), to_json(&tree).unwrap());
+}
+
+#[test]
+fn every_truncation_inside_the_v3_footer_errors_cleanly() {
+    // The version-3 footer is the last 32 bytes. Severing it at any
+    // byte boundary must be rejected — truncation that leaves the magic
+    // intact is a typed `Corrupt`, truncation inside the magic itself
+    // degrades to a v2 parse error (trailing garbage), and only a cut
+    // that removes the footer *entirely* yields a byte-exact v2 file,
+    // which back-compat requires `from_json` to accept.
+    let v3 = to_json_v3(&trained()).unwrap();
+    let body_len = v3.len() - 32;
+    for len in body_len + 1..v3.len() {
+        let prefix = &v3[..len];
+        let err = from_json(prefix).expect_err("truncated footer was accepted");
+        if len >= body_len + 6 {
+            assert!(
+                matches!(err, TreeError::Corrupt { .. }),
+                "cut at {len}: expected Corrupt, got {err:?}"
+            );
+        }
+    }
+    assert!(from_json(&v3[..body_len]).is_ok(), "footer-less = v2");
+    assert!(from_json(&v3).is_ok());
+}
+
+#[test]
+fn single_bit_flips_in_body_and_footer_are_caught() {
+    let v3 = to_json_v3(&trained()).unwrap();
+    let body_len = v3.len() - 32;
+    let direct = from_json(&v3).unwrap();
+
+    // Flip the low bit of a byte at a spread of positions across the
+    // body and every byte of the footer. XOR with 0x01 keeps each byte
+    // ASCII, so the string stays valid UTF-8 and the checksum — not the
+    // text encoding — is what has to catch the damage. A flip inside
+    // the 6-byte footer magic makes the footer unrecognisable, so those
+    // surface as parse errors instead of `Corrupt` — any rejection is
+    // acceptable there; everywhere else the typed variant is required.
+    let positions = (0..v3.len()).filter(|i| i % 97 == 0 || *i >= body_len);
+    for i in positions {
+        let mut bytes = v3.clone().into_bytes();
+        bytes[i] ^= 0x01;
+        let flipped = String::from_utf8(bytes).unwrap();
+        let in_magic = (body_len..body_len + 6).contains(&i);
+        match from_json(&flipped) {
+            Ok(loaded) => panic!(
+                "bit flip at byte {i} went undetected (loaded a tree {}the original)",
+                if loaded == direct {
+                    "equal to "
+                } else {
+                    "differing from "
+                }
+            ),
+            Err(TreeError::Corrupt { .. }) => {}
+            Err(_) if in_magic => {}
+            Err(other) => panic!("bit flip at byte {i}: expected Corrupt, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn v2_and_legacy_files_reconverge_to_the_v3_arena() {
+    // Loading an old footer-less v2 file or a legacy boxed-node file and
+    // re-saving it as v3 must preserve the arena bit for bit: upgrade is
+    // re-foot, never re-train.
+    let tree = trained();
+    let v2 = to_json(&tree).unwrap();
+    let legacy = to_legacy_json(&tree).unwrap();
+    let v3 = to_json_v3(&tree).unwrap();
+
+    let from_v2 = from_json(&v2).unwrap();
+    assert_eq!(from_v2.flat(), tree.flat(), "v2 → v3 arena equality");
+    assert_eq!(to_json_v3(&from_v2).unwrap(), v3);
+
+    let from_legacy = from_json(&legacy).unwrap();
+    assert_eq!(
+        from_legacy.flat(),
+        tree.flat(),
+        "legacy → v3 arena equality"
+    );
+    assert_eq!(to_json_v3(&from_legacy).unwrap(), v3);
 }
 
 #[test]

@@ -121,6 +121,12 @@ def speedup(group, single, batch):
 
 speedup("serve_throughput", "single_uncertain", "batch_uncertain")
 speedup("serve_throughput", "single_point", "batch_point")
+
+direct = by_key.get(("serve_failover", "direct_point"))
+replica = by_key.get(("serve_failover", "replica_set_point"))
+if direct and replica:
+    overhead = (replica / direct - 1.0) * 100.0
+    print(f"serve_failover: replica_set_point / direct_point = {overhead:+.2f}% breaker overhead")
 EOF
 
 echo
